@@ -1,0 +1,47 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``test_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Compilations are cached
+session-wide; measured rows are printed so `pytest benchmarks/
+--benchmark-only -s` reproduces the paper-style output, and the numbers
+are also written to EXPERIMENTS-measured reference output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synthesis.search import SearchConfig
+from repro.workloads import get_benchmark
+from repro.workloads.runner import compile_benchmark
+
+_COMPILATIONS: dict[tuple[str, str], object] = {}
+
+
+def compiled(name: str, backend: str = "spark"):
+    """Session-cached Casper compilation of a registered benchmark."""
+    key = (name, backend)
+    if key not in _COMPILATIONS:
+        _COMPILATIONS[key] = compile_benchmark(
+            get_benchmark(name), SearchConfig(), backend=backend
+        )
+    return _COMPILATIONS[key]
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a paper-style table to the terminal."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

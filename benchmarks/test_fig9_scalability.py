@@ -1,0 +1,92 @@
+"""Figure 9 / Appendix E.4: speedup vs input-data size.
+
+Paper shape: Casper-generated Spark implementations show steadily
+increasing speedups as the input grows (from the 10-unit to the 100-unit
+dataset), until the cluster reaches maximum utilization.  The four
+benchmarks plotted are Wikipedia PageCount, Database Select, 3D Histogram,
+and Red To Magenta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import get_benchmark
+from repro.workloads.runner import run_benchmark
+
+from conftest import compiled, print_table
+
+BENCHMARKS = [
+    "biglambda_wikipedia_pagecount",
+    "biglambda_select",
+    "phoenix_histogram3d",
+    "fiji_red_to_magenta",
+]
+
+#: x-axis of Fig. 9 (relative data sizes 10..100), as simulated bytes.
+SIZES = {10: 7.5e9, 30: 22.5e9, 50: 37.5e9, 70: 52.5e9, 100: 75e9}
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    curves = {}
+    for name in BENCHMARKS:
+        compilation = compiled(name)
+        points = {}
+        for label, target in SIZES.items():
+            run = run_benchmark(
+                get_benchmark(name),
+                size=2500,
+                target_bytes=target,
+                compilation=compilation,
+            )
+            assert run.outputs_match
+            points[label] = run.speedup
+        curves[name] = points
+    return curves
+
+
+def test_fig9_report(fig9):
+    print_table(
+        "Figure 9 — speedup vs data size (paper: steady increase with "
+        "input size until cluster saturation)",
+        ["Benchmark", *[f"size {s}" for s in SIZES]],
+        [
+            [name, *(f"{points[s]:.1f}x" for s in SIZES)]
+            for name, points in fig9.items()
+        ],
+    )
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_speedup_monotonically_increases(fig9, name):
+    points = list(fig9[name].values())
+    for smaller, larger in zip(points, points[1:]):
+        assert larger >= smaller * 0.98  # non-decreasing (2% tolerance)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_speedup_meaningful_at_full_size(fig9, name):
+    # Multi-fragment benchmarks (3D Histogram's three channel loops) pay
+    # one scan per fragment, lowering their ceiling relative to
+    # single-fragment jobs.
+    assert fig9[name][100] > 4.0
+
+
+def test_speedup_bounded_by_cluster(fig9):
+    for points in fig9.values():
+        assert all(s < 72.0 for s in points.values())
+
+
+def test_benchmark_scalability_sweep(benchmark):
+    compilation = compiled("biglambda_select")
+    benchmark.pedantic(
+        lambda: run_benchmark(
+            get_benchmark("biglambda_select"),
+            size=2500,
+            target_bytes=75e9,
+            compilation=compilation,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,105 @@
+"""Table 2: compilation performance per suite.
+
+Paper columns: mean compile time, mean LOC of generated code vs reference,
+mean number of MapReduce operations, and mean theorem-prover failures per
+benchmark.  Paper-reported TP failures: 76 incorrect summaries across all
+benchmarks, at least one for 13 of 101 fragments.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.codegen.render import generated_loc
+from repro.workloads import suite_benchmarks, suites
+
+from conftest import compiled, print_table
+
+
+@pytest.fixture(scope="module")
+def table2():
+    rows = []
+    total_tp_failures = 0
+    fragments_with_failures = 0
+    for suite in suites():
+        times, locs, ops, tp_failures = [], [], [], []
+        for benchmark in suite_benchmarks(suite):
+            compilation = compiled(benchmark.name)
+            times.append(compilation.elapsed_seconds)
+            tp_failures.append(compilation.tp_failures)
+            total_tp_failures += compilation.tp_failures
+            for fragment in compilation.fragments:
+                if fragment.search and fragment.search.tp_failures:
+                    fragments_with_failures += 1
+                if fragment.translated:
+                    best = fragment.program.programs[0]
+                    locs.append(generated_loc(best.summary, "spark"))
+                    ops.append(best.summary.operation_count)
+        rows.append(
+            {
+                "suite": suite,
+                "mean_time_s": statistics.mean(times),
+                "mean_loc": statistics.mean(locs) if locs else 0.0,
+                "mean_ops": statistics.mean(ops) if ops else 0.0,
+                "mean_tp_failures": statistics.mean(tp_failures),
+            }
+        )
+    return rows, total_tp_failures, fragments_with_failures
+
+
+def test_table2_report(table2):
+    rows, total_tp, frags_with = table2
+    print_table(
+        "Table 2 — compilation performance (paper: mean 11.4 min/fragment, "
+        "median 2.1 min; 76 TP failures over 13 fragments)",
+        ["Suite", "Mean Time (s)", "Mean LOC", "Mean # Op", "Mean TP Failures"],
+        [
+            [
+                r["suite"],
+                f"{r['mean_time_s']:.2f}",
+                f"{r['mean_loc']:.1f}",
+                f"{r['mean_ops']:.2f}",
+                f"{r['mean_tp_failures']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    print(f"TOTAL TP failures: {total_tp} across {frags_with} fragments")
+
+
+def test_compile_times_are_tractable(table2):
+    rows, _, _ = table2
+    # Enumerative CEGIS over harvested grammars compiles in seconds (the
+    # paper's Sketch-based search took minutes; shape: tractable per
+    # fragment, no suite times out).
+    for row in rows:
+        assert row["mean_time_s"] < 60.0
+
+
+def test_generated_code_is_compact(table2):
+    """Paper: generated implementations used no more ops/LOC than needed."""
+    rows, _, _ = table2
+    for row in rows:
+        if row["mean_ops"]:
+            assert row["mean_ops"] <= 4.0
+            assert row["mean_loc"] <= 25.0
+
+
+def test_two_phase_verification_exercised(table2):
+    """Some candidates must pass bounded checking yet fail the prover."""
+    _, total_tp, frags_with = table2
+    assert total_tp > 0
+    assert frags_with >= 1
+
+
+def test_benchmark_single_fragment_compile(benchmark):
+    from repro.workloads import get_benchmark
+    from repro.workloads.runner import compile_benchmark
+
+    benchmark.pedantic(
+        lambda: compile_benchmark(get_benchmark("tpch_q6")),
+        rounds=1,
+        iterations=1,
+    )

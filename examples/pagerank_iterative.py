@@ -1,0 +1,67 @@
+"""PageRank: translating an iterative algorithm fragment by fragment.
+
+Each loop of a sequential PageRank iteration is a separate code fragment
+(out-degree count, contribution scatter, rank update); Casper translates
+all three, and the driver chains them across iterations — the paper's
+Iterative suite workflow (section 7.1).
+
+Run:  python examples/pagerank_iterative.py
+"""
+
+from repro import translate
+from repro.workloads import datagen
+
+JAVA_SOURCE = """
+class Edge { int src; int dst; }
+double[] pagerankIter(List<Edge> edges, double[] rank, int nodes) {
+  int[] outdeg = new int[nodes];
+  for (Edge e : edges) {
+    outdeg[e.src] = outdeg[e.src] + 1;
+  }
+  double[] contrib = new double[nodes];
+  for (Edge e : edges) {
+    contrib[e.dst] = contrib[e.dst] + rank[e.src] / outdeg[e.src];
+  }
+  double[] next = new double[nodes];
+  for (int i = 0; i < nodes; i++) {
+    next[i] = 0.15 / nodes + 0.85 * contrib[i];
+  }
+  return next;
+}
+"""
+
+NODES = 50
+ITERATIONS = 10
+
+
+def main() -> None:
+    result = translate(JAVA_SOURCE, "pagerankIter")
+    print(f"fragments identified: {result.identified}, translated: {result.translated}")
+    outdeg_frag, contrib_frag, update_frag = result.fragments
+    for fragment in result.fragments:
+        best = fragment.program.programs[0]
+        print(f"\n{fragment.fragment.id}: proof={best.proof.status}")
+        print(f"  {fragment.rendered_code('spark').splitlines()[1]}")
+
+    edges = datagen.graph_edges(NODES, 300, seed=23)
+    rank = [1.0] * NODES
+
+    outdeg = outdeg_frag.program.run({"edges": edges, "nodes": NODES})["outdeg"]
+    for iteration in range(ITERATIONS):
+        contrib = contrib_frag.program.run(
+            {"edges": edges, "rank": rank, "outdeg": outdeg, "nodes": NODES}
+        )["contrib"]
+        rank = update_frag.program.run(
+            {"contrib": contrib, "nodes": NODES}
+        )["next"]
+
+    top = sorted(range(NODES), key=lambda i: -rank[i])[:5]
+    print(f"\nAfter {ITERATIONS} iterations, top-5 nodes by rank:")
+    for node in top:
+        print(f"  node {node:3d}: {rank[node]:.4f}")
+    total = sum(rank)
+    print(f"rank mass: {total:.4f} (conserved ≈ {NODES * 0.15 / NODES + 0.85:.2f}·N)")
+
+
+if __name__ == "__main__":
+    main()

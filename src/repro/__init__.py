@@ -1,0 +1,52 @@
+"""repro — a reproduction of Casper (SIGMOD 2018).
+
+Casper translates sequential Java code into semantically equivalent
+MapReduce programs via verified lifting: program synthesis finds a
+high-level *program summary* of each loop fragment, a theorem prover
+checks it, and code generators retarget it to Spark, Hadoop, or Flink.
+
+This package implements the full system in Python over a simulated
+distributed substrate (see DESIGN.md for the substitution map):
+
+* :mod:`repro.lang` — the mini-Java frontend and program analyses
+* :mod:`repro.ir` — the high-level IR for program summaries
+* :mod:`repro.synthesis` — grammar generation + CEGIS search
+* :mod:`repro.verification` — bounded checking + inductive prover
+* :mod:`repro.cost` — the data-centric cost model + runtime monitor
+* :mod:`repro.engine` — simulated Spark/Hadoop/Flink execution
+* :mod:`repro.codegen` — code generation and the adaptive program
+* :mod:`repro.compiler` — the end-to-end pipeline
+* :mod:`repro.baselines` — MOLD-style rules, mini-SparkSQL, manual impls
+* :mod:`repro.workloads` — the seven benchmark suites and data generators
+
+Quickstart::
+
+    from repro import translate
+
+    result = translate(JAVA_SOURCE)
+    outputs = result.fragments[0].program.run({"data": [...], "n": 3})
+"""
+
+from .compiler import (
+    CasperCompiler,
+    CompilationResult,
+    FragmentTranslation,
+    run_translated,
+    translate,
+)
+from .engine.config import ClusterConfig, EngineConfig
+from .synthesis.search import SearchConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CasperCompiler",
+    "ClusterConfig",
+    "CompilationResult",
+    "EngineConfig",
+    "FragmentTranslation",
+    "SearchConfig",
+    "run_translated",
+    "translate",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""The paper's three StringMatch candidate encodings (Fig. 8(d)).
+
+These are the exact summaries the paper costs and compares:
+
+* **solution (a)** — emit (keyword, matched?) for every word and keyword,
+  reduce by ∨ per keyword: cost 2·(40+10)·N + 2·2·50·N = 300N;
+* **solution (b)** — emit one tuple of booleans per word, reduce
+  componentwise: cost 1·28·N + 2·28·N = 84N;
+* **solution (c)** — emit (keyword, true) only on a match: cost
+  150·(p₁+p₂)·N, data-dependent.
+
+Solution (a) is dominated by (b) for every distribution and pruned
+statically; (b) and (c) are statically incomparable and dispatched by
+the runtime monitor.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import (
+    const,
+    emit,
+    eq,
+    map_stage,
+    or_,
+    pipeline,
+    proj,
+    reduce_stage,
+    scalar_output,
+    summary,
+    tup,
+    var,
+)
+from ..ir.nodes import OutputBinding, Summary, Var
+
+
+def string_match_solution_a() -> Summary:
+    """Fig. 8(d) solution (a): unconditional (keyword, bool) emits."""
+    w = Var("word", "String")
+    return summary(
+        pipeline(
+            "text",
+            map_stage(
+                ("word",),
+                emit(Var("key1", "String"), eq(w, Var("key1", "String"))),
+                emit(Var("key2", "String"), eq(w, Var("key2", "String"))),
+            ),
+            reduce_stage(or_(var("v1", "boolean"), var("v2", "boolean"))),
+        ),
+        scalar_output("key1_found", default=False, key=Var("key1", "String")),
+        scalar_output("key2_found", default=False, key=Var("key2", "String")),
+    )
+
+
+def string_match_solution_b() -> Summary:
+    """Fig. 8(d) solution (b): one tuple-of-booleans emit, tuple reduce."""
+    w = Var("word", "String")
+    value = tup(eq(w, Var("key1", "String")), eq(w, Var("key2", "String")))
+    body = tup(
+        or_(proj(var("v1"), 0), proj(var("v2"), 0)),
+        or_(proj(var("v1"), 1), proj(var("v2"), 1)),
+    )
+    return summary(
+        pipeline("text", map_stage(("word",), emit(const("t"), value)), reduce_stage(body)),
+        OutputBinding(var="key1_found", kind="keyed", key=const("t"), default=False, project=0),
+        OutputBinding(var="key2_found", kind="keyed", key=const("t"), default=False, project=1),
+    )
+
+
+def string_match_solution_c() -> Summary:
+    """Fig. 8(d) solution (c): guarded emits — data-dependent cost."""
+    w = Var("word", "String")
+    return summary(
+        pipeline(
+            "text",
+            map_stage(
+                ("word",),
+                emit(Var("key1", "String"), const(True), when=eq(w, Var("key1", "String"))),
+                emit(Var("key2", "String"), const(True), when=eq(w, Var("key2", "String"))),
+            ),
+            reduce_stage(or_(var("v1", "boolean"), var("v2", "boolean"))),
+        ),
+        scalar_output("key1_found", default=False, key=Var("key1", "String")),
+        scalar_output("key2_found", default=False, key=Var("key2", "String")),
+    )

@@ -1,0 +1,334 @@
+"""Code generation: executable plans from verified program summaries.
+
+Translates a summary into a job against one of the three simulated
+backends (Spark RDDs, Hadoop jobs, Flink DataSets), applying the paper's
+rules (section 6.3):
+
+* ``reduceByKey`` (with combiners) is used only when λr was proven
+  commutative and associative; otherwise the generator falls back to the
+  safe ``groupByKey`` + ordered fold;
+* glue code converts the fragment's inputs into the framework's dataset
+  (records), broadcasts scalar inputs, and rebuilds the output variables
+  from the result pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import CodegenError, InterpreterError
+from ..lang.analysis.fragments import FragmentAnalysis
+from ..lang.analysis.loops import DatasetView
+from ..lang.interpreter import Environment, Interpreter
+from ..engine.config import EngineConfig
+from ..engine.flink import SimFlinkEnv
+from ..engine.hadoop import SimHadoopJob
+from ..engine.metrics import JobMetrics
+from ..engine.spark import SimSparkContext
+from ..ir.eval import eval_expr
+from ..ir.nodes import (
+    Emit,
+    JoinStage,
+    MapStage,
+    OutputBinding,
+    ReduceStage,
+    Summary,
+    expr_size,
+)
+from ..verification.prover import ProofResult
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of running a generated program: outputs + engine metrics."""
+
+    outputs: dict[str, Any]
+    metrics: JobMetrics
+
+
+def prepare_globals(
+    analysis: FragmentAnalysis, inputs: dict[str, Any]
+) -> tuple[dict[str, Any], dict[str, int]]:
+    """Run the fragment prelude to obtain broadcast values and array sizes."""
+    interp = Interpreter(analysis.program)
+    env = Environment()
+    for name, value in inputs.items():
+        env.define(name, value)
+    for stmt in analysis.fragment.prelude:
+        try:
+            interp.exec_stmt(stmt, env)
+        except InterpreterError as exc:
+            raise CodegenError(f"prelude execution failed: {exc}") from exc
+    flat = env.flat()
+    output_sizes = {
+        name: len(flat[name])
+        for name in analysis.output_vars
+        if isinstance(flat.get(name), list)
+    }
+    from ..verification.bounded import summary_globals
+
+    globals_env = summary_globals(analysis, flat)
+    return globals_env, output_sizes
+
+
+def view_records(view: DatasetView, inputs: dict[str, Any]) -> list[Any]:
+    """Raw records handed to the framework (sizes must be realistic).
+
+    foreach → the item itself; array1d → (i, v...); array2d → (i, j, v).
+    """
+    if view.kind == "foreach":
+        collection = inputs[view.sources[0]]
+        return sorted(collection) if isinstance(collection, set) else list(collection)
+    if view.kind == "array1d":
+        arrays = [inputs[name] for name in view.sources]
+        length = min(len(a) for a in arrays)
+        return [(i, *(a[i] for a in arrays)) for i in range(length)]
+    if view.kind == "array2d":
+        matrix = inputs[view.sources[0]]
+        return [
+            (i, j, value)
+            for i, row in enumerate(matrix)
+            for j, value in enumerate(row)
+        ]
+    raise CodegenError(f"unsupported view kind {view.kind!r}")
+
+
+def record_env(view: DatasetView, record: Any) -> dict[str, Any]:
+    """Bind one raw record to the λm parameter environment."""
+    if view.kind == "foreach":
+        return view._element_of(record)
+    if view.kind == "array1d":
+        env = {view.index_vars[0]: record[0]}
+        for name, value in zip(view.sources, record[1:]):
+            env[name] = value
+        return env
+    if view.kind == "array2d":
+        return {view.index_vars[0]: record[0], view.index_vars[1]: record[1], "v": record[2]}
+    raise CodegenError(f"unsupported view kind {view.kind!r}")
+
+
+def _emit_fn(emits: tuple[Emit, ...], globals_env: dict[str, Any], view: DatasetView):
+    """Build the record → pairs closure for a first map stage."""
+
+    def fn(record: Any):
+        env = {**globals_env, **record_env(view, record)}
+        out = []
+        for emit in emits:
+            if emit.cond is not None and not eval_expr(emit.cond, env):
+                continue
+            out.append((eval_expr(emit.key, env), eval_expr(emit.value, env)))
+        return out
+
+    return fn
+
+
+def _pair_emit_fn(stage: MapStage, globals_env: dict[str, Any]):
+    k_name = stage.lam.params[0]
+    v_name = stage.lam.params[1] if len(stage.lam.params) > 1 else "v"
+
+    def fn(pair: tuple):
+        env = {**globals_env, k_name: pair[0], v_name: pair[1]}
+        out = []
+        for emit in stage.lam.emits:
+            if emit.cond is not None and not eval_expr(emit.cond, env):
+                continue
+            out.append((eval_expr(emit.key, env), eval_expr(emit.value, env)))
+        return out
+
+    return fn
+
+
+def _stage_complexity(stage: MapStage) -> int:
+    total = 0
+    for emit in stage.lam.emits:
+        total += expr_size(emit.key) + expr_size(emit.value)
+        if emit.cond is not None:
+            total += expr_size(emit.cond)
+    return max(1, total)
+
+
+def bind_outputs(
+    bindings: tuple[OutputBinding, ...],
+    pairs: list[tuple[Any, Any]],
+    globals_env: dict[str, Any],
+    output_sizes: dict[str, int],
+) -> dict[str, Any]:
+    """Rebuild fragment outputs from the job's result pairs (glue code)."""
+    result_map: dict[Any, Any] = {}
+    for key, value in pairs:
+        result_map[key] = value
+    outputs: dict[str, Any] = {}
+    for binding in bindings:
+        if binding.kind == "keyed":
+            key = (
+                eval_expr(binding.key, globals_env)
+                if binding.key is not None
+                else binding.var
+            )
+            if key in result_map:
+                value = result_map[key]
+                if binding.project is not None:
+                    value = value[binding.project]
+            else:
+                value = binding.default
+            outputs[binding.var] = value
+        else:
+            if binding.container == "map":
+                outputs[binding.var] = dict(result_map)
+            elif binding.container == "set":
+                outputs[binding.var] = set(result_map.keys())
+            elif binding.container == "bag":
+                outputs[binding.var] = [value for _, value in pairs]
+            else:  # array
+                size = output_sizes.get(binding.var)
+                if size is None:
+                    size = (max(result_map.keys()) + 1) if result_map else 0
+                outputs[binding.var] = [
+                    result_map.get(i, binding.default) for i in range(size)
+                ]
+    return outputs
+
+
+@dataclass
+class GeneratedProgram:
+    """An executable translation of one code fragment for one backend."""
+
+    backend: str
+    analysis: FragmentAnalysis
+    summary: Summary
+    proof: ProofResult
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+
+    def run(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+        if self.backend == "spark":
+            return self._run_spark(inputs)
+        if self.backend == "hadoop":
+            return self._run_hadoop(inputs)
+        if self.backend == "flink":
+            return self._run_flink(inputs)
+        raise CodegenError(f"unknown backend {self.backend!r}")
+
+    # ------------------------------------------------------------------
+
+    def _combiner_safe(self) -> bool:
+        return self.proof.is_commutative and self.proof.is_associative
+
+    def _reduce_fn(self, stage: ReduceStage, globals_env: dict[str, Any]):
+        lam = stage.lam
+        v1, v2 = lam.params
+
+        def fn(a: Any, b: Any) -> Any:
+            return eval_expr(lam.body, {**globals_env, v1: a, v2: b})
+
+        return fn
+
+    def _run_spark(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+        config = (
+            self.engine_config
+            if self.engine_config.framework.name == "spark"
+            else self.engine_config.with_framework("spark")
+        )
+        context = SimSparkContext(config)
+        globals_env, output_sizes = prepare_globals(self.analysis, inputs)
+        records = view_records(self.analysis.view, inputs)
+        rdd = context.parallelize(records)
+        stages = self.summary.pipeline.stages
+        for index, stage in enumerate(stages):
+            if isinstance(stage, MapStage):
+                if index == 0:
+                    fn = _emit_fn(stage.lam.emits, globals_env, self.analysis.view)
+                    rdd = rdd.flat_map_to_pair(fn, _stage_complexity(stage))
+                else:
+                    fn = _pair_emit_fn(stage, globals_env)
+                    rdd = rdd.flat_map_to_pair(fn, _stage_complexity(stage))
+            elif isinstance(stage, ReduceStage):
+                reducer = self._reduce_fn(stage, globals_env)
+                if self._combiner_safe():
+                    rdd = rdd.reduce_by_key(reducer)
+                else:
+                    rdd = rdd.group_by_key().map_values(
+                        lambda values, _fn=reducer: _ordered_fold(values, _fn)
+                    )
+            elif isinstance(stage, JoinStage):
+                raise CodegenError("join stages are generated via JoinProgram")
+        pairs = rdd.collect()
+        outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
+        return ExecutionOutcome(outputs=outputs, metrics=context.metrics)
+
+    def _run_hadoop(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+        config = self.engine_config.with_framework("hadoop")
+        globals_env, output_sizes = prepare_globals(self.analysis, inputs)
+        records = view_records(self.analysis.view, inputs)
+        stages = self.summary.pipeline.stages
+
+        first = stages[0]
+        assert isinstance(first, MapStage)
+        mapper = _emit_fn(first.lam.emits, globals_env, self.analysis.view)
+
+        reduce_stage = next((s for s in stages if isinstance(s, ReduceStage)), None)
+        final_map = (
+            stages[-1]
+            if len(stages) > 1 and isinstance(stages[-1], MapStage)
+            else None
+        )
+
+        if reduce_stage is None:
+            job = SimHadoopJob(
+                mapper, mapper_complexity=_stage_complexity(first), config=config
+            )
+            pairs = job.run(records)
+            outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
+            return ExecutionOutcome(outputs=outputs, metrics=job.metrics)
+
+        reducer_fn = self._reduce_fn(reduce_stage, globals_env)
+        final_fn = _pair_emit_fn(final_map, globals_env) if final_map else None
+
+        def reducer(key: Any, values: list) -> list[tuple]:
+            acc = _ordered_fold(values, reducer_fn)
+            if final_fn is None:
+                return [(key, acc)]
+            return final_fn((key, acc))
+
+        job = SimHadoopJob(
+            mapper,
+            reducer=reducer,
+            combiner=reducer_fn if self._combiner_safe() else None,
+            mapper_complexity=_stage_complexity(first),
+            config=config,
+        )
+        pairs = job.run(records)
+        outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
+        return ExecutionOutcome(outputs=outputs, metrics=job.metrics)
+
+    def _run_flink(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+        config = self.engine_config.with_framework("flink")
+        env = SimFlinkEnv(config)
+        globals_env, output_sizes = prepare_globals(self.analysis, inputs)
+        records = view_records(self.analysis.view, inputs)
+        dataset = env.from_collection(records)
+        stages = self.summary.pipeline.stages
+        for index, stage in enumerate(stages):
+            if isinstance(stage, MapStage):
+                if index == 0:
+                    fn = _emit_fn(stage.lam.emits, globals_env, self.analysis.view)
+                else:
+                    fn = _pair_emit_fn(stage, globals_env)
+                dataset = dataset.flat_map_to_pair(fn, _stage_complexity(stage))
+            elif isinstance(stage, ReduceStage):
+                reducer = self._reduce_fn(stage, globals_env)
+                dataset = dataset.group_by_key_reduce(
+                    reducer, use_combiner=self._combiner_safe()
+                )
+            elif isinstance(stage, JoinStage):
+                raise CodegenError("join stages are generated via JoinProgram")
+        pairs = dataset.collect()
+        outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
+        return ExecutionOutcome(outputs=outputs, metrics=env.metrics)
+
+
+def _ordered_fold(values: list, fn) -> Any:
+    acc = values[0]
+    for value in values[1:]:
+        acc = fn(acc, value)
+    return acc

@@ -1,0 +1,140 @@
+"""Glue code: the adaptive program wrapping multiple implementations.
+
+For a fragment with several statically-incomparable verified summaries,
+the code generator emits all of them plus a runtime monitor that samples
+the input, estimates the unknown cost terms, and dispatches to the
+cheapest implementation (paper sections 5.2, 6.3, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..cost.model import CostModel
+from ..cost.monitor import Implementation, RuntimeMonitor
+from ..engine.config import EngineConfig
+from ..engine.metrics import JobMetrics
+from ..lang.analysis.fragments import FragmentAnalysis
+from ..synthesis.search import VerifiedSummary
+from .base import ExecutionOutcome, GeneratedProgram, record_env, view_records
+
+
+@dataclass
+class AdaptiveProgram:
+    """The generated program with its monitor and implementations.
+
+    Running it performs the full generated-code behaviour: sample the
+    first k input values, estimate costs, pick and execute the cheapest
+    implementation.
+    """
+
+    analysis: FragmentAnalysis
+    programs: list[GeneratedProgram]
+    sample_size: int = 5000
+    cost_model: CostModel = field(default_factory=CostModel)
+    monitor: RuntimeMonitor = field(init=False)
+    last_outcome: Optional[ExecutionOutcome] = None
+
+    def __post_init__(self) -> None:
+        implementations = []
+        for index, program in enumerate(self.programs):
+            cost = self.cost_model.summary_cost(
+                program.summary,
+                commutative_associative=(
+                    program.proof.is_commutative and program.proof.is_associative
+                ),
+            )
+            implementations.append(
+                Implementation(
+                    name=f"impl_{index}",
+                    summary=program.summary,
+                    cost=cost,
+                    runner=program.run,
+                )
+            )
+        self.monitor = RuntimeMonitor(
+            implementations=implementations, sample_size=self.sample_size
+        )
+
+    # ------------------------------------------------------------------
+
+    def set_engine_config(self, config: EngineConfig) -> None:
+        """Point every implementation at a (re)configured engine."""
+        for program in self.programs:
+            program.engine_config = config
+
+    def run(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        """Sample, select, execute; returns the fragment outputs."""
+        sample = self._sample_elements(inputs)
+        globals_env = self._globals(inputs)
+        chosen = self.monitor.choose(sample, globals_env)
+        index = int(chosen.name.split("_")[1])
+        outcome = self.programs[index].run(inputs)
+        self.last_outcome = outcome
+        return outcome.outputs
+
+    @property
+    def chosen_implementation(self) -> Optional[str]:
+        return self.monitor.last_choice
+
+    @property
+    def last_metrics(self) -> Optional[JobMetrics]:
+        return self.last_outcome.metrics if self.last_outcome else None
+
+    # ------------------------------------------------------------------
+
+    def _sample_elements(self, inputs: dict[str, Any]) -> list[dict[str, Any]]:
+        records = view_records(self.analysis.view, inputs)
+        view = self.analysis.view
+        return [record_env(view, r) for r in records[: self.sample_size]]
+
+    def _globals(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        from .base import prepare_globals
+
+        globals_env, _sizes = prepare_globals(self.analysis, inputs)
+        return globals_env
+
+
+def build_adaptive_program(
+    analysis: FragmentAnalysis,
+    verified: list[VerifiedSummary],
+    backend: str = "spark",
+    engine_config: Optional[EngineConfig] = None,
+    sample_size: int = 5000,
+) -> AdaptiveProgram:
+    """Assemble the adaptive program from verified summaries.
+
+    Statically-dominated summaries are pruned first (section 5.2): a
+    summary is dropped when another is cheaper for every possible data
+    distribution.
+    """
+    cost_model = CostModel()
+    costed = []
+    for vs in verified:
+        cost = cost_model.summary_cost(
+            vs.summary,
+            commutative_associative=(
+                vs.proof.is_commutative and vs.proof.is_associative
+            ),
+        )
+        costed.append((vs, cost))
+    survivors = cost_model.prune_dominated(costed)
+
+    config = engine_config or EngineConfig()
+    programs = [
+        GeneratedProgram(
+            backend=backend,
+            analysis=analysis,
+            summary=vs.summary,
+            proof=vs.proof,
+            engine_config=config,
+        )
+        for vs, _cost in survivors
+    ]
+    return AdaptiveProgram(
+        analysis=analysis,
+        programs=programs,
+        sample_size=sample_size,
+        cost_model=cost_model,
+    )

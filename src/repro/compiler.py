@@ -1,0 +1,178 @@
+"""The end-to-end Casper compilation pipeline (paper Fig. 2).
+
+``CasperCompiler.translate`` runs the three modules in order:
+
+1. **program analyzer** — parse, identify candidate code fragments,
+   extract inputs/outputs/operators, build the dataset view;
+2. **summary generator** — grammar generation, CEGIS search, two-phase
+   verification (bounded model checking + inductive prover);
+3. **code generator** — executable backend programs, static cost pruning,
+   and the runtime monitor for adaptive dispatch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .errors import AnalysisError
+from .lang import ast_nodes as ast
+from .lang.parser import parse_program
+from .lang.analysis.fragments import (
+    CodeFragment,
+    FragmentAnalysis,
+    analyze_fragment,
+    identify_fragments,
+)
+from .codegen.glue import AdaptiveProgram, build_adaptive_program
+from .codegen.render import render
+from .engine.config import EngineConfig
+from .synthesis.search import SearchConfig, SearchResult, find_summaries
+
+
+@dataclass
+class FragmentTranslation:
+    """Everything produced for one code fragment."""
+
+    fragment: CodeFragment
+    analysis: Optional[FragmentAnalysis]
+    search: Optional[SearchResult]
+    program: Optional[AdaptiveProgram]
+    failure_reason: Optional[str] = None
+
+    @property
+    def translated(self) -> bool:
+        return self.program is not None and bool(self.program.programs)
+
+    def rendered_code(self, backend: str = "spark") -> str:
+        """Java-like source of the chosen translation (Appendix C rules)."""
+        if not self.translated:
+            raise AnalysisError("fragment was not translated")
+        best = self.program.programs[0]
+        return render(
+            best.summary,
+            backend,
+            commutative_associative=(
+                best.proof.is_commutative and best.proof.is_associative
+            ),
+        )
+
+
+@dataclass
+class CompilationResult:
+    """Result of compiling one function."""
+
+    function: str
+    fragments: list[FragmentTranslation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def identified(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def translated(self) -> int:
+        return sum(1 for f in self.fragments if f.translated)
+
+    @property
+    def tp_failures(self) -> int:
+        return sum(f.search.tp_failures for f in self.fragments if f.search)
+
+
+@dataclass
+class CasperCompiler:
+    """Translates sequential mini-Java functions into MapReduce programs."""
+
+    search_config: SearchConfig = field(default_factory=SearchConfig)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    backend: str = "spark"
+
+    def translate_source(
+        self, source: str, function: Optional[str] = None
+    ) -> CompilationResult:
+        """Parse source text and translate the named (or sole) function."""
+        program = parse_program(source)
+        if function is None:
+            if len(program.functions) != 1:
+                raise AnalysisError(
+                    "source defines multiple functions; name one explicitly"
+                )
+            function = program.functions[0].name
+        return self.translate(program, function)
+
+    def translate(self, program: ast.Program, function: str) -> CompilationResult:
+        """Run the full pipeline on one function."""
+        started = time.monotonic()
+        result = CompilationResult(function=function)
+        func = program.function(function)
+
+        for fragment in identify_fragments(func):
+            translation = self._translate_fragment(fragment, program)
+            result.fragments.append(translation)
+
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+
+    def _translate_fragment(
+        self, fragment: CodeFragment, program: ast.Program
+    ) -> FragmentTranslation:
+        try:
+            analysis = analyze_fragment(fragment, program)
+        except AnalysisError as exc:
+            return FragmentTranslation(
+                fragment=fragment,
+                analysis=None,
+                search=None,
+                program=None,
+                failure_reason=f"analysis failed: {exc}",
+            )
+
+        search = find_summaries(analysis, self.search_config)
+        if not search.translated:
+            return FragmentTranslation(
+                fragment=fragment,
+                analysis=analysis,
+                search=search,
+                program=None,
+                failure_reason=search.failure_reason,
+            )
+
+        adaptive = build_adaptive_program(
+            analysis,
+            search.summaries,
+            backend=self.backend,
+            engine_config=self.engine_config,
+        )
+        return FragmentTranslation(
+            fragment=fragment,
+            analysis=analysis,
+            search=search,
+            program=adaptive,
+        )
+
+
+def translate(
+    source: str,
+    function: Optional[str] = None,
+    backend: str = "spark",
+    search_config: Optional[SearchConfig] = None,
+    engine_config: Optional[EngineConfig] = None,
+) -> CompilationResult:
+    """One-call convenience API: source text in, translations out."""
+    compiler = CasperCompiler(
+        search_config=search_config or SearchConfig(),
+        engine_config=engine_config or EngineConfig(),
+        backend=backend,
+    )
+    return compiler.translate_source(source, function)
+
+
+def run_translated(
+    result: CompilationResult, inputs: dict[str, Any]
+) -> dict[str, Any]:
+    """Run the first translated fragment of a compilation result."""
+    for fragment in result.fragments:
+        if fragment.translated:
+            return fragment.program.run(inputs)
+    raise AnalysisError("no translated fragment to run")

@@ -1,0 +1,27 @@
+"""Cost model and runtime monitor (paper sections 5.1-5.2)."""
+
+from .model import (
+    CostExpr,
+    CostModel,
+    CostTerm,
+    CostWeights,
+    expr_static_size,
+)
+from .monitor import (
+    Implementation,
+    RuntimeMonitor,
+    SampleEstimates,
+    estimate_from_sample,
+)
+
+__all__ = [
+    "CostExpr",
+    "CostModel",
+    "CostTerm",
+    "CostWeights",
+    "Implementation",
+    "RuntimeMonitor",
+    "SampleEstimates",
+    "estimate_from_sample",
+    "expr_static_size",
+]

@@ -1,0 +1,166 @@
+"""Runtime monitoring and dynamic cost estimation (paper section 5.2).
+
+When statically incomparable, semantically-equivalent implementations are
+all generated, and a monitor inserted into the output program samples the
+input at run time (first-k sampling, k = 5000 in the paper), estimates
+the unknown cost-model terms — conditional probabilities pᵢ and
+distinct-key counts — plugs them back into Eqns 2-4, and executes the
+implementation with the lowest estimated cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..ir.eval import eval_expr
+from ..ir.nodes import (
+    JoinStage,
+    MapStage,
+    Pipeline,
+    ReduceStage,
+    Summary,
+)
+from .model import CostExpr, CostModel
+
+
+@dataclass
+class Implementation:
+    """One generated semantically-equivalent implementation.
+
+    ``runner`` executes the real job; ``summary`` drives cost estimation.
+    """
+
+    name: str
+    summary: Summary
+    cost: CostExpr
+    runner: Callable[..., Any]
+
+
+@dataclass
+class SampleEstimates:
+    """Unknown cost-model terms estimated from a first-k sample."""
+
+    probabilities: dict[str, float] = field(default_factory=dict)
+    key_ratios: dict[str, float] = field(default_factory=dict)
+    sample_size: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {**self.probabilities, **self.key_ratios}
+
+
+def estimate_from_sample(
+    summary: Summary,
+    sample: list[dict[str, Any]],
+    globals_env: dict[str, Any],
+    prefix: str = "s",
+) -> SampleEstimates:
+    """Estimate pᵢ and distinct-key ratios by evaluating λm on a sample.
+
+    Mirrors the paper's monitor: count the sample elements for which each
+    emit's conditional evaluates to true, and the number of unique emitted
+    keys.
+    """
+    estimates = SampleEstimates(sample_size=len(sample))
+    if not sample:
+        return estimates
+    _estimate_pipeline(summary.pipeline, sample, globals_env, prefix, estimates)
+    return estimates
+
+
+def _estimate_pipeline(
+    pipeline: Pipeline,
+    sample: list[dict[str, Any]],
+    globals_env: dict[str, Any],
+    prefix: str,
+    estimates: SampleEstimates,
+) -> None:
+    current: list[dict[str, Any]] = sample
+    pairs: list[tuple[Any, Any]] = []
+    is_pairs = False
+    for index, stage in enumerate(pipeline.stages):
+        if isinstance(stage, MapStage):
+            new_pairs: list[tuple[Any, Any]] = []
+            for emit_index, emit in enumerate(stage.lam.emits):
+                fired = 0
+                total = 0
+                if is_pairs:
+                    k_name = stage.lam.params[0]
+                    v_name = stage.lam.params[1] if len(stage.lam.params) > 1 else "v"
+                    envs = [
+                        {**globals_env, k_name: k, v_name: v} for k, v in pairs
+                    ]
+                else:
+                    envs = [{**globals_env, **element} for element in current]
+                for env in envs:
+                    total += 1
+                    if emit.cond is None or eval_expr(emit.cond, env):
+                        fired += 1
+                        new_pairs.append(
+                            (eval_expr(emit.key, env), eval_expr(emit.value, env))
+                        )
+                if emit.cond is not None and total:
+                    estimates.probabilities[f"p_{prefix}{index}_{emit_index}"] = (
+                        fired / total
+                    )
+            pairs = new_pairs
+            is_pairs = True
+        elif isinstance(stage, ReduceStage):
+            if pairs:
+                distinct = len({k for k, _ in pairs})
+                estimates.key_ratios[f"k_{prefix}{index}"] = distinct / len(pairs)
+            else:
+                estimates.key_ratios[f"k_{prefix}{index}"] = 0.0
+            # After reduce, one pair per key (values unknown — keep firsts).
+            seen: dict[Any, Any] = {}
+            for k, v in pairs:
+                seen.setdefault(k, v)
+            pairs = list(seen.items())
+        elif isinstance(stage, JoinStage):
+            # Join selectivity estimated against the right pipeline sample.
+            estimates.probabilities[f"p_{prefix}{index}_j"] = 1.0
+
+
+@dataclass
+class RuntimeMonitor:
+    """Selects the cheapest implementation for the observed input data."""
+
+    implementations: list[Implementation]
+    sample_size: int = 5000
+    cost_model: CostModel = field(default_factory=CostModel)
+    last_choice: Optional[str] = None
+    last_costs: dict[str, float] = field(default_factory=dict)
+
+    def choose(
+        self,
+        sample: list[dict[str, Any]],
+        globals_env: Optional[dict[str, Any]] = None,
+        n2_ratio: float = 1.0,
+    ) -> Implementation:
+        """Pick the implementation with the lowest estimated cost."""
+        globals_env = globals_env or {}
+        sample = sample[: self.sample_size]
+        best: Optional[Implementation] = None
+        best_cost = float("inf")
+        self.last_costs = {}
+        for impl in self.implementations:
+            estimates = estimate_from_sample(impl.summary, sample, globals_env)
+            cost_value = impl.cost.evaluate(estimates.as_dict(), n2_ratio=n2_ratio)
+            self.last_costs[impl.name] = cost_value
+            if cost_value < best_cost:
+                best_cost = cost_value
+                best = impl
+        assert best is not None, "monitor requires at least one implementation"
+        self.last_choice = best.name
+        return best
+
+    def run(
+        self,
+        data: list,
+        sample_elements: list[dict[str, Any]],
+        globals_env: Optional[dict[str, Any]] = None,
+        **runner_kwargs,
+    ) -> Any:
+        """Sample, choose, and execute — the generated program's behaviour."""
+        chosen = self.choose(sample_elements, globals_env)
+        return chosen.runner(data, **runner_kwargs)

@@ -1,0 +1,52 @@
+"""Simulated distributed MapReduce substrate.
+
+Replaces the paper's AWS Spark/Hadoop/Flink cluster: lambdas really run
+over partitioned Python data (results are exact) while wall time is
+simulated from record counts, byte volumes, parallel waves, and the
+framework profiles.  See DESIGN.md for the substitution rationale.
+"""
+
+from .config import (
+    ClusterConfig,
+    EngineConfig,
+    FLINK,
+    FrameworkProfile,
+    HADOOP,
+    PROFILES,
+    SPARK,
+)
+from .core import Executor, lambda_cpu_ns, partition_data
+from .flink import SimDataSet, SimFlinkEnv
+from .hadoop import SimHadoopJob, SimHadoopPipeline
+from .metrics import JobMetrics, StageMetrics
+from .sequential import SequentialResult, run_sequential
+from .sizes import dataset_bytes, sizeof, sizeof_kind, sizeof_pair
+from .spark import Broadcast, SimRDD, SimSparkContext
+
+__all__ = [
+    "Broadcast",
+    "ClusterConfig",
+    "EngineConfig",
+    "Executor",
+    "FLINK",
+    "FrameworkProfile",
+    "HADOOP",
+    "JobMetrics",
+    "PROFILES",
+    "SPARK",
+    "SequentialResult",
+    "SimDataSet",
+    "SimFlinkEnv",
+    "SimHadoopJob",
+    "SimHadoopPipeline",
+    "SimRDD",
+    "SimSparkContext",
+    "StageMetrics",
+    "dataset_bytes",
+    "lambda_cpu_ns",
+    "partition_data",
+    "run_sequential",
+    "sizeof",
+    "sizeof_kind",
+    "sizeof_pair",
+]

@@ -1,0 +1,72 @@
+"""Serialized-size model for the cost model and shuffle accounting.
+
+Uses the data-type sizes the paper states for its cost computations
+(section 7.4): 40 bytes for a String, 10 bytes for a boxed Boolean, and a
+tuple of two Booleans at 28 bytes — i.e. an 8-byte tuple header plus the
+sizes of its components.  Numeric primitives use their natural widths.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..lang.values import Instance
+
+STRING_SIZE = 40
+BOOLEAN_SIZE = 10
+INT_SIZE = 4
+LONG_SIZE = 8
+DOUBLE_SIZE = 8
+TUPLE_HEADER = 8
+OBJECT_HEADER = 16
+NULL_SIZE = 4
+
+
+def sizeof(value: Any) -> int:
+    """Serialized size in bytes of a runtime value."""
+    if value is None:
+        return NULL_SIZE
+    if isinstance(value, bool):
+        return BOOLEAN_SIZE
+    if isinstance(value, int):
+        return INT_SIZE if -(2**31) <= value < 2**31 else LONG_SIZE
+    if isinstance(value, float):
+        return DOUBLE_SIZE
+    if isinstance(value, str):
+        return STRING_SIZE
+    if isinstance(value, tuple):
+        return TUPLE_HEADER + sum(sizeof(item) for item in value)
+    if isinstance(value, Instance):
+        return OBJECT_HEADER + sum(sizeof(v) for v in value.fields.values())
+    if isinstance(value, (list, set)):
+        return TUPLE_HEADER + sum(sizeof(item) for item in value)
+    if isinstance(value, dict):
+        return TUPLE_HEADER + sum(
+            sizeof(k) + sizeof(v) for k, v in value.items()
+        )
+    return OBJECT_HEADER
+
+
+def sizeof_kind(kind: str) -> int:
+    """Static size of an IR value kind (for the static cost model)."""
+    if kind == "String":
+        return STRING_SIZE
+    if kind == "boolean":
+        return BOOLEAN_SIZE
+    if kind == "double":
+        return DOUBLE_SIZE
+    if kind in ("int", "char"):
+        return INT_SIZE
+    if kind == "long":
+        return LONG_SIZE
+    return OBJECT_HEADER
+
+
+def sizeof_pair(key: Any, value: Any) -> int:
+    """Size of one emitted key-value pair."""
+    return sizeof(key) + sizeof(value)
+
+
+def dataset_bytes(records) -> int:
+    """Total serialized size of a record collection."""
+    return sum(sizeof(record) for record in records)

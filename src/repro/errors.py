@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish frontend, synthesis, verification, and
+engine failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(ReproError):
+    """Raised when the mini-language type checker rejects a program."""
+
+
+class InterpreterError(ReproError):
+    """Raised when the reference interpreter encounters a runtime fault."""
+
+
+class AnalysisError(ReproError):
+    """Raised when program analysis cannot process a code fragment."""
+
+
+class IRError(ReproError):
+    """Raised for malformed IR nodes or evaluation failures in the IR."""
+
+
+class SynthesisError(ReproError):
+    """Raised when the synthesizer cannot proceed (not mere search failure)."""
+
+
+class VerificationError(ReproError):
+    """Raised when verification infrastructure (not a candidate) fails."""
+
+
+class CostModelError(ReproError):
+    """Raised for invalid cost-model inputs."""
+
+
+class EngineError(ReproError):
+    """Raised by the simulated MapReduce execution engine."""
+
+
+class CodegenError(ReproError):
+    """Raised when code generation from a summary fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload/data generators for invalid parameters."""

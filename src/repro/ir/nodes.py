@@ -1,0 +1,345 @@
+"""IR node definitions for program summaries (paper Fig. 3 + Appendix B).
+
+A *program summary* (PS) expresses the final value of every output variable
+of a code fragment as a pipeline of ``map`` / ``reduce`` / ``join``
+operations over the input dataset.  All nodes are immutable and hashable so
+that failed candidates can be blocked from regeneration (the Ω set of the
+search algorithm, paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+class IRExpr:
+    """Base class of IR expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(IRExpr):
+    """A literal constant.  ``kind`` is int/double/boolean/String."""
+
+    value: Any
+    kind: str = "int"
+
+    def __str__(self) -> str:
+        if self.kind == "String":
+            return repr(self.value)
+        if self.kind == "boolean":
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(IRExpr):
+    """A variable: λ parameter, dataset element atom, or broadcast input."""
+
+    name: str
+    kind: str = "int"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(IRExpr):
+    """Binary operation with Java semantics (int division truncates)."""
+
+    op: str
+    left: IRExpr
+    right: IRExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(IRExpr):
+    """Unary negation / logical not."""
+
+    op: str
+    operand: IRExpr
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Cond(IRExpr):
+    """Conditional expression ``if c then a else b``."""
+
+    cond: IRExpr
+    then: IRExpr
+    other: IRExpr
+
+    def __str__(self) -> str:
+        return f"(if {self.cond} then {self.then} else {self.other})"
+
+
+@dataclass(frozen=True)
+class TupleExpr(IRExpr):
+    """Tuple construction ``(e1, e2, ...)``."""
+
+    items: tuple[IRExpr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.items)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class Proj(IRExpr):
+    """Tuple projection ``t[i]`` (paper writes ``v.0`` / ``t1[0]``)."""
+
+    base: IRExpr
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class CallFn(IRExpr):
+    """Library-method application (abs, min, max, sqrt, date_before...)."""
+
+    name: str
+    args: tuple[IRExpr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# ----------------------------------------------------------------------
+# Transformer functions
+
+
+@dataclass(frozen=True)
+class Emit:
+    """One ``emit(key, value)`` statement, optionally guarded (Fig. 3)."""
+
+    key: IRExpr
+    value: IRExpr
+    cond: Optional[IRExpr] = None
+
+    def __str__(self) -> str:
+        base = f"emit({self.key}, {self.value})"
+        if self.cond is not None:
+            return f"if {self.cond} : {base}"
+        return base
+
+
+@dataclass(frozen=True)
+class MapLambda:
+    """λm : element → { emits }.
+
+    ``params`` documents the binding environment: for the first map stage
+    these are the dataset element atoms; for later map stages they are
+    ``("k", "v")`` binding the incoming key-value pair.
+    """
+
+    params: tuple[str, ...]
+    emits: tuple[Emit, ...]
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(e) for e in self.emits)
+        args = ", ".join(self.params)
+        return f"λ({args}) → [{inner}]"
+
+
+@dataclass(frozen=True)
+class ReduceLambda:
+    """λr : (v1, v2) → expr — combines two values of a key-group."""
+
+    body: IRExpr
+    params: tuple[str, str] = ("v1", "v2")
+
+    def __str__(self) -> str:
+        return f"λ({self.params[0]}, {self.params[1]}) → {self.body}"
+
+
+# ----------------------------------------------------------------------
+# Stages and pipelines
+
+
+class Stage:
+    """Base class of pipeline stages."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class MapStage(Stage):
+    lam: MapLambda
+
+    def __str__(self) -> str:
+        return f"map({self.lam})"
+
+
+@dataclass(frozen=True)
+class ReduceStage(Stage):
+    lam: ReduceLambda
+
+    def __str__(self) -> str:
+        return f"reduce({self.lam})"
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A source dataset fed through a sequence of stages."""
+
+    source: str
+    stages: tuple[Stage, ...]
+
+    def __str__(self) -> str:
+        text = self.source
+        for stage in self.stages:
+            if isinstance(stage, MapStage):
+                text = f"map({text}, {stage.lam})"
+            elif isinstance(stage, ReduceStage):
+                text = f"reduce({text}, {stage.lam})"
+            elif isinstance(stage, JoinStage):
+                text = f"join({text}, {stage.right})"
+        return text
+
+    @property
+    def operation_count(self) -> int:
+        count = 0
+        for stage in self.stages:
+            count += 1
+            if isinstance(stage, JoinStage):
+                count += stage.right.operation_count
+        return count
+
+
+@dataclass(frozen=True)
+class JoinStage(Stage):
+    """Join the current pair-multiset with another pipeline's, by key."""
+
+    right: Pipeline
+
+    def __str__(self) -> str:
+        return f"join(·, {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Program summaries
+
+
+@dataclass(frozen=True)
+class OutputBinding:
+    """How one output variable reads the MR result (PS forms of Fig. 3).
+
+    * ``kind == "whole"`` — ``v = MR``: the result's key/value pairs *are*
+      the output (array indexed by key, or a Map/Set).
+    * ``kind == "keyed"`` — ``v = MR[key]``: a scalar read from the result
+      associative array; ``key`` is an expression over input variables
+      (usually a string constant naming the variable).
+
+    ``default`` supplies the value when the key is absent (the output
+    variable's value from the fragment prelude, e.g. ``0.0``).  When the
+    reduced value is a tuple, ``project`` selects one component (used when
+    several scalar outputs share one reduction, as in StringMatch
+    solution (b) of Fig. 8).
+    """
+
+    var: str
+    kind: str
+    key: Optional[IRExpr] = None
+    default: Any = None
+    container: str = "scalar"  # scalar | array | map | set | list
+    project: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A complete program summary: pipeline + output bindings."""
+
+    pipeline: Pipeline
+    outputs: tuple[OutputBinding, ...]
+
+    def __str__(self) -> str:
+        bindings = []
+        for out in self.outputs:
+            if out.kind == "whole":
+                bindings.append(f"{out.var} = {self.pipeline}")
+            else:
+                bindings.append(f"{out.var} = ({self.pipeline})[{out.key}]")
+        return " ∧ ".join(bindings)
+
+    @property
+    def operation_count(self) -> int:
+        return self.pipeline.operation_count
+
+
+# ----------------------------------------------------------------------
+# Traversal helpers
+
+
+def walk_expr(expr: IRExpr):
+    """Yield ``expr`` and all sub-expressions (pre-order)."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Cond):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.other)
+    elif isinstance(expr, TupleExpr):
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, Proj):
+        yield from walk_expr(expr.base)
+    elif isinstance(expr, CallFn):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def expr_vars(expr: IRExpr) -> set[str]:
+    """Free variable names of an IR expression."""
+    return {node.name for node in walk_expr(expr) if isinstance(node, Var)}
+
+
+def expr_size(expr: IRExpr) -> int:
+    """Number of operator nodes — the expression-length feature (§4.2)."""
+    size = 0
+    for node in walk_expr(expr):
+        if isinstance(node, (BinOp, UnOp, Cond, CallFn)):
+            size += 1
+    return size
+
+
+def summary_expr_nodes(summary: Summary):
+    """Yield every IR expression appearing anywhere in a summary."""
+
+    def from_pipeline(pipeline: Pipeline):
+        for stage in pipeline.stages:
+            if isinstance(stage, MapStage):
+                for emit in stage.lam.emits:
+                    if emit.cond is not None:
+                        yield from walk_expr(emit.cond)
+                    yield from walk_expr(emit.key)
+                    yield from walk_expr(emit.value)
+            elif isinstance(stage, ReduceStage):
+                yield from walk_expr(stage.lam.body)
+            elif isinstance(stage, JoinStage):
+                yield from from_pipeline(stage.right)
+
+    yield from from_pipeline(summary.pipeline)
+    for out in summary.outputs:
+        if out.key is not None:
+            yield from walk_expr(out.key)
+
+
+StageLike = Union[MapStage, ReduceStage, JoinStage]

@@ -1,0 +1,46 @@
+"""Rendering of IR summaries in the paper's mathematical notation."""
+
+from __future__ import annotations
+
+from .nodes import (
+    JoinStage,
+    MapStage,
+    Pipeline,
+    ReduceStage,
+    Summary,
+)
+
+
+def format_pipeline(pipeline: Pipeline) -> str:
+    """Render nested operator-application form, e.g. map(reduce(map(...)))."""
+    text = pipeline.source
+    for index, stage in enumerate(pipeline.stages):
+        if isinstance(stage, MapStage):
+            text = f"map({text}, λm{index})"
+        elif isinstance(stage, ReduceStage):
+            text = f"reduce({text}, λr{index})"
+        elif isinstance(stage, JoinStage):
+            text = f"join({text}, {format_pipeline(stage.right)})"
+    return text
+
+
+def format_summary(summary: Summary, detailed: bool = True) -> str:
+    """Render a summary roughly in the style of the paper's Fig. 1."""
+    lines = []
+    pipe_text = format_pipeline(summary.pipeline)
+    for binding in summary.outputs:
+        if binding.kind == "whole":
+            lines.append(f"{binding.var} = {pipe_text}")
+        else:
+            lines.append(f"{binding.var} = ({pipe_text})[{binding.key}]")
+    if detailed:
+        for index, stage in enumerate(summary.pipeline.stages):
+            if isinstance(stage, MapStage):
+                lines.append(f"  λm{index}: {stage.lam}")
+            elif isinstance(stage, ReduceStage):
+                lines.append(f"  λr{index}: {stage.lam}")
+            elif isinstance(stage, JoinStage):
+                lines.append(f"  join with: {format_pipeline(stage.right)}")
+                for j, inner in enumerate(stage.right.stages):
+                    lines.append(f"    right λ{j}: {inner}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Program analyses over the mini-Java AST (Casper's program analyzer)."""
+
+from .fragments import (
+    CodeFragment,
+    FragmentAnalysis,
+    FragmentFeatures,
+    analyze_fragment,
+    analyze_function,
+    identify_fragments,
+)
+from .liveness import expr_defs, expr_uses, live_before, stmt_defs, stmt_uses
+from .loops import DatasetField, DatasetView, extract_dataset_view
+from .normalize import (
+    desugar_expr,
+    desugar_stmt,
+    find_loops,
+    loop_bound_expr,
+    normalize_loop,
+    outermost_loops,
+)
+from .scan import ScanResult, scan_fragment
+from .typecheck import TypeEnv, TypeInferencer, build_type_env, infer_type
+
+__all__ = [
+    "CodeFragment",
+    "DatasetField",
+    "DatasetView",
+    "FragmentAnalysis",
+    "FragmentFeatures",
+    "ScanResult",
+    "TypeEnv",
+    "TypeInferencer",
+    "analyze_fragment",
+    "analyze_function",
+    "build_type_env",
+    "desugar_expr",
+    "desugar_stmt",
+    "expr_defs",
+    "expr_uses",
+    "extract_dataset_view",
+    "find_loops",
+    "identify_fragments",
+    "infer_type",
+    "live_before",
+    "loop_bound_expr",
+    "normalize_loop",
+    "outermost_loops",
+    "scan_fragment",
+    "stmt_defs",
+    "stmt_uses",
+]

@@ -1,0 +1,304 @@
+"""Code-fragment identification and per-fragment analysis.
+
+Implements the paper's *program analyzer* module (Fig. 2, sections 3.2,
+6.1, 6.2): identify loops that iterate data structures, then compute —
+
+1. input variables (live at entry, read within),
+2. output variables (modified within, observable after),
+3. the operators, constants and library methods used,
+4. the dataset view (how elements are presented to λm),
+5. a syntactic feature census (Appendix E.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...errors import AnalysisError, InterpreterError
+from .. import ast_nodes as ast
+from ..interpreter import Environment, Interpreter
+from ..stdlib import STATIC_NAMESPACES
+from ..types import ArrayType, ClassType, JType, ListType, MapType, SetType
+from .liveness import live_before, stmt_declared, stmt_defs, stmt_uses
+from .loops import DatasetView, extract_dataset_view
+from .normalize import outermost_loops
+from .scan import ScanResult, scan_fragment
+from .typecheck import TypeEnv, build_type_env
+
+
+@dataclass
+class FragmentFeatures:
+    """Syntactic feature census of a fragment (paper Appendix E.1)."""
+
+    conditionals: bool = False
+    user_defined_types: bool = False
+    nested_loops: bool = False
+    multiple_datasets: bool = False
+    multidimensional: bool = False
+
+
+@dataclass
+class CodeFragment:
+    """A candidate translation unit: a loop plus its accumulator prelude."""
+
+    id: str
+    function: ast.FuncDecl
+    loop: ast.Stmt
+    prelude: list[ast.Stmt] = field(default_factory=list)
+
+    @property
+    def statements(self) -> list[ast.Stmt]:
+        return [*self.prelude, self.loop]
+
+
+@dataclass
+class FragmentAnalysis:
+    """Everything the summary generator needs about one code fragment."""
+
+    fragment: CodeFragment
+    input_vars: dict[str, JType]
+    output_vars: dict[str, JType]
+    scan: ScanResult
+    view: DatasetView
+    type_env: TypeEnv
+    program: ast.Program
+    prelude_constants: dict[str, Any] = field(default_factory=dict)
+    features: FragmentFeatures = field(default_factory=FragmentFeatures)
+
+    @property
+    def loc(self) -> int:
+        from ..pretty import count_loc
+
+        return sum(count_loc(s) for s in self.fragment.statements)
+
+
+def identify_fragments(func: ast.FuncDecl) -> list[CodeFragment]:
+    """Find candidate code fragments in a function (paper section 6.2).
+
+    A candidate is an outermost loop that iterates one or more data
+    structures.  Selection is deliberately lenient ("to avoid false
+    negatives"); later analysis may still reject a fragment.
+    """
+    fragments: list[CodeFragment] = []
+    body = func.body.stmts
+    loops = outermost_loops(body)
+    for number, loop in enumerate(loops):
+        if not _iterates_data(loop):
+            continue
+        prelude = _collect_prelude(body, loop)
+        fragments.append(
+            CodeFragment(
+                id=f"{func.name}#{number}",
+                function=func,
+                loop=loop,
+                prelude=prelude,
+            )
+        )
+    return fragments
+
+
+def _iterates_data(loop: ast.Stmt) -> bool:
+    """Heuristic: does the loop walk an array/list/collection?"""
+    if isinstance(loop, ast.ForEach):
+        return True
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Index):
+            return True
+        if isinstance(node, ast.ForEach):
+            return True
+        if isinstance(node, ast.MethodCall) and node.method in ("get", "size"):
+            return True
+    return False
+
+
+def _collect_prelude(body: list[ast.Stmt], loop: ast.Stmt) -> list[ast.Stmt]:
+    """Straight-line statements before the loop that set up its state.
+
+    We take the contiguous run of declarations/assignments immediately
+    preceding the loop in the same statement list.  These typically
+    initialize accumulators (``double revenue = 0;``) or loop-invariant
+    locals (``Date dt1 = Util.parseDate(...);``).
+    """
+    container = _enclosing_list(body, loop)
+    if container is None:
+        return []
+    index = container.index(loop)
+    prelude: list[ast.Stmt] = []
+    cursor = index - 1
+    while cursor >= 0:
+        stmt = container[cursor]
+        if isinstance(stmt, (ast.VarDecl,)) or (
+            isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.Assign)
+        ):
+            prelude.append(stmt)
+            cursor -= 1
+        else:
+            break
+    prelude.reverse()
+    return prelude
+
+
+def _enclosing_list(
+    stmts: list[ast.Stmt], target: ast.Stmt
+) -> Optional[list[ast.Stmt]]:
+    if target in stmts:
+        return stmts
+    for stmt in stmts:
+        for value in vars(stmt).values():
+            if isinstance(value, ast.Block):
+                found = _enclosing_list(value.stmts, target)
+                if found is not None:
+                    return found
+            elif isinstance(value, list):
+                found = _enclosing_list(
+                    [s for s in value if isinstance(s, ast.Stmt)], target
+                )
+                if found is not None:
+                    return found
+            elif isinstance(value, ast.Stmt):
+                found = _enclosing_list([value], target)
+                if found is not None:
+                    return found
+    return None
+
+
+def analyze_fragment(
+    fragment: CodeFragment, program: ast.Program
+) -> FragmentAnalysis:
+    """Run the full per-fragment analysis; raises AnalysisError on failure."""
+    func = fragment.function
+    env = build_type_env(func, program)
+
+    scan = scan_fragment(fragment.statements)
+    view = extract_dataset_view(fragment.loop, env, program)
+
+    declared_inside = set()
+    for stmt in fragment.statements:
+        declared_inside |= stmt_declared(stmt)
+
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for stmt in fragment.statements:
+        uses |= stmt_uses(stmt)
+        defs |= stmt_defs(stmt)
+    uses -= STATIC_NAMESPACES
+    defs -= STATIC_NAMESPACES
+
+    # Variables observable after the fragment: live in the remainder of the
+    # function.  The fragment's own declarations can still be outputs (an
+    # accumulator declared in the prelude and returned later).
+    after = _live_after_fragment(func, fragment)
+
+    input_vars: dict[str, JType] = {}
+    for name in sorted(uses):
+        if name in declared_inside:
+            continue
+        jtype = env.lookup(name)
+        if jtype is None:
+            continue
+        input_vars[name] = jtype
+
+    output_vars: dict[str, JType] = {}
+    for name in sorted(defs):
+        if name not in after:
+            continue
+        jtype = env.lookup(name)
+        if jtype is None:
+            continue
+        output_vars[name] = jtype
+    if not output_vars:
+        raise AnalysisError(f"fragment {fragment.id} has no observable outputs")
+
+    prelude_constants = _evaluate_prelude_constants(fragment, program, input_vars)
+
+    features = FragmentFeatures(
+        conditionals=scan.has_conditionals,
+        user_defined_types=_uses_user_types(input_vars, output_vars, view),
+        nested_loops=scan.has_nested_loops,
+        multiple_datasets=len(view.sources) > 1,
+        multidimensional=view.kind == "array2d",
+    )
+
+    return FragmentAnalysis(
+        fragment=fragment,
+        input_vars=input_vars,
+        output_vars=output_vars,
+        scan=scan,
+        view=view,
+        type_env=env,
+        program=program,
+        prelude_constants=prelude_constants,
+        features=features,
+    )
+
+
+def _live_after_fragment(func: ast.FuncDecl, fragment: CodeFragment) -> set[str]:
+    """Variables live immediately after the fragment's loop."""
+    body = func.body.stmts
+    container = _enclosing_list(body, fragment.loop)
+    if container is None:
+        return set()
+    index = container.index(fragment.loop)
+    tail = container[index + 1 :]
+    # Anything read later in the function (or returned) is observable.
+    return live_before(tail, set())
+
+
+def _evaluate_prelude_constants(
+    fragment: CodeFragment, program: ast.Program, input_vars: dict[str, JType]
+) -> dict[str, Any]:
+    """Concretely evaluate prelude statements that don't depend on inputs.
+
+    These become named constants available to the grammar (e.g. ``dt1``
+    bound to the parsed date, ``revenue`` bound to ``0.0``).
+    """
+    interp = Interpreter(program)
+    env = Environment()
+    constants: dict[str, Any] = {}
+    for stmt in fragment.prelude:
+        try:
+            interp.exec_stmt(stmt, env)
+        except InterpreterError:
+            continue
+    for name, value in env.flat().items():
+        if isinstance(value, (int, float, bool, str)) or value is None:
+            constants[name] = value
+        else:
+            constants[name] = value  # Dates / fresh arrays are fine too
+    return constants
+
+
+def _uses_user_types(
+    inputs: dict[str, JType], outputs: dict[str, JType], view: DatasetView
+) -> bool:
+    if view.element_class is not None:
+        return True
+    for jtype in [*inputs.values(), *outputs.values()]:
+        base = jtype
+        while isinstance(base, (ArrayType, ListType, SetType)):
+            base = base.element
+        if isinstance(base, MapType):
+            base = base.value
+        if isinstance(base, ClassType) and base.name != "Date":
+            return True
+    return False
+
+
+def analyze_function(
+    func_name: str, program: ast.Program
+) -> list[FragmentAnalysis]:
+    """Identify and analyze every fragment of a named function.
+
+    Fragments whose analysis fails are skipped here; use
+    :func:`identify_fragments` + :func:`analyze_fragment` to observe
+    failures individually (the feasibility experiment does).
+    """
+    func = program.function(func_name)
+    analyses = []
+    for fragment in identify_fragments(func):
+        try:
+            analyses.append(analyze_fragment(fragment, program))
+        except AnalysisError:
+            continue
+    return analyses

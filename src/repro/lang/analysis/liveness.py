@@ -1,0 +1,195 @@
+"""Use/def and liveness analysis over the structured AST.
+
+The paper (section 3.2) computes input variables via live-variable analysis
+and output variables via dataflow analysis.  For structured programs the
+standard backward equations can be evaluated directly on the AST without
+building an explicit CFG; loops are iterated to a fixpoint (two passes
+suffice for these lattices).
+"""
+
+from __future__ import annotations
+
+from .. import ast_nodes as ast
+
+
+def expr_uses(expr: ast.Expr) -> set[str]:
+    """Variables read by an expression (including in nested assignments)."""
+    uses: set[str] = set()
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.Name):
+            uses.add(node.ident)
+        elif isinstance(node, ast.Assign):
+            # The RHS is used; compound ops also read the target.
+            visit(node.value)
+            if node.op != "=":
+                visit(node.target)
+            elif isinstance(node.target, (ast.Index, ast.FieldAccess)):
+                visit(node.target.base)
+                if isinstance(node.target, ast.Index):
+                    visit(node.target.index)
+        elif isinstance(node, ast.IncDec):
+            visit(node.target)
+        elif isinstance(node, ast.FieldAccess):
+            # A static namespace (Math.PI) is not a variable use; we cannot
+            # know scoping here, so report it and let callers filter.
+            visit(node.base)
+        elif isinstance(node, ast.MethodCall):
+            visit(node.receiver)
+            for arg in node.args:
+                visit(arg)
+        else:
+            for value in vars(node).values():
+                if isinstance(value, ast.Expr):
+                    visit(value)
+                elif isinstance(value, list):
+                    for item in value:
+                        if isinstance(item, ast.Expr):
+                            visit(item)
+
+    visit(expr)
+    return uses
+
+
+def expr_defs(expr: ast.Expr) -> set[str]:
+    """Variables written by an expression (assignment roots)."""
+    defs: set[str] = set()
+
+    def root_var(target: ast.Expr) -> None:
+        # For a[i] = v or o.f = v, the *container* variable is modified.
+        node = target
+        while isinstance(node, (ast.Index, ast.FieldAccess)):
+            node = node.base
+        if isinstance(node, ast.Name):
+            defs.add(node.ident)
+
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Assign):
+            root_var(node.target)
+        elif isinstance(node, ast.IncDec):
+            root_var(node.target)
+        elif isinstance(node, ast.MethodCall) and node.method in _MUTATORS:
+            root_var(node.receiver)
+    return defs
+
+
+#: Collection methods that mutate their receiver.
+_MUTATORS = frozenset(
+    {"add", "set", "put", "remove", "clear", "addAll"}
+)
+
+
+def stmt_uses(stmt: ast.Stmt) -> set[str]:
+    """All variables read anywhere within a statement."""
+    uses: set[str] = set()
+    for node in _expressions_of(stmt):
+        uses |= expr_uses(node)
+    # ForEach iterates its iterable and binds var_name (a def, not a use).
+    return uses
+
+
+def stmt_defs(stmt: ast.Stmt) -> set[str]:
+    """All variables written anywhere within a statement (incl. decls)."""
+    defs: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.VarDecl):
+            defs.add(node.name)
+        elif isinstance(node, ast.ForEach):
+            defs.add(node.var_name)
+        elif isinstance(node, ast.Expr):
+            defs |= expr_defs(node)
+    return defs
+
+
+def stmt_declared(stmt: ast.Stmt) -> set[str]:
+    """Variables declared (scoped) inside the statement."""
+    declared: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.VarDecl):
+            declared.add(node.name)
+        elif isinstance(node, ast.ForEach):
+            declared.add(node.var_name)
+        elif isinstance(node, ast.For):
+            for init in node.init:
+                if isinstance(init, ast.VarDecl):
+                    declared.add(init.name)
+    return declared
+
+
+def _expressions_of(stmt: ast.Stmt):
+    """Yield every expression node within a statement."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Expr):
+            yield node
+            # walk() already recurses into children; avoid double-count by
+            # only yielding roots.  Simpler: yield all and let set() dedupe.
+            # (expr_uses on an inner node is subsumed by the outer call, so
+            # duplicates are harmless.)
+
+
+def live_before(stmts: list[ast.Stmt], live_after: set[str]) -> set[str]:
+    """Backward live-variable analysis over a statement sequence.
+
+    Returns the set of variables live at entry, given ``live_after`` at
+    exit.  Loops are handled by iterating their body twice (sufficient for
+    the union lattice on structured code).
+    """
+    live = set(live_after)
+    for stmt in reversed(stmts):
+        live = _live_stmt(stmt, live)
+    return live
+
+
+def _live_stmt(stmt: ast.Stmt, live: set[str]) -> set[str]:
+    if isinstance(stmt, ast.VarDecl):
+        result = live - {stmt.name}
+        if stmt.init is not None:
+            result |= expr_uses(stmt.init)
+        return result
+    if isinstance(stmt, ast.ExprStmt):
+        defs = expr_defs(stmt.expr)
+        kill = {d for d in defs if _is_whole_var_def(stmt.expr, d)}
+        return (live - kill) | expr_uses(stmt.expr)
+    if isinstance(stmt, ast.Block):
+        inner = live_before(stmt.stmts, live)
+        return inner - stmt_declared(stmt)
+    if isinstance(stmt, ast.If):
+        then_live = _live_stmt(stmt.then, set(live))
+        else_live = _live_stmt(stmt.other, set(live)) if stmt.other else set(live)
+        return then_live | else_live | expr_uses(stmt.cond)
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        body_live = set(live) | expr_uses(stmt.cond)
+        for _ in range(2):
+            body_live = _live_stmt(stmt.body, body_live | live | expr_uses(stmt.cond))
+        return body_live | expr_uses(stmt.cond) | live
+    if isinstance(stmt, ast.For):
+        inner: set[str] = set(live)
+        if stmt.cond is not None:
+            inner |= expr_uses(stmt.cond)
+        for _ in range(2):
+            after_body = set(inner)
+            for update in stmt.update:
+                after_body |= expr_uses(update)
+            inner = _live_stmt(stmt.body, after_body) | inner
+        result = live_before(list(stmt.init), inner)
+        return result - stmt_declared(stmt)
+    if isinstance(stmt, ast.ForEach):
+        body_live = set(live)
+        for _ in range(2):
+            body_live = _live_stmt(stmt.body, body_live | live)
+        body_live -= {stmt.var_name}
+        return body_live | expr_uses(stmt.iterable) | live
+    if isinstance(stmt, ast.Return):
+        return expr_uses(stmt.value) if stmt.value is not None else set()
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        return set(live)
+    return set(live)
+
+
+def _is_whole_var_def(expr: ast.Expr, var: str) -> bool:
+    """True only for plain ``x = ...`` (not ``x[i] = ...`` / compound)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Assign) and node.op == "=":
+            if isinstance(node.target, ast.Name) and node.target.ident == var:
+                return True
+    return False

@@ -1,0 +1,339 @@
+"""Loop-structure analysis: dataset views.
+
+Casper targets loops that sequentially iterate over data (paper section
+6.2).  A *dataset view* describes how a loop nest walks its input
+collection(s) and fixes the element representation used by the IR: e.g. a
+nested row/column walk over a matrix ``mat`` yields elements ``(i, j, v)``
+exactly as in the paper's row-wise mean example (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...errors import AnalysisError
+from .. import ast_nodes as ast
+from ..types import (
+    ArrayType,
+    ClassType,
+    INT,
+    JType,
+    ListType,
+    SetType,
+)
+from ..values import Instance
+from .typecheck import TypeEnv
+
+
+@dataclass(frozen=True)
+class DatasetField:
+    """One named atom of a dataset element (e.g. ``i``, ``j``, ``v``)."""
+
+    name: str
+    jtype: JType
+
+
+@dataclass
+class DatasetView:
+    """How a loop nest iterates its data, and the IR element layout.
+
+    kind:
+      * ``foreach``  — ``for (T x : coll)``; element atoms are ``x`` (or the
+        fields of ``x`` when T is a user-defined struct).
+      * ``array1d``  — ``for (i) ... a[i]``; atoms are ``i`` plus one per
+        array read at index ``i`` (parallel arrays are zipped).
+      * ``array2d``  — ``for (i) for (j) ... m[i][j]``; atoms ``i, j, v``.
+    """
+
+    kind: str
+    sources: list[str]
+    element_fields: list[DatasetField]
+    index_vars: list[str] = field(default_factory=list)
+    element_var: Optional[str] = None
+    element_class: Optional[str] = None  # struct name when atoms are fields
+    bounds: list[ast.Expr] = field(default_factory=list)
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.element_fields]
+
+    def field_type(self, name: str) -> JType:
+        for fld in self.element_fields:
+            if fld.name == name:
+                return fld.jtype
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Materialization: turn concrete runtime values into IR elements
+
+    def materialize(self, values: dict[str, Any]) -> list[dict[str, Any]]:
+        """Build the element multiset from concrete variable values.
+
+        Each element is a dict mapping atom names to values — the binding
+        environment a transformer function (λm) sees for that element.
+        """
+        if self.kind == "foreach":
+            collection = values[self.sources[0]]
+            items = sorted(collection) if isinstance(collection, set) else collection
+            return [self._element_of(item) for item in items]
+        if self.kind == "array1d":
+            arrays = [values[name] for name in self.sources]
+            length = min(len(a) for a in arrays)
+            elements = []
+            for i in range(length):
+                element: dict[str, Any] = {self.index_vars[0]: i}
+                for name, array in zip(self.sources, arrays):
+                    element[name] = array[i]
+                elements.append(element)
+            return elements
+        if self.kind == "array2d":
+            matrix = values[self.sources[0]]
+            elements = []
+            for i, row in enumerate(matrix):
+                for j, item in enumerate(row):
+                    elements.append(
+                        {self.index_vars[0]: i, self.index_vars[1]: j, "v": item}
+                    )
+            return elements
+        raise AnalysisError(f"unknown dataset view kind {self.kind!r}")
+
+    def _element_of(self, item: Any) -> dict[str, Any]:
+        if self.element_class is not None and isinstance(item, Instance):
+            # Field atoms plus the whole element (for pass-through emits,
+            # e.g. selections that append the original record).
+            return {**item.fields, "__element": item}
+        assert self.element_var is not None
+        return {self.element_var: item, "__element": item}
+
+
+def _is_simple_counter(loop: ast.For) -> Optional[tuple[str, ast.Expr]]:
+    """Match ``for (int i = 0; i < bound; i++)``; return (var, bound)."""
+    if len(loop.init) != 1 or loop.cond is None or len(loop.update) != 1:
+        return None
+    init = loop.init[0]
+    if not (
+        isinstance(init, ast.VarDecl)
+        and isinstance(init.init, ast.IntLit)
+        and init.init.value == 0
+    ):
+        return None
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op == "<"
+        and isinstance(cond.left, ast.Name)
+        and cond.left.ident == init.name
+    ):
+        return None
+    update = loop.update[0]
+    is_incr = (
+        isinstance(update, ast.IncDec)
+        and update.op == "++"
+        and isinstance(update.target, ast.Name)
+        and update.target.ident == init.name
+    ) or (
+        isinstance(update, ast.Assign)
+        and update.op == "+="
+        and isinstance(update.target, ast.Name)
+        and update.target.ident == init.name
+        and isinstance(update.value, ast.IntLit)
+        and update.value.value == 1
+    )
+    if not is_incr:
+        return None
+    return init.name, cond.right
+
+
+def _indexed_arrays(stmt: ast.Stmt, index_var: str) -> list[str]:
+    """Array/list variables read as ``a[index_var]`` or ``a.get(index_var)``."""
+    names: list[str] = []
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Index)
+            and isinstance(node.base, ast.Name)
+            and isinstance(node.index, ast.Name)
+            and node.index.ident == index_var
+        ):
+            if node.base.ident not in names:
+                names.append(node.base.ident)
+        if (
+            isinstance(node, ast.MethodCall)
+            and node.method == "get"
+            and isinstance(node.receiver, ast.Name)
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].ident == index_var
+        ):
+            if node.receiver.ident not in names:
+                names.append(node.receiver.ident)
+    return names
+
+
+def _double_indexed_arrays(stmt: ast.Stmt, i_var: str, j_var: str) -> list[str]:
+    """Matrix variables read as ``m[i][j]``."""
+    names: list[str] = []
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Index)
+            and isinstance(node.base, ast.Index)
+            and isinstance(node.base.base, ast.Name)
+            and isinstance(node.base.index, ast.Name)
+            and node.base.index.ident == i_var
+            and isinstance(node.index, ast.Name)
+            and node.index.ident == j_var
+        ):
+            if node.base.base.ident not in names:
+                names.append(node.base.base.ident)
+    return names
+
+
+def _first_inner_loop(body: ast.Stmt) -> Optional[ast.For]:
+    """The single inner counter loop of a nest, if the body contains one."""
+    stmts = body.stmts if isinstance(body, ast.Block) else [body]
+    for stmt in stmts:
+        if isinstance(stmt, ast.For):
+            return stmt
+    return None
+
+
+def extract_dataset_view(
+    loop: ast.Stmt, env: TypeEnv, program: ast.Program
+) -> DatasetView:
+    """Derive the dataset view for a candidate loop; raises AnalysisError."""
+    if isinstance(loop, ast.ForEach):
+        return _view_for_foreach(loop, env, program)
+    if isinstance(loop, ast.For):
+        counter = _is_simple_counter(loop)
+        if counter is None:
+            raise AnalysisError("loop is not a simple counter loop")
+        index_var, bound = counter
+        inner = _first_inner_loop(loop.body)
+        if inner is not None:
+            inner_counter = _is_simple_counter(inner)
+            if inner_counter is not None:
+                j_var, j_bound = inner_counter
+                matrices = _double_indexed_arrays(loop.body, index_var, j_var)
+                if matrices:
+                    matrix_type = env.lookup(matrices[0])
+                    element_type = (
+                        matrix_type.base_element
+                        if isinstance(matrix_type, ArrayType)
+                        else INT
+                    )
+                    return DatasetView(
+                        kind="array2d",
+                        sources=matrices[:1],
+                        element_fields=[
+                            DatasetField(index_var, INT),
+                            DatasetField(j_var, INT),
+                            DatasetField("v", element_type),
+                        ],
+                        index_vars=[index_var, j_var],
+                        bounds=[bound, j_bound],
+                    )
+        arrays = _indexed_arrays(loop, index_var)
+        # Exclude arrays that are only written (outputs, e.g. m[i] = ...).
+        read_arrays = [a for a in arrays if _is_read_at_index(loop, a, index_var)]
+        if not read_arrays:
+            raise AnalysisError("counter loop reads no array at its index")
+        fields = [DatasetField(index_var, INT)]
+        for name in read_arrays:
+            array_type = env.lookup(name)
+            if isinstance(array_type, ArrayType):
+                fields.append(DatasetField(name, array_type.element))
+            elif isinstance(array_type, ListType):
+                fields.append(DatasetField(name, array_type.element))
+            else:
+                raise AnalysisError(f"{name} is not an array/list")
+        return DatasetView(
+            kind="array1d",
+            sources=read_arrays,
+            element_fields=fields,
+            index_vars=[index_var],
+            bounds=[bound],
+        )
+    raise AnalysisError(f"unsupported loop form {type(loop).__name__}")
+
+
+def _view_for_foreach(
+    loop: ast.ForEach, env: TypeEnv, program: ast.Program
+) -> DatasetView:
+    if not isinstance(loop.iterable, ast.Name):
+        raise AnalysisError("foreach over a non-variable expression")
+    source = loop.iterable.ident
+    source_type = env.lookup(source)
+    if isinstance(source_type, (ListType, SetType)):
+        element_type = source_type.element
+    elif isinstance(source_type, ArrayType):
+        element_type = source_type.element
+    else:
+        raise AnalysisError(f"foreach over non-collection {source_type}")
+    if isinstance(element_type, ClassType):
+        try:
+            decl = program.class_decl(element_type.name)
+        except KeyError:
+            raise AnalysisError(f"unknown element class {element_type.name}") from None
+        fields = [DatasetField(f.name, f.type) for f in decl.fields]
+        return DatasetView(
+            kind="foreach",
+            sources=[source],
+            element_fields=fields,
+            element_var=loop.var_name,
+            element_class=element_type.name,
+        )
+    return DatasetView(
+        kind="foreach",
+        sources=[source],
+        element_fields=[DatasetField(loop.var_name, element_type)],
+        element_var=loop.var_name,
+    )
+
+
+def _is_read_at_index(loop: ast.Stmt, array: str, index_var: str) -> bool:
+    """True if ``array[index_var]`` is *read* (not only assigned) in loop."""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Assign):
+            # Check RHS, compound reads, and index expressions of the
+            # target — but never the target's own base array.
+            reads = [node.value]
+            if node.op != "=":
+                reads.append(node.target)
+            elif isinstance(node.target, ast.Index):
+                reads.append(node.target.index)
+            for read in reads:
+                if _mentions_indexed(read, array, index_var):
+                    return True
+        elif isinstance(node, (ast.If, ast.While, ast.DoWhile)):
+            cond = node.cond
+            if _mentions_indexed(cond, array, index_var):
+                return True
+        elif isinstance(node, ast.ExprStmt):
+            if not isinstance(node.expr, ast.Assign) and _mentions_indexed(
+                node.expr, array, index_var
+            ):
+                return True
+        elif isinstance(node, ast.VarDecl) and node.init is not None:
+            if _mentions_indexed(node.init, array, index_var):
+                return True
+    return False
+
+
+def _mentions_indexed(expr: ast.Expr, array: str, index_var: str) -> bool:
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Index)
+            and isinstance(node.base, ast.Name)
+            and node.base.ident == array
+            and isinstance(node.index, ast.Name)
+            and node.index.ident == index_var
+        ):
+            return True
+        if (
+            isinstance(node, ast.MethodCall)
+            and node.method == "get"
+            and isinstance(node.receiver, ast.Name)
+            and node.receiver.ident == array
+        ):
+            return True
+    return False

@@ -1,0 +1,356 @@
+"""AST node definitions for the mini-Java frontend.
+
+Expression and statement nodes are plain dataclasses.  Every node carries a
+``line`` for diagnostics.  The parser produces these; analyses and the
+interpreter consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .types import JType
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    line: int = 0
+
+
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+class Stmt(Node):
+    """Base class of statement nodes."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class CharLit(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class NullLit(Expr):
+    line: int = 0
+
+
+@dataclass
+class Name(Expr):
+    """A variable reference."""
+
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation, e.g. ``a + b``; ``op`` is the operator text."""
+
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operation ``-x``, ``!x`` or ``~x``."""
+
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional expression ``c ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    """Array/list subscript ``base[index]``."""
+
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class FieldAccess(Expr):
+    """Field read ``base.field``."""
+
+    base: Expr
+    field: str
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    """A free-function call ``f(args...)``."""
+
+    func: str
+    args: list[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class MethodCall(Expr):
+    """A method call ``receiver.method(args...)``.
+
+    ``receiver`` may be a :class:`Name` naming a class for static calls
+    (``Math.abs``); the interpreter resolves that distinction.
+    """
+
+    receiver: Expr
+    method: str
+    args: list[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class NewArray(Expr):
+    """``new T[n]`` or ``new T[n][m]``; missing dims are None."""
+
+    element_type: JType
+    dims: list[Optional[Expr]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class NewObject(Expr):
+    """``new ClassName(args...)`` or ``new ArrayList<T>()`` etc."""
+
+    type: JType
+    args: list[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression; ``target`` is Name, Index, or FieldAccess.
+
+    ``op`` is "=" or a compound operator like "+=".
+    """
+
+    target: Expr
+    op: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IncDec(Expr):
+    """``x++`` / ``--x``; ``op`` is "++" or "--", ``prefix`` records position."""
+
+    target: Expr
+    op: str
+    prefix: bool
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    """``(T) expr`` — numeric casts only."""
+
+    type: JType
+    operand: Expr
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Declaration of a single local variable, optionally initialized."""
+
+    type: JType
+    name: str
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    """Classic three-part ``for`` loop."""
+
+    init: list[Stmt] = field(default_factory=list)
+    cond: Optional[Expr] = None
+    update: list[Expr] = field(default_factory=list)
+    body: Stmt = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class ForEach(Stmt):
+    """Enhanced ``for (T x : iterable)`` loop."""
+
+    var_type: JType
+    var_name: str
+    iterable: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class FieldDecl(Node):
+    type: JType
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ClassDecl(Node):
+    """A user-defined type: named fields with an implicit all-field ctor."""
+
+    name: str
+    fields: list[FieldDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Param(Node):
+    type: JType
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    """A top-level function (Java static method)."""
+
+    return_type: JType
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    """A parsed compilation unit: classes plus functions."""
+
+    classes: list[ClassDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+    line: int = 0
+
+    def function(self, name: str) -> FuncDecl:
+        """Look up a function by name; raises KeyError if absent."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def class_decl(self, name: str) -> ClassDecl:
+        """Look up a class declaration by name; raises KeyError if absent."""
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(name)
+
+
+LValue = Union[Name, Index, FieldAccess]
+
+
+def walk(node: Node):
+    """Yield ``node`` and every AST node reachable from it (pre-order)."""
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)

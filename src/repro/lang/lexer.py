@@ -1,0 +1,183 @@
+"""Hand-rolled lexer for the mini-Java frontend."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Converts mini-Java source text into a list of tokens.
+
+    Supports line comments (``//``), block comments (``/* */``), decimal
+    integer and floating-point literals, string and char literals with the
+    common escape sequences, identifiers, keywords, and the operator set
+    defined in :mod:`repro.lang.tokens`.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the entire source, returning tokens terminated by EOF."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                break
+            tokens.append(self._next_token())
+        tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                break
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+
+        for text, token_type in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(text, self.pos):
+                if token_type is None:
+                    raise LexError(f"unsupported operator {text!r}", line, column)
+                self._advance(len(text))
+                return Token(token_type, text, line, column)
+
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(SINGLE_CHAR_OPERATORS[ch], ch, line, column)
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() != "" and self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) != "" and self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() != "" and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        # Java-style suffixes are consumed and ignored.
+        if self._peek() != "" and self._peek() in "fFdD":
+            is_float = True
+            self._advance()
+        elif self._peek() != "" and self._peek() in "lL":
+            self._advance()
+        token_type = TokenType.FLOAT_LIT if is_float else TokenType.INT_LIT
+        return Token(token_type, text, line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+        return Token(token_type, text, line, column)
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                escape = self._advance()
+                if escape not in self._ESCAPES:
+                    raise LexError(f"bad escape \\{escape}", self.line, self.column)
+                chars.append(self._ESCAPES[escape])
+            elif ch == "\n":
+                raise LexError("newline in string literal", line, column)
+            else:
+                chars.append(ch)
+        return Token(TokenType.STRING_LIT, "".join(chars), line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._advance()
+        if ch == "\\":
+            escape = self._advance()
+            if escape not in self._ESCAPES:
+                raise LexError(f"bad escape \\{escape}", self.line, self.column)
+            ch = self._ESCAPES[escape]
+        if self._advance() != "'":
+            raise LexError("unterminated char literal", line, column)
+        return Token(TokenType.CHAR_LIT, ch, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,652 @@
+"""Recursive-descent parser for the mini-Java frontend.
+
+The grammar matches the Java subset Casper supports (paper section 6.1).
+Backtracking is used only to disambiguate declarations from expression
+statements (``Foo x = ...`` vs ``foo(x)``) and casts from parenthesized
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+from .types import (
+    ArrayType,
+    ClassType,
+    JType,
+    ListType,
+    MapType,
+    SetType,
+    is_primitive_name,
+    primitive,
+)
+
+_COLLECTION_NAMES = {
+    "List": ListType,
+    "ArrayList": ListType,
+    "LinkedList": ListType,
+    "Set": SetType,
+    "HashSet": SetType,
+    "TreeSet": SetType,
+    "Map": MapType,
+    "HashMap": MapType,
+    "TreeMap": MapType,
+}
+
+_MODIFIERS = {"public", "private", "static", "final"}
+
+_ASSIGN_OPS = {
+    TokenType.ASSIGN: "=",
+    TokenType.PLUS_ASSIGN: "+=",
+    TokenType.MINUS_ASSIGN: "-=",
+    TokenType.STAR_ASSIGN: "*=",
+    TokenType.SLASH_ASSIGN: "/=",
+    TokenType.PERCENT_ASSIGN: "%=",
+    TokenType.OR_ASSIGN: "|=",
+    TokenType.AND_ASSIGN: "&=",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.type is not token_type:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, token_type: TokenType, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(token_type, text):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, text: Optional[str] = None) -> Token:
+        if self._check(token_type, text):
+            return self._advance()
+        token = self._peek()
+        wanted = text or token_type.value
+        raise ParseError(
+            f"expected {wanted!r} but found {token.text!r}", token.line, token.column
+        )
+
+    def _save(self) -> int:
+        return self.pos
+
+    def _restore(self, mark: int) -> None:
+        self.pos = mark
+
+    # ------------------------------------------------------------------
+    # Top level
+
+    def parse_program(self) -> ast.Program:
+        """Parse a full compilation unit."""
+        program = ast.Program()
+        while not self._check(TokenType.EOF):
+            self._skip_annotations_and_modifiers()
+            if self._check(TokenType.KEYWORD, "class"):
+                program.classes.append(self._parse_class())
+            else:
+                program.functions.append(self._parse_function())
+        return program
+
+    def _skip_annotations_and_modifiers(self) -> None:
+        while True:
+            if self._check(TokenType.AT):
+                self._advance()
+                self._expect(TokenType.IDENT)
+                if self._match(TokenType.LPAREN):
+                    depth = 1
+                    while depth > 0:
+                        token = self._advance()
+                        if token.type is TokenType.LPAREN:
+                            depth += 1
+                        elif token.type is TokenType.RPAREN:
+                            depth -= 1
+                        elif token.type is TokenType.EOF:
+                            raise ParseError("unterminated annotation", token.line, 0)
+            elif self._peek().type is TokenType.KEYWORD and self._peek().text in _MODIFIERS:
+                self._advance()
+            else:
+                return
+
+    def _parse_class(self) -> ast.ClassDecl:
+        start = self._expect(TokenType.KEYWORD, "class")
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LBRACE)
+        fields: list[ast.FieldDecl] = []
+        while not self._check(TokenType.RBRACE):
+            self._skip_annotations_and_modifiers()
+            field_type = self._parse_type()
+            field_name = self._expect(TokenType.IDENT).text
+            self._expect(TokenType.SEMI)
+            fields.append(ast.FieldDecl(field_type, field_name, line=start.line))
+        self._expect(TokenType.RBRACE)
+        return ast.ClassDecl(name, fields, line=start.line)
+
+    def _parse_function(self) -> ast.FuncDecl:
+        start = self._peek()
+        return_type = self._parse_type()
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        params: list[ast.Param] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                param_type = self._parse_type()
+                param_name = self._expect(TokenType.IDENT).text
+                params.append(ast.Param(param_type, param_name))
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN)
+        body = self._parse_block()
+        return ast.FuncDecl(return_type, name, params, body, line=start.line)
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def _looks_like_type(self) -> bool:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and is_primitive_name(token.text):
+            return True
+        if token.type is TokenType.IDENT:
+            return True
+        return False
+
+    def _parse_type(self) -> JType:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and is_primitive_name(token.text):
+            self._advance()
+            result: JType = primitive(token.text)
+        elif token.type is TokenType.IDENT:
+            self._advance()
+            name = token.text
+            if name in _COLLECTION_NAMES and self._check(TokenType.LT):
+                result = self._parse_generic(name)
+            elif name in ("Integer", "Long", "Double", "Float", "Boolean", "Character"):
+                boxed = {
+                    "Integer": "int",
+                    "Long": "long",
+                    "Double": "double",
+                    "Float": "float",
+                    "Boolean": "boolean",
+                    "Character": "char",
+                }[name]
+                result = primitive(boxed)
+            elif name in _COLLECTION_NAMES:
+                # Raw collection type; default element is int.
+                ctor = _COLLECTION_NAMES[name]
+                result = (
+                    MapType(primitive("int"), primitive("int"))
+                    if ctor is MapType
+                    else ctor(primitive("int"))
+                )
+            else:
+                result = ClassType(name)
+        else:
+            raise ParseError(f"expected a type, found {token.text!r}", token.line, token.column)
+
+        while self._check(TokenType.LBRACKET) and self._peek(1).type is TokenType.RBRACKET:
+            self._advance()
+            self._advance()
+            result = ArrayType(result)
+        return result
+
+    def _parse_generic(self, name: str) -> JType:
+        ctor = _COLLECTION_NAMES[name]
+        self._expect(TokenType.LT)
+        first = self._parse_type()
+        if ctor is MapType:
+            self._expect(TokenType.COMMA)
+            second = self._parse_type()
+            self._expect(TokenType.GT)
+            return MapType(first, second)
+        self._expect(TokenType.GT)
+        return ctor(first)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect(TokenType.LBRACE)
+        stmts: list[ast.Stmt] = []
+        while not self._check(TokenType.RBRACE):
+            stmts.extend(self._parse_statement())
+        self._expect(TokenType.RBRACE)
+        return ast.Block(stmts, line=start.line)
+
+    def _parse_statement(self) -> list[ast.Stmt]:
+        """Parse one statement; var-decl lists expand to multiple nodes."""
+        token = self._peek()
+        if token.type is TokenType.LBRACE:
+            return [self._parse_block()]
+        if token.type is TokenType.KEYWORD:
+            if token.text == "if":
+                return [self._parse_if()]
+            if token.text == "while":
+                return [self._parse_while()]
+            if token.text == "do":
+                return [self._parse_do_while()]
+            if token.text == "for":
+                return [self._parse_for()]
+            if token.text == "return":
+                return [self._parse_return()]
+            if token.text == "break":
+                self._advance()
+                self._expect(TokenType.SEMI)
+                return [ast.Break(line=token.line)]
+            if token.text == "continue":
+                self._advance()
+                self._expect(TokenType.SEMI)
+                return [ast.Continue(line=token.line)]
+        if token.type is TokenType.SEMI:
+            self._advance()
+            return []
+
+        decls = self._try_parse_var_decl()
+        if decls is not None:
+            self._expect(TokenType.SEMI)
+            return decls
+
+        expr = self._parse_expression()
+        self._expect(TokenType.SEMI)
+        return [ast.ExprStmt(expr, line=token.line)]
+
+    def _try_parse_var_decl(self) -> Optional[list[ast.Stmt]]:
+        """Attempt to parse ``T a = e, b = e2;`` — None if it is not one."""
+        if not self._looks_like_type():
+            return None
+        mark = self._save()
+        try:
+            decl_type = self._parse_type()
+            if not self._check(TokenType.IDENT):
+                self._restore(mark)
+                return None
+            decls: list[ast.Stmt] = []
+            while True:
+                name_token = self._expect(TokenType.IDENT)
+                init: Optional[ast.Expr] = None
+                if self._match(TokenType.ASSIGN):
+                    init = self._parse_expression()
+                decls.append(
+                    ast.VarDecl(decl_type, name_token.text, init, line=name_token.line)
+                )
+                if not self._match(TokenType.COMMA):
+                    break
+            if not self._check(TokenType.SEMI):
+                self._restore(mark)
+                return None
+            return decls
+        except ParseError:
+            self._restore(mark)
+            return None
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect(TokenType.KEYWORD, "if")
+        self._expect(TokenType.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN)
+        then = self._parse_single_statement()
+        other: Optional[ast.Stmt] = None
+        if self._match(TokenType.KEYWORD, "else"):
+            other = self._parse_single_statement()
+        return ast.If(cond, then, other, line=start.line)
+
+    def _parse_single_statement(self) -> ast.Stmt:
+        stmts = self._parse_statement()
+        if len(stmts) == 1:
+            return stmts[0]
+        return ast.Block(stmts)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN)
+        body = self._parse_single_statement()
+        return ast.While(cond, body, line=start.line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        start = self._expect(TokenType.KEYWORD, "do")
+        body = self._parse_single_statement()
+        self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.SEMI)
+        return ast.DoWhile(body, cond, line=start.line)
+
+    def _parse_for(self) -> ast.Stmt:
+        start = self._expect(TokenType.KEYWORD, "for")
+        self._expect(TokenType.LPAREN)
+
+        # Enhanced for: ``for (T x : iterable)``
+        mark = self._save()
+        if self._looks_like_type():
+            try:
+                var_type = self._parse_type()
+                if self._check(TokenType.IDENT) and self._peek(1).type is TokenType.COLON:
+                    var_name = self._advance().text
+                    self._expect(TokenType.COLON)
+                    iterable = self._parse_expression()
+                    self._expect(TokenType.RPAREN)
+                    body = self._parse_single_statement()
+                    return ast.ForEach(var_type, var_name, iterable, body, line=start.line)
+            except ParseError:
+                pass
+            self._restore(mark)
+
+        init: list[ast.Stmt] = []
+        if not self._check(TokenType.SEMI):
+            decls = self._try_parse_var_decl()
+            if decls is not None:
+                init = decls
+            else:
+                init = [ast.ExprStmt(self._parse_expression(), line=start.line)]
+                while self._match(TokenType.COMMA):
+                    init.append(ast.ExprStmt(self._parse_expression(), line=start.line))
+        self._expect(TokenType.SEMI)
+
+        cond: Optional[ast.Expr] = None
+        if not self._check(TokenType.SEMI):
+            cond = self._parse_expression()
+        self._expect(TokenType.SEMI)
+
+        update: list[ast.Expr] = []
+        if not self._check(TokenType.RPAREN):
+            update.append(self._parse_expression())
+            while self._match(TokenType.COMMA):
+                update.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        body = self._parse_single_statement()
+        return ast.For(init, cond, update, body, line=start.line)
+
+    def _parse_return(self) -> ast.Return:
+        start = self._expect(TokenType.KEYWORD, "return")
+        value: Optional[ast.Expr] = None
+        if not self._check(TokenType.SEMI):
+            value = self._parse_expression()
+        self._expect(TokenType.SEMI)
+        return ast.Return(value, line=start.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.type in _ASSIGN_OPS:
+            if not isinstance(left, (ast.Name, ast.Index, ast.FieldAccess)):
+                raise ParseError("invalid assignment target", token.line, token.column)
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(left, _ASSIGN_OPS[token.type], value, line=token.line)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_or()
+        if self._match(TokenType.QUESTION):
+            then = self._parse_expression()
+            self._expect(TokenType.COLON)
+            other = self._parse_ternary()
+            return ast.Ternary(cond, then, other, line=cond.line)
+        return cond
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._check(TokenType.OR_OR):
+            token = self._advance()
+            right = self._parse_and()
+            left = ast.BinOp("||", left, right, line=token.line)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_bit_or()
+        while self._check(TokenType.AND_AND):
+            token = self._advance()
+            right = self._parse_bit_or()
+            left = ast.BinOp("&&", left, right, line=token.line)
+        return left
+
+    def _parse_bit_or(self) -> ast.Expr:
+        left = self._parse_bit_xor()
+        while self._check(TokenType.PIPE):
+            token = self._advance()
+            right = self._parse_bit_xor()
+            left = ast.BinOp("|", left, right, line=token.line)
+        return left
+
+    def _parse_bit_xor(self) -> ast.Expr:
+        left = self._parse_bit_and()
+        while self._check(TokenType.CARET):
+            token = self._advance()
+            right = self._parse_bit_and()
+            left = ast.BinOp("^", left, right, line=token.line)
+        return left
+
+    def _parse_bit_and(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._check(TokenType.AMP):
+            token = self._advance()
+            right = self._parse_equality()
+            left = ast.BinOp("&", left, right, line=token.line)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._peek().type in (TokenType.EQ, TokenType.NEQ):
+            token = self._advance()
+            right = self._parse_relational()
+            left = ast.BinOp(token.text, left, right, line=token.line)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_shift()
+        while self._peek().type in (TokenType.LT, TokenType.GT, TokenType.LE, TokenType.GE):
+            token = self._advance()
+            right = self._parse_shift()
+            left = ast.BinOp(token.text, left, right, line=token.line)
+        return left
+
+    def _parse_shift(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().type in (TokenType.SHL, TokenType.SHR):
+            token = self._advance()
+            right = self._parse_additive()
+            left = ast.BinOp(token.text, left, right, line=token.line)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinOp(token.text, left, right, line=token.line)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(token.text, left, right, line=token.line)
+        return left
+
+    _CASTABLE = {"int", "long", "double", "float", "char", "boolean"}
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type in (TokenType.MINUS, TokenType.NOT, TokenType.TILDE, TokenType.PLUS):
+            self._advance()
+            operand = self._parse_unary()
+            if token.type is TokenType.PLUS:
+                return operand
+            return ast.UnOp(token.text, operand, line=token.line)
+        if token.type in (TokenType.PLUS_PLUS, TokenType.MINUS_MINUS):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.IncDec(operand, token.text, prefix=True, line=token.line)
+        # Primitive cast: ``(int) expr``
+        if (
+            token.type is TokenType.LPAREN
+            and self._peek(1).type is TokenType.KEYWORD
+            and self._peek(1).text in self._CASTABLE
+            and self._peek(2).type is TokenType.RPAREN
+        ):
+            self._advance()
+            cast_type = self._parse_type()
+            self._expect(TokenType.RPAREN)
+            operand = self._parse_unary()
+            return ast.Cast(cast_type, operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.LBRACKET:
+                self._advance()
+                index = self._parse_expression()
+                self._expect(TokenType.RBRACKET)
+                expr = ast.Index(expr, index, line=token.line)
+            elif token.type is TokenType.DOT:
+                self._advance()
+                member = self._expect(TokenType.IDENT).text
+                if self._check(TokenType.LPAREN):
+                    args = self._parse_args()
+                    expr = ast.MethodCall(expr, member, args, line=token.line)
+                else:
+                    expr = ast.FieldAccess(expr, member, line=token.line)
+            elif token.type in (TokenType.PLUS_PLUS, TokenType.MINUS_MINUS):
+                self._advance()
+                expr = ast.IncDec(expr, token.text, prefix=False, line=token.line)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self._expect(TokenType.LPAREN)
+        args: list[ast.Expr] = []
+        if not self._check(TokenType.RPAREN):
+            args.append(self._parse_expression())
+            while self._match(TokenType.COMMA):
+                args.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INT_LIT:
+            self._advance()
+            return ast.IntLit(int(token.text), line=token.line)
+        if token.type is TokenType.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(float(token.text), line=token.line)
+        if token.type is TokenType.STRING_LIT:
+            self._advance()
+            return ast.StringLit(token.text, line=token.line)
+        if token.type is TokenType.CHAR_LIT:
+            self._advance()
+            return ast.CharLit(token.text, line=token.line)
+        if token.type is TokenType.KEYWORD:
+            if token.text == "true":
+                self._advance()
+                return ast.BoolLit(True, line=token.line)
+            if token.text == "false":
+                self._advance()
+                return ast.BoolLit(False, line=token.line)
+            if token.text == "null":
+                self._advance()
+                return ast.NullLit(line=token.line)
+            if token.text == "new":
+                return self._parse_new()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._check(TokenType.LPAREN):
+                args = self._parse_args()
+                return ast.Call(token.text, args, line=token.line)
+            return ast.Name(token.text, line=token.line)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _parse_new(self) -> ast.Expr:
+        start = self._expect(TokenType.KEYWORD, "new")
+        new_type = self._parse_new_type()
+        if self._check(TokenType.LBRACKET):
+            dims: list[Optional[ast.Expr]] = []
+            while self._match(TokenType.LBRACKET):
+                if self._check(TokenType.RBRACKET):
+                    dims.append(None)
+                else:
+                    dims.append(self._parse_expression())
+                self._expect(TokenType.RBRACKET)
+            return ast.NewArray(new_type, dims, line=start.line)
+        args: list[ast.Expr] = []
+        if self._check(TokenType.LPAREN):
+            args = self._parse_args()
+        return ast.NewObject(new_type, args, line=start.line)
+
+    def _parse_new_type(self) -> JType:
+        """Parse the type after ``new`` (no array suffix — handled by caller)."""
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and is_primitive_name(token.text):
+            self._advance()
+            return primitive(token.text)
+        name = self._expect(TokenType.IDENT).text
+        if name in _COLLECTION_NAMES:
+            if self._check(TokenType.LT):
+                # Diamond ``new ArrayList<>()`` or explicit type args.
+                if self._peek(1).type is TokenType.GT:
+                    self._advance()
+                    self._advance()
+                    ctor = _COLLECTION_NAMES[name]
+                    if ctor is MapType:
+                        return MapType(primitive("int"), primitive("int"))
+                    return ctor(primitive("int"))
+                return self._parse_generic(name)
+            ctor = _COLLECTION_NAMES[name]
+            if ctor is MapType:
+                return MapType(primitive("int"), primitive("int"))
+            return ctor(primitive("int"))
+        return ClassType(name)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-Java source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_function(source: str, name: Optional[str] = None) -> ast.FuncDecl:
+    """Parse source and return the named (or sole) function declaration."""
+    program = parse_program(source)
+    if name is not None:
+        return program.function(name)
+    if len(program.functions) != 1:
+        raise ParseError("source does not contain exactly one function")
+    return program.functions[0]

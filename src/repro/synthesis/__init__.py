@@ -1,0 +1,38 @@
+"""Program-summary synthesis: grammar generation, CEGIS, and search."""
+
+from .cegis import PartEvaluator, SynthesisStats, Synthesizer
+from .classes import generate_classes, monolithic_class
+from .enumerator import CandidateEnumerator, ContainerPart, ScalarPart
+from .grammar import (
+    ExpressionPools,
+    GrammarBuilder,
+    GrammarClass,
+    harvest_paths,
+    reduce_lambda_pool,
+)
+from .search import (
+    SearchConfig,
+    SearchResult,
+    VerifiedSummary,
+    find_summaries,
+)
+
+__all__ = [
+    "CandidateEnumerator",
+    "ContainerPart",
+    "ExpressionPools",
+    "GrammarBuilder",
+    "GrammarClass",
+    "PartEvaluator",
+    "ScalarPart",
+    "SearchConfig",
+    "SearchResult",
+    "SynthesisStats",
+    "Synthesizer",
+    "VerifiedSummary",
+    "find_summaries",
+    "generate_classes",
+    "harvest_paths",
+    "monolithic_class",
+    "reduce_lambda_pool",
+]

@@ -1,0 +1,208 @@
+"""CEGIS: counter-example guided inductive synthesis (paper Fig. 5, lines 1-8).
+
+``synthesize`` iterates a candidate generator against a bounded model
+checker: candidates must be consistent with the accumulated example states
+Φ; a candidate that fails bounded verification contributes the failing
+state as a counter-example and the search restarts with the enlarged Φ.
+
+The Φ-consistency test is implemented compositionally by
+:class:`PartEvaluator` — each per-output piece of a summary is checked
+against the expected outputs on every state in Φ before combination
+(sound because reduce key-groups are independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import InterpreterError, IRError
+from ..lang.values import values_equal
+from ..ir.eval import eval_expr
+from ..ir.nodes import Summary
+from ..lang.analysis.fragments import FragmentAnalysis
+from ..verification.bounded import (
+    BoundedChecker,
+    FragmentRunResult,
+    ProgramState,
+    run_sequential_fragment,
+)
+from .enumerator import CandidateEnumerator, ContainerPart, ScalarPart
+from .grammar import ExpressionPools, GrammarClass
+
+
+@dataclass
+class _CachedState:
+    """A Φ state with its materialized dataset and expected outputs."""
+
+    state: ProgramState
+    elements: list[dict[str, Any]]
+    globals_env: dict[str, Any]
+    expected: dict[str, Any]
+    output_sizes: dict[str, int]
+
+
+class PartEvaluator:
+    """Checks candidate parts against the example states Φ."""
+
+    def __init__(self, analysis: FragmentAnalysis, states: list[ProgramState]):
+        self.analysis = analysis
+        self.cached: list[_CachedState] = []
+        for state in states:
+            try:
+                run = run_sequential_fragment(analysis, state)
+            except InterpreterError:
+                continue
+            elements = analysis.view.materialize(run.globals_env)
+            from ..verification.bounded import summary_globals
+
+            globals_env = summary_globals(analysis, run.globals_env)
+            self.cached.append(
+                _CachedState(
+                    state=state,
+                    elements=elements,
+                    globals_env=globals_env,
+                    expected=run.outputs,
+                    output_sizes=run.output_sizes,
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, part: object) -> bool:
+        try:
+            if isinstance(part, ScalarPart):
+                return all(self._scalar_ok(part, s) for s in self.cached)
+            if isinstance(part, ContainerPart):
+                return all(self._container_ok(part, s) for s in self.cached)
+        except IRError:
+            return False
+        return True
+
+    def _scalar_ok(self, part: ScalarPart, cached: _CachedState) -> bool:
+        acc: Any = None
+        v1, v2 = part.reduce_lam.params
+        for element in cached.elements:
+            env = {**cached.globals_env, **element}
+            if part.guard is not None and not eval_expr(part.guard, env):
+                continue
+            value = eval_expr(part.value, env)
+            if acc is None:
+                acc = value
+            else:
+                acc = eval_expr(
+                    part.reduce_lam.body, {**cached.globals_env, v1: acc, v2: value}
+                )
+        result = part.default if acc is None else acc
+        return values_equal(result, cached.expected.get(part.var))
+
+    def _container_ok(self, part: ContainerPart, cached: _CachedState) -> bool:
+        expected = cached.expected.get(part.var)
+        env_base = cached.globals_env
+
+        if part.container == "bag":
+            got_bag: list[Any] = []
+            for element in cached.elements:
+                env = {**env_base, **element}
+                if part.guard is not None and not eval_expr(part.guard, env):
+                    continue
+                got_bag.append(eval_expr(part.value, env))
+            return values_equal(got_bag, expected)
+
+        if part.container == "set":
+            got_set: set[Any] = set()
+            for element in cached.elements:
+                env = {**env_base, **element}
+                if part.guard is not None and not eval_expr(part.guard, env):
+                    continue
+                got_set.add(eval_expr(part.key, env))
+            return values_equal(got_set, expected)
+
+        result_map: dict[Any, Any] = {}
+        v1, v2 = ("v1", "v2")
+        if part.reduce_lam is not None:
+            v1, v2 = part.reduce_lam.params
+        for element in cached.elements:
+            env = {**env_base, **element}
+            if part.guard is not None and not eval_expr(part.guard, env):
+                continue
+            key = eval_expr(part.key, env)
+            value = eval_expr(part.value, env)
+            if part.reduce_lam is not None and key in result_map:
+                result_map[key] = eval_expr(
+                    part.reduce_lam.body,
+                    {**env_base, v1: result_map[key], v2: value},
+                )
+            else:
+                result_map[key] = value
+        if part.finalizer is not None:
+            fin_key, fin_value = part.finalizer
+            finalized: dict[Any, Any] = {}
+            for key, value in result_map.items():
+                env = {**env_base, "k": key, "v": value}
+                finalized[eval_expr(fin_key, env)] = eval_expr(fin_value, env)
+            result_map = finalized
+
+        if part.container == "map":
+            return values_equal(result_map, expected)
+        # array
+        size = cached.output_sizes.get(part.var)
+        if size is None:
+            size = (max(result_map.keys()) + 1) if result_map else 0
+        got = [result_map.get(i, part.default) for i in range(size)]
+        return values_equal(got, expected)
+
+
+@dataclass
+class SynthesisStats:
+    """Counters reported by a synthesize run."""
+
+    candidates_checked: int = 0
+    counterexamples: int = 0
+    restarts: int = 0
+
+
+@dataclass
+class Synthesizer:
+    """The CEGIS loop of Fig. 5 for one grammar class."""
+
+    analysis: FragmentAnalysis
+    grammar_class: GrammarClass
+    pools: ExpressionPools
+    checker: BoundedChecker
+    max_restarts: int = 8
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+
+    def __post_init__(self) -> None:
+        # Φ starts with a few random program states (Fig. 5, line 2);
+        # we seed it with the canonical empty/singleton/small states.
+        self.phi: list[ProgramState] = list(self.checker.states[:4])
+
+    def synthesize(self, blocked: set[int]) -> Optional[Summary]:
+        """Find the next candidate that passes bounded verification.
+
+        ``blocked`` holds hashes of summaries in Ω ∪ Δ — they are excluded
+        from the space (section 4.1) so the search always makes progress.
+        Returns None when the class is exhausted.
+        """
+        for _ in range(self.max_restarts + 1):
+            part_filter = PartEvaluator(self.analysis, self.phi)
+            enumerator = CandidateEnumerator(
+                self.analysis, self.grammar_class, self.pools, part_filter
+            )
+            restart = False
+            for candidate in enumerator.candidates():
+                if hash(candidate) in blocked:
+                    continue
+                self.stats.candidates_checked += 1
+                counterexample = self.checker.check(candidate)
+                if counterexample is None:
+                    return candidate
+                self.phi.append(counterexample)
+                self.stats.counterexamples += 1
+                self.stats.restarts += 1
+                restart = True
+                break
+            if not restart:
+                return None  # search space exhausted for this class
+        return None

@@ -1,0 +1,149 @@
+"""Casper's summary search: findSummary (paper Fig. 5, lines 10-24).
+
+Iterates the incremental grammar-class hierarchy Γ; within each class,
+runs CEGIS to propose candidates, verifies each with the full verifier
+(theorem-prover substitute), blocks failures (Ω) and successes (Δ) from
+regeneration, and stops at the first class that yields verified
+summaries.  The result carries the statistics the evaluation reports
+(compile time, candidates proposed, theorem-prover failures, grammar
+class reached).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.nodes import Summary
+from ..lang.analysis.fragments import FragmentAnalysis
+from ..verification.bounded import BoundedCheckConfig, BoundedChecker
+from ..verification.prover import FullVerifier, ProofResult
+from .cegis import Synthesizer
+from .classes import generate_classes, monolithic_class
+from .grammar import GrammarBuilder, GrammarClass, harvest_paths
+
+
+@dataclass
+class VerifiedSummary:
+    """A summary that survived full verification, with proof metadata."""
+
+    summary: Summary
+    proof: ProofResult
+
+    @property
+    def operation_count(self) -> int:
+        return self.summary.operation_count
+
+
+@dataclass
+class SearchResult:
+    """Outcome of findSummary for one code fragment."""
+
+    fragment_id: str
+    summaries: list[VerifiedSummary] = field(default_factory=list)
+    tp_failures: int = 0  # candidates rejected by the theorem prover
+    candidates_checked: int = 0
+    counterexamples: int = 0
+    classes_searched: int = 0
+    final_class: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    failure_reason: Optional[str] = None
+
+    @property
+    def translated(self) -> bool:
+        return bool(self.summaries)
+
+
+@dataclass
+class SearchConfig:
+    """Knobs for the summary search."""
+
+    incremental_grammar: bool = True  # Table 3 ablation switch
+    max_summaries_per_class: int = 8
+    accept_bounded_only: bool = True
+    timeout_seconds: float = 90.0
+    bounded_config: BoundedCheckConfig = field(default_factory=BoundedCheckConfig)
+    extended_states: int = 120
+    exhaustive: bool = False  # collect every valid summary (Table 3 mode)
+
+
+def find_summaries(
+    analysis: FragmentAnalysis, config: Optional[SearchConfig] = None
+) -> SearchResult:
+    """Search for verified program summaries of a fragment (Fig. 5)."""
+    config = config or SearchConfig()
+    started = time.monotonic()
+    result = SearchResult(fragment_id=analysis.fragment.id)
+
+    try:
+        checker = BoundedChecker(analysis, config=config.bounded_config)
+    except Exception as exc:  # fragment not checkable at all
+        result.failure_reason = f"bounded checker construction failed: {exc}"
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+    if len(checker.states) < 2:
+        result.failure_reason = "could not build bounded program states"
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+
+    verifier = FullVerifier(
+        analysis,
+        extended_states=config.extended_states,
+        accept_bounded_only=config.accept_bounded_only,
+    )
+    sym_paths = harvest_paths(analysis)
+
+    if config.incremental_grammar:
+        classes = generate_classes(analysis)
+    else:
+        classes = [monolithic_class(analysis)]
+
+    omega: set[int] = set()  # failed verification (Ω)
+    delta: list[VerifiedSummary] = []  # verified summaries (Δ)
+    delta_hashes: set[int] = set()
+
+    for grammar_class in classes:
+        result.classes_searched += 1
+        result.final_class = grammar_class.name
+        pools = GrammarBuilder(analysis, grammar_class, sym_paths).build()
+        synthesizer = Synthesizer(analysis, grammar_class, pools, checker)
+
+        while True:
+            if time.monotonic() - started > config.timeout_seconds:
+                result.failure_reason = "synthesis timed out"
+                result.summaries = delta
+                result.candidates_checked += synthesizer.stats.candidates_checked
+                result.counterexamples += synthesizer.stats.counterexamples
+                result.elapsed_seconds = time.monotonic() - started
+                return result
+
+            blocked = omega | delta_hashes
+            candidate = synthesizer.synthesize(blocked)
+            if candidate is None and not delta:
+                break  # class exhausted, no solution: next grammar class
+            if candidate is None:
+                break  # class exhausted with solutions in hand
+            proof = verifier.verify(candidate)
+            if verifier.accepts(proof):
+                delta.append(VerifiedSummary(candidate, proof))
+                delta_hashes.add(hash(candidate))
+                if (
+                    not config.exhaustive
+                    and len(delta) >= config.max_summaries_per_class
+                ):
+                    break
+            else:
+                omega.add(hash(candidate))
+                result.tp_failures += 1
+
+        result.candidates_checked += synthesizer.stats.candidates_checked
+        result.counterexamples += synthesizer.stats.counterexamples
+        if delta and not config.exhaustive:
+            break  # search complete (Fig. 5 line 21)
+
+    result.summaries = delta
+    if not delta and result.failure_reason is None:
+        result.failure_reason = "no valid summary found in the search space"
+    result.elapsed_seconds = time.monotonic() - started
+    return result

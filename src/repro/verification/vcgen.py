@@ -1,0 +1,126 @@
+"""Hoare-logic verification-condition generation (paper section 3.3, Fig. 4).
+
+For a loop fragment with candidate program summary PS and the invariant
+template Inv(state, i) ≡ 0 ≤ i ≤ N ∧ outputs = MR(data[0..i]), the three
+verification conditions are:
+
+* Initiation:    (i = 0)                       →  Inv(state, i)
+* Continuation:  Inv(state, i) ∧ (i < N)       →  Inv(step(state), i + 1)
+* Termination:   Inv(state, i) ∧ ¬(i < N)      →  PS(state)
+
+This module constructs those obligations as structured records — the
+inductive prover discharges them (initiation via prelude symbolic
+evaluation, continuation via the fold-step identity, termination is
+immediate for the prefix-invariant template) and the bounded checker tests
+them on concrete states.  A textual rendering mirrors the paper's Fig. 4
+for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import Summary
+from ..ir.pretty import format_pipeline
+from ..lang.analysis.fragments import FragmentAnalysis
+
+
+@dataclass
+class VerificationCondition:
+    """One Hoare obligation: ``name: antecedent → consequent``."""
+
+    name: str  # initiation | continuation | termination
+    antecedent: str
+    consequent: str
+
+    def render(self) -> str:
+        return f"{self.name.capitalize():13s} {self.antecedent} → {self.consequent}"
+
+
+@dataclass
+class LoopInvariant:
+    """The prefix-form invariant template of Fig. 4(a).
+
+    ``Inv(outputs, i) ≡ 0 ≤ i ≤ bound ∧ outputs = MR(data[0..i])``.
+    The MR expression is the candidate summary's pipeline applied to the
+    prefix of the dataset up to the loop counter.
+    """
+
+    counter: str
+    bound: str
+    summary: Summary
+
+    def render(self) -> str:
+        pipeline_text = format_pipeline(self.summary.pipeline)
+        prefix = f"{self.summary.pipeline.source}[0..{self.counter}]"
+        body = pipeline_text.replace(self.summary.pipeline.source, prefix, 1)
+        outputs = ", ".join(b.var for b in self.summary.outputs)
+        return (
+            f"invariant({outputs}, {self.counter}) ≡ "
+            f"0 ≤ {self.counter} ≤ {self.bound} ∧ ({outputs}) = {body}"
+        )
+
+
+@dataclass
+class VCSet:
+    """The full verification-condition set for a fragment + candidate."""
+
+    analysis: FragmentAnalysis
+    summary: Summary
+    invariants: list[LoopInvariant] = field(default_factory=list)
+    conditions: list[VerificationCondition] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [inv.render() for inv in self.invariants]
+        lines.extend(cond.render() for cond in self.conditions)
+        return "\n".join(lines)
+
+
+def generate_vcs(analysis: FragmentAnalysis, summary: Summary) -> VCSet:
+    """Build the VC set for a candidate summary over a fragment's loop."""
+    view = analysis.view
+    counter = view.index_vars[0] if view.index_vars else "i"
+    if view.bounds:
+        from ..lang.pretty import format_expr
+
+        bound = format_expr(view.bounds[0])
+    elif view.kind == "foreach":
+        bound = f"{view.sources[0]}.size()"
+    else:
+        bound = "N"
+
+    outputs = ", ".join(analysis.output_vars)
+    inv = LoopInvariant(counter=counter, bound=bound, summary=summary)
+    inv_text = f"Inv({outputs}, {counter})"
+    ps_text = f"PS({outputs})"
+
+    conditions = [
+        VerificationCondition(
+            name="initiation",
+            antecedent=f"({counter} = 0)",
+            consequent=inv_text,
+        ),
+        VerificationCondition(
+            name="continuation",
+            antecedent=f"{inv_text} ∧ ({counter} < {bound})",
+            consequent=f"Inv(step({outputs}), {counter} + 1)",
+        ),
+        VerificationCondition(
+            name="termination",
+            antecedent=f"{inv_text} ∧ ¬({counter} < {bound})",
+            consequent=ps_text,
+        ),
+    ]
+
+    invariants = [inv]
+    if view.kind == "array2d" and len(view.index_vars) > 1:
+        # Nested loops need one invariant per loop (paper section 3.3).
+        inner = LoopInvariant(counter=view.index_vars[1], bound="cols", summary=summary)
+        invariants.append(inner)
+
+    return VCSet(
+        analysis=analysis,
+        summary=summary,
+        invariants=invariants,
+        conditions=conditions,
+    )

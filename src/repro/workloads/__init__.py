@@ -1,0 +1,21 @@
+"""Benchmark workloads: data generators and the seven evaluation suites."""
+
+from . import datagen
+from .registry import (
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    register,
+    suite_benchmarks,
+    suites,
+)
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "datagen",
+    "get_benchmark",
+    "register",
+    "suite_benchmarks",
+    "suites",
+]

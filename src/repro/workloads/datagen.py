@@ -1,0 +1,269 @@
+"""Seeded synthetic data generators for the benchmark suites.
+
+Stand-ins for the paper's 25/50/75 GB HDFS datasets and TPC-H SF-100
+tables: generators produce scaled-down record collections with the same
+*distributional* knobs the evaluation varies (keyword-match skew for
+StringMatch, Zipf word frequencies for WordCount, value ranges for the
+numeric suites), and the engine's ``scale`` factor extrapolates simulated
+time to full-size data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..errors import WorkloadError
+from ..lang.values import Instance, parse_date
+
+WORD_POOL = [
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "data", "map", "reduce", "query", "spark", "join", "scan", "key",
+    "value", "node", "graph", "rank", "page", "word", "count", "mean",
+]
+
+
+def rng_for(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def int_array(n: int, seed: int = 0, low: int = 0, high: int = 255) -> list[int]:
+    rng = rng_for(seed)
+    return [rng.randint(low, high) for _ in range(n)]
+
+
+def double_array(
+    n: int, seed: int = 0, low: float = -100.0, high: float = 100.0
+) -> list[float]:
+    rng = rng_for(seed)
+    return [rng.uniform(low, high) for _ in range(n)]
+
+
+def matrix(rows: int, cols: int, seed: int = 0, low: int = 0, high: int = 100) -> list[list[int]]:
+    rng = rng_for(seed)
+    return [[rng.randint(low, high) for _ in range(cols)] for _ in range(rows)]
+
+
+def double_matrix(
+    rows: int, cols: int, seed: int = 0, low: float = -10.0, high: float = 10.0
+) -> list[list[float]]:
+    rng = rng_for(seed)
+    return [[rng.uniform(low, high) for _ in range(cols)] for _ in range(rows)]
+
+
+def words(
+    n: int,
+    seed: int = 0,
+    zipf_s: float = 1.1,
+    pool: Optional[list[str]] = None,
+) -> list[str]:
+    """A text corpus with Zipf-distributed word frequencies."""
+    rng = rng_for(seed)
+    vocabulary = pool or WORD_POOL
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(vocabulary))]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    return rng.choices(vocabulary, weights=weights, k=n)
+
+
+def keyword_text(
+    n: int,
+    keywords: list[str],
+    match_probability: float,
+    seed: int = 0,
+) -> list[str]:
+    """Text where each word matches one of ``keywords`` with probability p.
+
+    This is the skew knob of the StringMatch experiment (Fig. 8(b)): 0%,
+    50% and 95% matching words.
+    """
+    if not 0.0 <= match_probability <= 1.0:
+        raise WorkloadError("match probability must be in [0, 1]")
+    rng = rng_for(seed)
+    fillers = [w for w in WORD_POOL if w not in keywords] or ["filler"]
+    out = []
+    for _ in range(n):
+        if keywords and rng.random() < match_probability:
+            out.append(rng.choice(keywords))
+        else:
+            out.append(rng.choice(fillers))
+    return out
+
+
+def pixels(n: int, seed: int = 0) -> list[Instance]:
+    """RGB pixels for the Phoenix 3D-histogram / Fiji plugins."""
+    rng = rng_for(seed)
+    return [
+        Instance(
+            "Pixel",
+            {"r": rng.randint(0, 255), "g": rng.randint(0, 255), "b": rng.randint(0, 255)},
+        )
+        for _ in range(n)
+    ]
+
+
+def image_frames(frames: int, pixels_per_frame: int, seed: int = 0) -> list[list[int]]:
+    """A stack of grayscale frames (Fiji Temporal Median / Trails)."""
+    rng = rng_for(seed)
+    base = [rng.randint(40, 200) for _ in range(pixels_per_frame)]
+    stack = []
+    for _ in range(frames):
+        stack.append(
+            [max(0, min(255, v + rng.randint(-25, 25))) for v in base]
+        )
+    return stack
+
+
+def graph_edges(nodes: int, edges: int, seed: int = 0) -> list[Instance]:
+    """Directed edges for PageRank (every node has out-degree ≥ 1)."""
+    rng = rng_for(seed)
+    out = []
+    for src in range(nodes):  # guarantee outdeg ≥ 1
+        out.append(Instance("Edge", {"src": src, "dst": rng.randrange(nodes)}))
+    for _ in range(max(0, edges - nodes)):
+        out.append(
+            Instance(
+                "Edge", {"src": rng.randrange(nodes), "dst": rng.randrange(nodes)}
+            )
+        )
+    return out
+
+
+def labeled_points(n: int, seed: int = 0) -> list[Instance]:
+    """2-feature labeled points for logistic regression."""
+    rng = rng_for(seed)
+    out = []
+    for _ in range(n):
+        label = rng.random() < 0.5
+        center = (1.5, 1.0) if label else (-1.5, -1.0)
+        out.append(
+            Instance(
+                "Point",
+                {
+                    "x0": rng.gauss(center[0], 1.0),
+                    "x1": rng.gauss(center[1], 1.0),
+                    "y": 1.0 if label else 0.0,
+                },
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# TPC-H (scaled-down lineitem / supplier / part generators)
+
+_RETURN_FLAGS = ["A", "N", "R"]
+_LINE_STATUS = ["O", "F"]
+
+
+def lineitems(n: int, seed: int = 0, suppliers: int = 50, parts: int = 200) -> list[Instance]:
+    """TPC-H lineitem-like records (the columns Q1/Q6/Q15/Q17 touch)."""
+    rng = rng_for(seed)
+    base_1992 = parse_date("1992-01-01").get("epoch")
+    out = []
+    for _ in range(n):
+        quantity = float(rng.randint(1, 50))
+        price = round(rng.uniform(900.0, 105000.0), 2)
+        discount = round(rng.choice([i / 100 for i in range(0, 11)]), 2)
+        tax = round(rng.choice([i / 100 for i in range(0, 9)]), 2)
+        out.append(
+            Instance(
+                "LineItem",
+                {
+                    "l_suppkey": rng.randrange(suppliers),
+                    "l_partkey": rng.randrange(parts),
+                    "l_quantity": quantity,
+                    "l_extendedprice": price,
+                    "l_discount": discount,
+                    "l_tax": tax,
+                    "l_returnflag": rng.choice(_RETURN_FLAGS),
+                    "l_linestatus": rng.choice(_LINE_STATUS),
+                    "l_shipdate": Instance(
+                        "Date", {"epoch": base_1992 + rng.randint(0, 7 * 365)}
+                    ),
+                },
+            )
+        )
+    return out
+
+
+def part_supplier_tables(
+    parts: int, suppliers: int, partsupps: int, seed: int = 0
+) -> tuple[list[Instance], list[Instance], list[Instance]]:
+    """part / supplier / partsupp relations for the 3-way-join demo."""
+    rng = rng_for(seed)
+    part_rows = [
+        Instance("Part", {"p_partkey": i, "p_size": rng.randint(1, 50)})
+        for i in range(parts)
+    ]
+    supplier_rows = [
+        Instance("Supplier", {"s_suppkey": i, "s_nationkey": rng.randrange(25)})
+        for i in range(suppliers)
+    ]
+    partsupp_rows = [
+        Instance(
+            "PartSupp",
+            {
+                "ps_partkey": rng.randrange(parts),
+                "ps_suppkey": rng.randrange(suppliers),
+                "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                "ps_availqty": rng.randint(1, 9999),
+            },
+        )
+        for _ in range(partsupps)
+    ]
+    return part_rows, supplier_rows, partsupp_rows
+
+
+def wikipedia_log(n: int, seed: int = 0, pages: int = 40) -> list[Instance]:
+    """Page-view log records for the Wikipedia PageCount benchmark."""
+    rng = rng_for(seed)
+    titles = [f"Page_{i}" for i in range(pages)]
+    weights = [1.0 / (i + 1) for i in range(pages)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    return [
+        Instance(
+            "LogEntry",
+            {
+                "title": rng.choices(titles, weights=weights, k=1)[0],
+                "views": rng.randint(1, 500),
+            },
+        )
+        for _ in range(n)
+    ]
+
+
+def yelp_reviews(n: int, seed: int = 0) -> list[Instance]:
+    """Business records for the YelpKids benchmark."""
+    rng = rng_for(seed)
+    return [
+        Instance(
+            "Business",
+            {
+                "stars": float(rng.randint(1, 5)),
+                "kid_friendly": rng.random() < 0.3,
+                "review_count": rng.randint(1, 2000),
+            },
+        )
+        for _ in range(n)
+    ]
+
+
+def sentiment_words(n: int, seed: int = 0) -> list[Instance]:
+    """Scored words for the Bigλ sentiment benchmark."""
+    rng = rng_for(seed)
+    return [
+        Instance("ScoredWord", {"word": rng.choice(WORD_POOL), "score": rng.randint(-5, 5)})
+        for _ in range(n)
+    ]
+
+
+def zipf_sample(n: int, alpha: float, universe: int, seed: int = 0) -> list[int]:
+    """Zipf-distributed integers (generic skew source)."""
+    rng = rng_for(seed)
+    weights = [1.0 / (k + 1) ** alpha for k in range(universe)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    return rng.choices(range(universe), weights=weights, k=n)

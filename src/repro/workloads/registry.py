@@ -1,0 +1,87 @@
+"""Benchmark registry: every suite's programs and their inputs.
+
+A :class:`Benchmark` bundles the sequential mini-Java source, the
+function to translate, and a seeded input generator.  Suites register
+themselves via :func:`register`; :func:`all_benchmarks` and
+:func:`suite_benchmarks` drive the feasibility and performance
+experiments (Tables 1-2, Figures 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..lang.parser import parse_program
+
+InputMaker = Callable[[int, int], dict[str, Any]]
+
+
+@dataclass
+class Benchmark:
+    """One benchmark program (may contain several code fragments)."""
+
+    name: str
+    suite: str
+    source: str
+    function: str
+    make_inputs: InputMaker
+    description: str = ""
+    #: Design intent: False marks programs written with constructs outside
+    #: the IR (loops in transformers, unsupported library methods, ...)
+    #: mirroring the paper's untranslatable fragments.
+    expected_translatable: bool = True
+    #: Dataset argument names (for byte accounting), in signature order.
+    data_args: list[str] = field(default_factory=list)
+
+    def parse(self):
+        return parse_program(self.source)
+
+    def args_for(self, inputs: dict[str, Any]) -> list[Any]:
+        """Order the inputs dict into positional args for the function."""
+        program = self.parse()
+        func = program.function(self.function)
+        return [inputs[p.name] for p in func.params]
+
+
+_REGISTRY: dict[str, list[Benchmark]] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    _REGISTRY.setdefault(benchmark.suite, []).append(benchmark)
+    return benchmark
+
+
+def suite_benchmarks(suite: str) -> list[Benchmark]:
+    _ensure_loaded()
+    return list(_REGISTRY.get(suite, []))
+
+
+def all_benchmarks() -> list[Benchmark]:
+    _ensure_loaded()
+    return [b for suite in sorted(_REGISTRY) for b in _REGISTRY[suite]]
+
+
+def suites() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    _ensure_loaded()
+    for benchmarks in _REGISTRY.values():
+        for benchmark in benchmarks:
+            if benchmark.name == name:
+                return benchmark
+    raise KeyError(name)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from .suites import ariths, biglambda, fiji, iterative, phoenix, stats, tpch  # noqa: F401

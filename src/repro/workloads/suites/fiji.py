@@ -1,0 +1,393 @@
+"""Fiji suite: scientific image-analysis plugins (paper section 7.1).
+
+The paper ran Casper on four Fiji/ImageJ plugin packages — NL-Means
+denoising, Red To Magenta, Temporal Median, and Trails — 35 candidate
+fragments of which 23 translated.  These are our own implementations of
+the per-pixel loop patterns those plugins comprise.  Failures mirror the
+paper's causes: unmodelled library methods, variable-size convolution
+kernels, and loop-carried pixel dependencies.
+"""
+
+from __future__ import annotations
+
+from .. import datagen
+from ..registry import Benchmark, register
+
+
+def _pixels(size: int, seed: int):
+    return {"pix": datagen.pixels(size, seed)}
+
+
+def _gray(size: int, seed: int):
+    return {"img": datagen.int_array(size, seed, low=0, high=255), "n": size}
+
+
+def _frames(size: int, seed: int):
+    pixels_per_frame = 64
+    frames = max(2, size // pixels_per_frame)
+    return {
+        "frames": datagen.image_frames(frames, pixels_per_frame, seed),
+        "nframes": frames,
+        "npixels": pixels_per_frame,
+    }
+
+
+# ----------------------------------------------------------------------
+# Red To Magenta: channel transforms (translatable per-pixel loops)
+
+register(
+    Benchmark(
+        name="fiji_red_to_magenta",
+        suite="fiji",
+        function="redToMagenta",
+        description=(
+            "Turn red pixels magenta by copying the red channel into blue "
+            "(three per-channel fragments + a red-pixel count)."
+        ),
+        make_inputs=_pixels,
+        data_args=["pix"],
+        source="""
+class Pixel { int r; int g; int b; }
+int redToMagenta(List<Pixel> pix) {
+  List<int> outR = new ArrayList<int>();
+  for (Pixel p : pix) {
+    outR.add(p.r);
+  }
+  List<int> outB = new ArrayList<int>();
+  for (Pixel p : pix) {
+    outB.add(p.r > 128 && p.g < 64 && p.b < 64 ? p.r : p.b);
+  }
+  int redCount = 0;
+  for (Pixel p : pix) {
+    if (p.r > 128 && p.g < 64 && p.b < 64) redCount = redCount + 1;
+  }
+  return redCount + outR.size() + outB.size();
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_channel_histogram",
+        suite="fiji",
+        function="channelHistogram",
+        description="Red-channel intensity histogram.",
+        make_inputs=_pixels,
+        data_args=["pix"],
+        source="""
+class Pixel { int r; int g; int b; }
+int[] channelHistogram(List<Pixel> pix) {
+  int[] h = new int[256];
+  for (Pixel p : pix) {
+    h[p.r] = h[p.r] + 1;
+  }
+  return h;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_brightness",
+        suite="fiji",
+        function="brightness",
+        description="Mean pixel brightness (sum of channel averages).",
+        make_inputs=_pixels,
+        data_args=["pix"],
+        source="""
+class Pixel { int r; int g; int b; }
+double brightness(List<Pixel> pix) {
+  double total = 0;
+  int count = 0;
+  for (Pixel p : pix) {
+    total += (p.r + p.g + p.b) / 3.0;
+    count = count + 1;
+  }
+  return total / count;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_threshold",
+        suite="fiji",
+        function="threshold",
+        description="Binary threshold of a grayscale image (map-only).",
+        make_inputs=_gray,
+        data_args=["img"],
+        source="""
+int[] threshold(int[] img, int n) {
+  int[] out = new int[n];
+  for (int i = 0; i < n; i++) {
+    out[i] = img[i] > 127 ? 255 : 0;
+  }
+  return out;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_invert",
+        suite="fiji",
+        function="invert",
+        description="Invert a grayscale image (map-only).",
+        make_inputs=_gray,
+        data_args=["img"],
+        source="""
+int[] invert(int[] img, int n) {
+  int[] out = new int[n];
+  for (int i = 0; i < n; i++) {
+    out[i] = 255 - img[i];
+  }
+  return out;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_gamma_stats",
+        suite="fiji",
+        function="gammaStats",
+        description="Intensity extremes for contrast normalization.",
+        make_inputs=_gray,
+        data_args=["img"],
+        source="""
+int gammaStats(int[] img, int n) {
+  int lo = Integer.MAX_VALUE;
+  int hi = Integer.MIN_VALUE;
+  for (int i = 0; i < n; i++) {
+    lo = Math.min(lo, img[i]);
+    hi = Math.max(hi, img[i]);
+  }
+  return hi - lo;
+}
+""",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Temporal Median / Trails: frame-stack loops
+
+register(
+    Benchmark(
+        name="fiji_trails",
+        suite="fiji",
+        function="trails",
+        description=(
+            "Average pixel intensities over a time window of frames "
+            "(per-pixel sums across the stack)."
+        ),
+        make_inputs=_frames,
+        data_args=["frames"],
+        source="""
+double[] trails(int[][] frames, int nframes, int npixels) {
+  double[] acc = new double[npixels];
+  for (int i = 0; i < nframes; i++) {
+    for (int j = 0; j < npixels; j++) {
+      acc[j] = acc[j] + frames[i][j] / nframes;
+    }
+  }
+  return acc;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_frame_max",
+        suite="fiji",
+        function="frameMax",
+        description="Per-pixel maximum across frames (background model).",
+        make_inputs=_frames,
+        data_args=["frames"],
+        source="""
+int[] frameMax(int[][] frames, int nframes, int npixels) {
+  int[] mx = new int[npixels];
+  for (int i = 0; i < nframes; i++) {
+    for (int j = 0; j < npixels; j++) {
+      mx[j] = Math.max(mx[j], frames[i][j]);
+    }
+  }
+  return mx;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_foreground_count",
+        suite="fiji",
+        function="foregroundCount",
+        description="Count of bright pixels across the whole stack.",
+        make_inputs=_frames,
+        data_args=["frames"],
+        source="""
+int foregroundCount(int[][] frames, int nframes, int npixels) {
+  int count = 0;
+  for (int i = 0; i < nframes; i++) {
+    for (int j = 0; j < npixels; j++) {
+      if (frames[i][j] > 180) count = count + 1;
+    }
+  }
+  return count;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_temporal_median",
+        suite="fiji",
+        function="temporalMedian",
+        description=(
+            "Probabilistic foreground extraction: the per-pixel running "
+            "median update is a loop-carried recurrence over frames — not "
+            "a homomorphic fold, so translation fails (by design); the "
+            "auxiliary sum fragment translates."
+        ),
+        make_inputs=_frames,
+        data_args=["frames"],
+        source="""
+double temporalMedian(int[][] frames, int nframes, int npixels) {
+  double[] est = new double[npixels];
+  for (int i = 0; i < nframes; i++) {
+    for (int j = 0; j < npixels; j++) {
+      est[j] = est[j] + Math.signum(frames[i][j] - est[j]);
+    }
+  }
+  double total = 0;
+  int cells = 0;
+  for (int j = 0; j < npixels; j++) {
+    total += est[j];
+    cells = cells + 1;
+  }
+  return total / cells;
+}
+""",
+    )
+)
+
+# ----------------------------------------------------------------------
+# NL-Means: pixel statistics translate; neighborhood kernels do not
+
+register(
+    Benchmark(
+        name="fiji_nlmeans_stats",
+        suite="fiji",
+        function="nlmeansStats",
+        description="Image mean and variance accumulators for NL-Means.",
+        make_inputs=_gray,
+        data_args=["img"],
+        source="""
+double nlmeansStats(int[] img, int n) {
+  double s = 0;
+  double sq = 0;
+  for (int i = 0; i < n; i++) {
+    s += img[i];
+    sq += img[i] * img[i];
+  }
+  return (sq - s * s / n) / n;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_nlmeans_kernel",
+        suite="fiji",
+        function="nlmeansKernel",
+        description=(
+            "Variable-size patch convolution — the kernel loop inside the "
+            "would-be mapper is inexpressible in the IR (the paper's "
+            "variable-kernel failure)."
+        ),
+        expected_translatable=False,
+        make_inputs=lambda size, seed: {
+            "img": datagen.int_array(size, seed, low=0, high=255),
+            "n": size,
+            "radius": 3,
+        },
+        data_args=["img"],
+        source="""
+double[] nlmeansKernel(int[] img, int n, int radius) {
+  double[] out = new double[n];
+  for (int i = 0; i < n; i++) {
+    double acc = 0;
+    int cnt = 0;
+    for (int d = 0 - radius; d <= radius; d++) {
+      int idx = i + d;
+      if (idx >= 0 && idx < n) {
+        acc += img[idx];
+        cnt = cnt + 1;
+      }
+    }
+    out[i] = acc / cnt;
+  }
+  return out;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_running_blur",
+        suite="fiji",
+        function="runningBlur",
+        description=(
+            "Exponential smoothing across pixels — a loop-carried "
+            "dependency on the previous output pixel (untranslatable)."
+        ),
+        expected_translatable=False,
+        make_inputs=_gray,
+        data_args=["img"],
+        source="""
+double[] runningBlur(int[] img, int n) {
+  double[] out = new double[n];
+  double prev = 0;
+  for (int i = 0; i < n; i++) {
+    prev = 0.7 * prev + 0.3 * img[i];
+    out[i] = prev;
+  }
+  return out;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="fiji_saturation_count",
+        suite="fiji",
+        function="saturationCount",
+        description="Saturated pixels per channel (three scalar counters).",
+        make_inputs=_pixels,
+        data_args=["pix"],
+        source="""
+class Pixel { int r; int g; int b; }
+int saturationCount(List<Pixel> pix) {
+  int satR = 0;
+  int satG = 0;
+  int satB = 0;
+  for (Pixel p : pix) {
+    if (p.r >= 255) satR = satR + 1;
+    if (p.g >= 255) satG = satG + 1;
+    if (p.b >= 255) satB = satB + 1;
+  }
+  return satR + satG + satB;
+}
+""",
+    )
+)

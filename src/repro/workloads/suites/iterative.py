@@ -1,0 +1,88 @@
+"""Iterative suite: PageRank and logistic-regression classification.
+
+The paper manually implemented sequential versions of these two popular
+iterative algorithms and translated their inner loops (7/7 fragments,
+section 7.1).  Here PageRank contributes three fragments (out-degree
+count, contribution scatter, rank update) and logistic regression four
+(gradient pair, loss, prediction count, weight update).
+"""
+
+from __future__ import annotations
+
+from .. import datagen
+from ..registry import Benchmark, register
+
+register(
+    Benchmark(
+        name="iterative_pagerank",
+        suite="iterative",
+        function="pagerankIter",
+        description="One PageRank iteration over an edge list.",
+        make_inputs=lambda size, seed: {
+            "edges": datagen.graph_edges(max(4, size // 8), size, seed),
+            "rank": [1.0] * max(4, size // 8),
+            "nodes": max(4, size // 8),
+        },
+        data_args=["edges"],
+        source="""
+class Edge { int src; int dst; }
+double[] pagerankIter(List<Edge> edges, double[] rank, int nodes) {
+  int[] outdeg = new int[nodes];
+  for (Edge e : edges) {
+    outdeg[e.src] = outdeg[e.src] + 1;
+  }
+  double[] contrib = new double[nodes];
+  for (Edge e : edges) {
+    contrib[e.dst] = contrib[e.dst] + rank[e.src] / outdeg[e.src];
+  }
+  double[] next = new double[nodes];
+  for (int i = 0; i < nodes; i++) {
+    next[i] = 0.15 / nodes + 0.85 * contrib[i];
+  }
+  return next;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="iterative_logistic_regression",
+        suite="iterative",
+        function="logregIter",
+        description="One gradient-descent step for 2-feature logistic regression.",
+        make_inputs=lambda size, seed: {
+            "points": datagen.labeled_points(size, seed),
+            "w0": 0.1,
+            "w1": -0.1,
+            "lr": 0.01,
+        },
+        data_args=["points"],
+        source="""
+class Point { double x0; double x1; double y; }
+double[] logregIter(List<Point> points, double w0, double w1, double lr) {
+  double g0 = 0;
+  double g1 = 0;
+  for (Point p : points) {
+    g0 += (1.0 / (1.0 + Math.exp(0.0 - (w0 * p.x0 + w1 * p.x1))) - p.y) * p.x0;
+    g1 += (1.0 / (1.0 + Math.exp(0.0 - (w0 * p.x0 + w1 * p.x1))) - p.y) * p.x1;
+  }
+  double loss = 0;
+  for (Point p : points) {
+    loss += (1.0 / (1.0 + Math.exp(0.0 - (w0 * p.x0 + w1 * p.x1))) - p.y) * (1.0 / (1.0 + Math.exp(0.0 - (w0 * p.x0 + w1 * p.x1))) - p.y);
+  }
+  int correct = 0;
+  for (Point p : points) {
+    if ((w0 * p.x0 + w1 * p.x1 > 0.0 && p.y > 0.5) || (w0 * p.x0 + w1 * p.x1 <= 0.0 && p.y <= 0.5))
+      correct = correct + 1;
+  }
+  double[] out = new double[4];
+  out[0] = w0 - lr * g0;
+  out[1] = w1 - lr * g1;
+  out[2] = loss;
+  out[3] = correct;
+  return out;
+}
+""",
+    )
+)

@@ -1,0 +1,278 @@
+"""Phoenix suite: standard MapReduce problems (paper section 7.1).
+
+The Phoenix benchmarks — 3D Histogram, Word Count, String Match, Linear
+Regression, KMeans, PCA, Matrix Multiplication — are the classic shared-
+memory MapReduce kernels; the paper uses sequential Java ports.  All
+programs here are our own implementations of those well-known kernels.
+
+Fragment census (design intent): histogram3d contributes 3 fragments,
+kmeans 2 (assignment fails: argmin loop inside the would-be mapper), pca
+2 (covariance fails: pairwise column products need a join), matrix
+multiplication 1 (fails: triple nest), and word count / string match /
+linear regression 1 each — 11 fragments, 8 translatable, mirroring the
+paper's 7/11.
+"""
+
+from __future__ import annotations
+
+from .. import datagen
+from ..registry import Benchmark, register
+
+register(
+    Benchmark(
+        name="phoenix_histogram3d",
+        suite="phoenix",
+        function="histogram3d",
+        description="Per-channel RGB histograms over pixels (3 fragments).",
+        make_inputs=lambda size, seed: {"pixels": datagen.pixels(size, seed)},
+        data_args=["pixels"],
+        source="""
+class Pixel { int r; int g; int b; }
+int[][] histogram3d(List<Pixel> pixels) {
+  int[] hr = new int[256];
+  for (Pixel p : pixels) {
+    hr[p.r] = hr[p.r] + 1;
+  }
+  int[] hg = new int[256];
+  for (Pixel p : pixels) {
+    hg[p.g] = hg[p.g] + 1;
+  }
+  int[] hb = new int[256];
+  for (Pixel p : pixels) {
+    hb[p.b] = hb[p.b] + 1;
+  }
+  int[][] result = new int[3][256];
+  result[0] = hr;
+  result[1] = hg;
+  result[2] = hb;
+  return result;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_wordcount",
+        suite="phoenix",
+        function="wordCount",
+        description="Word frequency counting.",
+        make_inputs=lambda size, seed: {"wordList": datagen.words(size, seed)},
+        data_args=["wordList"],
+        source="""
+Map<String, Integer> wordCount(List<String> wordList) {
+  Map<String, Integer> counts = new HashMap<String, Integer>();
+  for (String w : wordList) {
+    counts.put(w, counts.getOrDefault(w, 0) + 1);
+  }
+  return counts;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_string_match",
+        suite="phoenix",
+        function="stringMatch",
+        description="Do two keywords occur anywhere in the text?",
+        make_inputs=lambda size, seed: {
+            "text": datagen.keyword_text(size, ["key1", "key2"], 0.05, seed),
+            "key1": "key1",
+            "key2": "key2",
+        },
+        data_args=["text"],
+        source="""
+boolean[] stringMatch(List<String> text, String key1, String key2) {
+  boolean key1_found = false;
+  boolean key2_found = false;
+  for (String word : text) {
+    if (word.equals(key1)) key1_found = true;
+    if (word.equals(key2)) key2_found = true;
+  }
+  boolean[] found = new boolean[2];
+  found[0] = key1_found;
+  found[1] = key2_found;
+  return found;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_linear_regression",
+        suite="phoenix",
+        function="linearRegression",
+        description="Least-squares accumulators over (x, y) points.",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "y": datagen.double_array(size, seed + 1),
+            "n": size,
+        },
+        data_args=["x", "y"],
+        source="""
+double[] linearRegression(double[] x, double[] y, int n) {
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (int i = 0; i < n; i++) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double[] ab = new double[2];
+  ab[1] = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  ab[0] = (sy - ab[1] * sx) / n;
+  return ab;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_kmeans",
+        suite="phoenix",
+        function="kmeansStep",
+        description=(
+            "One KMeans step: the assignment loop needs an argmin over "
+            "centroids inside the mapper (inexpressible: loops are absent "
+            "from the IR's transformer functions); the per-cluster count "
+            "loop translates."
+        ),
+        make_inputs=lambda size, seed: {
+            "px": datagen.double_array(size, seed),
+            "cx": datagen.double_array(4, seed + 7),
+            "assign": datagen.int_array(size, seed + 3, low=0, high=3),
+            "n": size,
+            "k": 4,
+        },
+        data_args=["px"],
+        source="""
+int[] kmeansStep(double[] px, double[] cx, int[] assign, int n, int k) {
+  for (int i = 0; i < n; i++) {
+    int best = 0;
+    double bestDist = Double.MAX_VALUE;
+    for (int c = 0; c < k; c++) {
+      double d = (px[i] - cx[c]) * (px[i] - cx[c]);
+      if (d < bestDist) {
+        bestDist = d;
+        best = c;
+      }
+    }
+    assign[i] = best;
+  }
+  int[] counts = new int[k];
+  for (int i = 0; i < n; i++) {
+    counts[assign[i]] = counts[assign[i]] + 1;
+  }
+  return counts;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_pca",
+        suite="phoenix",
+        function="pcaMeans",
+        description=(
+            "PCA preprocessing: the column-mean loop translates; the "
+            "covariance loop multiplies two different columns per cell "
+            "and needs a self-join, so it does not."
+        ),
+        make_inputs=lambda size, seed: {
+            "mat": datagen.double_matrix(max(2, size // 16), 16, seed),
+            "rows": max(2, size // 16),
+            "cols": 16,
+        },
+        data_args=["mat"],
+        source="""
+double[] pcaMeans(double[][] mat, int rows, int cols) {
+  double[] mean = new double[cols];
+  for (int i = 0; i < rows; i++) {
+    for (int j = 0; j < cols; j++) {
+      mean[j] = mean[j] + mat[i][j] / rows;
+    }
+  }
+  double[] cov = new double[cols];
+  for (int a = 0; a < cols; a++) {
+    double acc = 0;
+    for (int i = 0; i < rows; i++) {
+      acc += (mat[i][a] - mean[a]) * (mat[i][(a + 1) % cols] - mean[(a + 1) % cols]);
+    }
+    cov[a] = acc / (rows - 1);
+  }
+  return cov;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_matrix_multiply",
+        suite="phoenix",
+        function="matMul",
+        description=(
+            "Dense matrix multiplication — the triple loop nest computes "
+            "each output cell from a full row and column, beyond the "
+            "map/reduce summaries the IR can express (the paper also fails "
+            "to translate it)."
+        ),
+        expected_translatable=False,
+        make_inputs=lambda size, seed: {
+            "a": datagen.matrix(12, 12, seed),
+            "b": datagen.matrix(12, 12, seed + 1),
+            "n": 12,
+        },
+        data_args=["a", "b"],
+        source="""
+int[][] matMul(int[][] a, int[][] b, int n) {
+  int[][] c = new int[n][n];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      int acc = 0;
+      for (int k = 0; k < n; k++) {
+        acc += a[i][k] * b[k][j];
+      }
+      c[i][j] = acc;
+    }
+  }
+  return c;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="phoenix_rowwise_mean",
+        suite="phoenix",
+        function="rwm",
+        description="The paper's running example (Fig. 1): row-wise mean.",
+        make_inputs=lambda size, seed: {
+            "mat": datagen.matrix(max(2, size // 32), 32, seed),
+            "rows": max(2, size // 32),
+            "cols": 32,
+        },
+        data_args=["mat"],
+        source="""
+int[] rwm(int[][] mat, int rows, int cols) {
+  int[] m = new int[rows];
+  for (int i = 0; i < rows; i++) {
+    int sum = 0;
+    for (int j = 0; j < cols; j++)
+      sum += mat[i][j];
+    m[i] = sum / cols;
+  }
+  return m;
+}
+""",
+    )
+)

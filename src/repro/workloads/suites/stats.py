@@ -1,0 +1,456 @@
+"""Stats suite: statistical analysis kernels (paper section 7.1).
+
+Modelled on the benchmarks Casper extracted from an online statistical
+analysis repository — Covariance, Standard Error, Hadamard Product, and
+similar vector/matrix operations.  19 benchmarks; the paper translates
+18 of 19 (the one failure here is ``stats_median``, which needs sorting
+and so has no summary in the IR).
+"""
+
+from __future__ import annotations
+
+from .. import datagen
+from ..registry import Benchmark, register
+
+
+def _vec(size: int, seed: int):
+    return {"x": datagen.double_array(size, seed), "n": size}
+
+
+def _two_vec(size: int, seed: int):
+    return {
+        "x": datagen.double_array(size, seed),
+        "y": datagen.double_array(size, seed + 1),
+        "n": size,
+    }
+
+
+register(
+    Benchmark(
+        name="stats_mean",
+        suite="stats",
+        function="mean",
+        description="Arithmetic mean (sum + count accumulators).",
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double mean(double[] x, int n) {
+  double s = 0;
+  int c = 0;
+  for (int i = 0; i < n; i++) {
+    s += x[i];
+    c = c + 1;
+  }
+  return s / c;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_variance_sums",
+        suite="stats",
+        function="varianceSums",
+        description="Sum and sum-of-squares for the variance formula.",
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double varianceSums(double[] x, int n) {
+  double s = 0;
+  double sq = 0;
+  for (int i = 0; i < n; i++) {
+    s += x[i];
+    sq += x[i] * x[i];
+  }
+  return (sq - s * s / n) / (n - 1);
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_std_error",
+        suite="stats",
+        function="stdErrorSums",
+        description="Accumulators for the standard error of the mean.",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "n": size,
+            "mu": 0.0,
+        },
+        data_args=["x"],
+        source="""
+double stdErrorSums(double[] x, int n, double mu) {
+  double dev = 0;
+  for (int i = 0; i < n; i++) {
+    dev += (x[i] - mu) * (x[i] - mu);
+  }
+  return Math.sqrt(dev / (n - 1)) / Math.sqrt(n);
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_covariance",
+        suite="stats",
+        function="covSums",
+        description="Covariance accumulators over zipped vectors.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double covSums(double[] x, double[] y, int n) {
+  double sx = 0;
+  double sy = 0;
+  double sxy = 0;
+  for (int i = 0; i < n; i++) {
+    sx += x[i];
+    sy += y[i];
+    sxy += x[i] * y[i];
+  }
+  return (sxy - sx * sy / n) / (n - 1);
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_hadamard",
+        suite="stats",
+        function="hadamard",
+        description="Elementwise (Hadamard) product of two vectors.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double[] hadamard(double[] x, double[] y, int n) {
+  double[] z = new double[n];
+  for (int i = 0; i < n; i++) {
+    z[i] = x[i] * y[i];
+  }
+  return z;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_vector_add",
+        suite="stats",
+        function="vecAdd",
+        description="Elementwise vector addition.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double[] vecAdd(double[] x, double[] y, int n) {
+  double[] z = new double[n];
+  for (int i = 0; i < n; i++) {
+    z[i] = x[i] + y[i];
+  }
+  return z;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_vector_scale",
+        suite="stats",
+        function="vecScale",
+        description="Scale a vector by a constant.",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "n": size,
+            "alpha": 2.5,
+        },
+        data_args=["x"],
+        source="""
+double[] vecScale(double[] x, int n, double alpha) {
+  double[] z = new double[n];
+  for (int i = 0; i < n; i++) {
+    z[i] = alpha * x[i];
+  }
+  return z;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_l1_norm",
+        suite="stats",
+        function="l1Norm",
+        description="Sum of absolute values (L1 norm).",
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double l1Norm(double[] x, int n) {
+  double s = 0;
+  for (int i = 0; i < n; i++) s += Math.abs(x[i]);
+  return s;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_l2_norm_sq",
+        suite="stats",
+        function="l2NormSq",
+        description="Squared L2 norm.",
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double l2NormSq(double[] x, int n) {
+  double s = 0;
+  for (int i = 0; i < n; i++) s += x[i] * x[i];
+  return s;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_min_max",
+        suite="stats",
+        function="minMaxRange",
+        description="Minimum, maximum, and range in one pass.",
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double minMaxRange(double[] x, int n) {
+  double lo = Double.MAX_VALUE;
+  double hi = -Double.MAX_VALUE;
+  for (int i = 0; i < n; i++) {
+    lo = Math.min(lo, x[i]);
+    hi = Math.max(hi, x[i]);
+  }
+  return hi - lo;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_weighted_sum",
+        suite="stats",
+        function="weightedSum",
+        description="Weighted sum over zipped value/weight vectors.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double weightedSum(double[] x, double[] y, int n) {
+  double s = 0;
+  for (int i = 0; i < n; i++) s += x[i] * y[i];
+  return s;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_correlation_sums",
+        suite="stats",
+        function="corrSums",
+        description="The five accumulators of Pearson correlation.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double corrSums(double[] x, double[] y, int n) {
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double syy = 0;
+  double sxy = 0;
+  for (int i = 0; i < n; i++) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  return (n * sxy - sx * sy) / (Math.sqrt(n * sxx - sx * sx) * Math.sqrt(n * syy - sy * sy));
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_histogram",
+        suite="stats",
+        function="histogram",
+        description="Value histogram over a bounded integer domain.",
+        make_inputs=lambda size, seed: {
+            "data": datagen.int_array(size, seed, low=0, high=63),
+            "n": size,
+        },
+        data_args=["data"],
+        source="""
+int[] histogram(int[] data, int n) {
+  int[] h = new int[64];
+  for (int i = 0; i < n; i++) {
+    h[data[i]] = h[data[i]] + 1;
+  }
+  return h;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_count_above_mean",
+        suite="stats",
+        function="countAbove",
+        description="Count of values above a broadcast threshold.",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "n": size,
+            "mu": 5.0,
+        },
+        data_args=["x"],
+        source="""
+int countAbove(double[] x, int n, double mu) {
+  int c = 0;
+  for (int i = 0; i < n; i++) {
+    if (x[i] > mu) c = c + 1;
+  }
+  return c;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_log_sum",
+        suite="stats",
+        function="logSum",
+        description="Sum of logarithms (geometric-mean accumulator).",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed, low=0.5, high=100.0),
+            "n": size,
+        },
+        data_args=["x"],
+        source="""
+double logSum(double[] x, int n) {
+  double s = 0;
+  for (int i = 0; i < n; i++) s += Math.log(x[i]);
+  return s;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_standardize",
+        suite="stats",
+        function="standardize",
+        description="Z-score transform with broadcast mean and deviation.",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "n": size,
+            "mu": 1.0,
+            "sigma": 3.0,
+        },
+        data_args=["x"],
+        source="""
+double[] standardize(double[] x, int n, double mu, double sigma) {
+  double[] z = new double[n];
+  for (int i = 0; i < n; i++) {
+    z[i] = (x[i] - mu) / sigma;
+  }
+  return z;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_sum_diff_sq",
+        suite="stats",
+        function="sumDiffSq",
+        description="Sum of squared differences of zipped vectors.",
+        make_inputs=_two_vec,
+        data_args=["x", "y"],
+        source="""
+double sumDiffSq(double[] x, double[] y, int n) {
+  double s = 0;
+  for (int i = 0; i < n; i++) {
+    s += (x[i] - y[i]) * (x[i] - y[i]);
+  }
+  return s;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_clamp",
+        suite="stats",
+        function="clamp",
+        description="Clamp every element into [lo, hi] (map-only).",
+        make_inputs=lambda size, seed: {
+            "x": datagen.double_array(size, seed),
+            "n": size,
+            "lo": -10.0,
+            "hi": 10.0,
+        },
+        data_args=["x"],
+        source="""
+double[] clamp(double[] x, int n, double lo, double hi) {
+  double[] z = new double[n];
+  for (int i = 0; i < n; i++) {
+    z[i] = Math.min(hi, Math.max(lo, x[i]));
+  }
+  return z;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="stats_median",
+        suite="stats",
+        function="median",
+        description=(
+            "Median via selection — requires sorting, which the IR cannot "
+            "express; included as the suite's untranslatable benchmark."
+        ),
+        expected_translatable=False,
+        make_inputs=_vec,
+        data_args=["x"],
+        source="""
+double median(double[] x, int n) {
+  double best = 0;
+  int bestRank = -1;
+  for (int i = 0; i < n; i++) {
+    int rank = 0;
+    for (int j = 0; j < n; j++) {
+      if (x[j] < x[i]) rank = rank + 1;
+    }
+    if (rank == n / 2) {
+      best = x[i];
+      bestRank = rank;
+    }
+  }
+  return best;
+}
+""",
+    )
+)

@@ -1,0 +1,183 @@
+"""Tests for the cost model (Eqns 2-4) and the runtime monitor."""
+
+import pytest
+
+from repro.baselines.fig8_solutions import (
+    string_match_solution_a,
+    string_match_solution_b,
+    string_match_solution_c,
+)
+from repro.cost import (
+    CostModel,
+    CostWeights,
+    Implementation,
+    RuntimeMonitor,
+    estimate_from_sample,
+    expr_static_size,
+)
+from repro.ir.builder import (
+    add,
+    and_,
+    const,
+    emit,
+    eq,
+    map_stage,
+    or_,
+    pipeline,
+    proj,
+    reduce_stage,
+    scalar_output,
+    summary,
+    tup,
+    var,
+)
+from repro.ir.nodes import OutputBinding, TupleExpr, Var
+
+
+class TestStaticSizes:
+    def test_string_and_boolean_pair_sizes(self):
+        assert expr_static_size(Var("w", "String")) == 40
+        assert expr_static_size(eq(Var("w", "String"), Var("k", "String"))) == 10
+        assert expr_static_size(TupleExpr((const(True), const(False)))) == 28
+
+
+class TestStaticCosts:
+    def test_solution_a_matches_paper(self):
+        """Fig. 8(d): λm cost 2·(40+10)·N, λr cost 2·2·50·N → 300N."""
+        model = CostModel()
+        cost = model.summary_cost(string_match_solution_a())
+        assert cost.evaluate({}) == pytest.approx(300.0)
+
+    def test_solution_b_matches_paper(self):
+        """Fig. 8(d): λm 1·28·N + λr 2·28·N = 84N (constant routing key
+        costs nothing — the reduction erases to a global reduce)."""
+        model = CostModel()
+        cost = model.summary_cost(string_match_solution_b())
+        assert cost.evaluate({}) == pytest.approx(84.0)
+
+    def test_solution_c_is_data_dependent(self):
+        """Fig. 8(d): 150·(p1+p2)·N — zero at p=0, 150N at p1+p2=1."""
+        model = CostModel()
+        cost = model.summary_cost(string_match_solution_c())
+        assert cost.lower_bound() == 0.0
+        p_syms = sorted(cost.unknowns - {s for s in cost.unknowns if s.startswith("k_")})
+        full = {s: 1.0 for s in cost.unknowns}
+        assert cost.evaluate(full) == pytest.approx(300.0)
+        half = {s: (0.25 if s.startswith("p_") else 1.0) for s in cost.unknowns}
+        assert cost.evaluate(half) == pytest.approx(150.0 * 0.5 + 0.0, abs=40)
+
+    def test_non_ca_reduce_penalized(self):
+        model = CostModel()
+        s = summary(
+            pipeline(
+                "d",
+                map_stage(("v",), emit(const("k"), var("v"))),
+                reduce_stage(add(var("v1"), var("v2"))),
+            ),
+            scalar_output("out", default=0),
+        )
+        ca = model.summary_cost(s, commutative_associative=True)
+        non_ca = model.summary_cost(s, commutative_associative=False)
+        assert non_ca.evaluate({}) > ca.evaluate({})
+        assert non_ca.evaluate({}) / ca.evaluate({}) > 5  # Wcsg dominates
+
+    def test_weights_are_paper_values(self):
+        weights = CostWeights()
+        assert (weights.wm, weights.wr, weights.wj, weights.wcsg) == (1.0, 2.0, 2.0, 50.0)
+
+    def test_dominance_pruning_drops_solution_a(self):
+        """Fig. 8: (a) is disqualified at compile time by (b)."""
+        model = CostModel()
+        a = string_match_solution_a()
+        b = string_match_solution_b()
+        costed = [(a, model.summary_cost(a)), (b, model.summary_cost(b))]
+        survivors = model.prune_dominated(costed)
+        assert [s for s, _ in survivors] == [b]
+
+    def test_incomparable_solutions_both_survive(self):
+        """(b) and (c) cannot be compared statically (unknown p1, p2)."""
+        model = CostModel()
+        b = string_match_solution_b()
+        c = string_match_solution_c()
+        costed = [(b, model.summary_cost(b)), (c, model.summary_cost(c))]
+        survivors = model.prune_dominated(costed)
+        assert len(survivors) == 2
+
+
+class TestSampling:
+    def sample(self, match_probability, n=1000):
+        matched = int(n * match_probability)
+        words = ["key1"] * (matched // 2) + ["key2"] * (matched - matched // 2)
+        words += ["filler"] * (n - matched)
+        return [{"word": w} for w in words]
+
+    def test_probability_estimation(self):
+        s = string_match_solution_c()
+        env = {"key1": "key1", "key2": "key2"}
+        estimates = estimate_from_sample(s, self.sample(0.5), env)
+        total_p = sum(estimates.probabilities.values())
+        assert total_p == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_match_probability(self):
+        s = string_match_solution_c()
+        env = {"key1": "key1", "key2": "key2"}
+        estimates = estimate_from_sample(s, self.sample(0.0), env)
+        assert all(p == 0.0 for p in estimates.probabilities.values())
+
+    def test_distinct_key_ratio(self):
+        s = summary(
+            pipeline(
+                "d",
+                map_stage(("v",), emit(var("v"), const(1))),
+                reduce_stage(add(var("v1"), var("v2"))),
+            ),
+            scalar_output("out", default=0),
+        )
+        sample = [{"v": i % 5} for i in range(100)]
+        estimates = estimate_from_sample(s, sample, {})
+        assert list(estimates.key_ratios.values()) == [pytest.approx(0.05)]
+
+
+class TestRuntimeMonitor:
+    def make_monitor(self):
+        model = CostModel()
+        b = string_match_solution_b()
+        c = string_match_solution_c()
+        return RuntimeMonitor(
+            implementations=[
+                Implementation("b", b, model.summary_cost(b), lambda data: "ran_b"),
+                Implementation("c", c, model.summary_cost(c), lambda data: "ran_c"),
+            ]
+        )
+
+    def sample(self, match_probability, n=2000):
+        matched = int(n * match_probability)
+        words = ["key1"] * matched + ["filler"] * (n - matched)
+        return [{"word": w} for w in words]
+
+    def test_low_skew_prefers_guarded_solution(self):
+        """Fig. 8(c): 0% and 50% match → solution (c) wins."""
+        monitor = self.make_monitor()
+        env = {"key1": "key1", "key2": "key2"}
+        chosen = monitor.choose(self.sample(0.0), env)
+        assert chosen.name == "c"
+        chosen = monitor.choose(self.sample(0.5), env)
+        assert chosen.name == "c"
+
+    def test_high_skew_prefers_tuple_solution(self):
+        """Fig. 8(c): 95% match → solution (b) wins."""
+        monitor = self.make_monitor()
+        env = {"key1": "key1", "key2": "key2"}
+        chosen = monitor.choose(self.sample(0.95), env)
+        assert chosen.name == "b"
+
+    def test_monitor_records_costs(self):
+        monitor = self.make_monitor()
+        monitor.choose(self.sample(0.5), {"key1": "key1", "key2": "key2"})
+        assert set(monitor.last_costs) == {"b", "c"}
+        assert monitor.last_choice in ("b", "c")
+
+    def test_run_dispatches_to_chosen(self):
+        monitor = self.make_monitor()
+        result = monitor.run([], self.sample(0.0), {"key1": "key1", "key2": "key2"})
+        assert result == "ran_c"

@@ -1,0 +1,252 @@
+"""Tests for the simulated MapReduce engine: core, sizes, three APIs."""
+
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    SimFlinkEnv,
+    SimHadoopJob,
+    SimSparkContext,
+    partition_data,
+    run_sequential,
+    sizeof,
+)
+from repro.engine.sizes import BOOLEAN_SIZE, STRING_SIZE, TUPLE_HEADER
+from repro.errors import EngineError
+from repro.lang.parser import parse_program
+from repro.lang.values import Instance
+
+
+class TestSizes:
+    def test_paper_constants(self):
+        """Section 7.4's data-type sizes: String 40, Boolean 10, pair 28."""
+        assert sizeof("anything") == STRING_SIZE == 40
+        assert sizeof(True) == BOOLEAN_SIZE == 10
+        assert sizeof((True, False)) == TUPLE_HEADER + 20 == 28
+
+    def test_numeric_sizes(self):
+        assert sizeof(42) == 4
+        assert sizeof(3.5) == 8
+        assert sizeof(2**40) == 8
+
+    def test_instance_size(self):
+        p = Instance("P", {"x": 1, "y": 2.0})
+        assert sizeof(p) == 16 + 4 + 8
+
+
+class TestPartitioning:
+    def test_even_partitioning(self):
+        parts = partition_data(list(range(100)), 10)
+        assert len(parts) == 10
+        assert sum(len(p) for p in parts) == 100
+
+    def test_empty_data(self):
+        assert partition_data([], 5) == [[]]
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(EngineError):
+            partition_data([1], 0)
+
+
+class TestSparkAPI:
+    def make_context(self):
+        return SimSparkContext(EngineConfig())
+
+    def test_map_reduce_by_key(self):
+        sc = self.make_context()
+        counts = (
+            sc.parallelize(["a", "b", "a", "c", "a"])
+            .map_to_pair(lambda w: (w, 1))
+            .reduce_by_key(lambda x, y: x + y)
+            .collect_as_map()
+        )
+        assert counts == {"a": 3, "b": 1, "c": 1}
+
+    def test_filter_and_count(self):
+        sc = self.make_context()
+        assert sc.parallelize(list(range(10))).filter(lambda x: x % 2 == 0).count() == 5
+
+    def test_flat_map(self):
+        sc = self.make_context()
+        words = sc.parallelize(["a b", "c"]).flat_map(lambda s: s.split())
+        assert sorted(words.collect()) == ["a", "b", "c"]
+
+    def test_reduce_action(self):
+        sc = self.make_context()
+        assert sc.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self):
+        sc = self.make_context()
+        with pytest.raises(EngineError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_join(self):
+        sc = self.make_context()
+        left = sc.parallelize([(1, "a"), (2, "b")]).map_to_pair(lambda kv: kv)
+        right = sc.parallelize([(1, "x"), (3, "y")]).map_to_pair(lambda kv: kv)
+        joined = dict(left.join(right).collect())
+        assert joined == {1: ("a", "x")}
+
+    def test_take_is_first_k(self):
+        sc = self.make_context()
+        rdd = sc.parallelize(list(range(100)))
+        assert rdd.take(5) == [0, 1, 2, 3, 4]
+
+    def test_pair_op_requires_pairs(self):
+        sc = self.make_context()
+        with pytest.raises(EngineError):
+            sc.parallelize([1, 2]).reduce_by_key(lambda a, b: a + b)
+
+    def test_group_by_key_preserves_order(self):
+        sc = self.make_context()
+        pairs = [("k", 3), ("k", 1), ("k", 2)]
+        grouped = (
+            sc.parallelize(pairs, partitions=1)
+            .map_to_pair(lambda kv: kv)
+            .group_by_key()
+            .collect_as_map()
+        )
+        assert grouped["k"] == [3, 1, 2]
+
+
+class TestMetricsAccounting:
+    def test_combiner_reduces_shuffled_bytes(self):
+        """The Table 4 mechanism: combiners shrink shuffle volume."""
+        words = ["w%d" % (i % 10) for i in range(5000)]
+
+        sc1 = SimSparkContext(EngineConfig())
+        sc1.parallelize(words).map_to_pair(lambda w: (w, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        with_combiner = sc1.metrics.bytes_shuffled
+
+        sc2 = SimSparkContext(EngineConfig())
+        (
+            sc2.parallelize(words)
+            .map_to_pair(lambda w: (w, 1))
+            .group_by_key()
+            .map_values(lambda vs: sum(vs))
+            .collect()
+        )
+        without_combiner = sc2.metrics.bytes_shuffled
+
+        # Combining collapses 5000 word pairs to (distinct × partitions).
+        assert with_combiner < without_combiner / 5
+
+    def test_simulated_time_scales_with_data_scale(self):
+        words = ["w"] * 1000
+        small = SimSparkContext(EngineConfig(scale=1.0))
+        small.parallelize(words).map_to_pair(lambda w: (w, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        big = SimSparkContext(EngineConfig(scale=1000.0))
+        big.parallelize(words).map_to_pair(lambda w: (w, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        assert big.metrics.simulated_seconds > small.metrics.simulated_seconds
+
+    def test_startup_charged_once(self):
+        sc = SimSparkContext(EngineConfig())
+        rdd = sc.parallelize([1, 2, 3])
+        rdd = rdd.map(lambda x: x + 1).map(lambda x: x * 2)
+        # Only one startup in total: time < 2 startups + overheads.
+        assert sc.metrics.simulated_seconds < 2 * sc.config.framework.startup_s + 2
+
+
+class TestHadoopAPI:
+    def test_word_count_job(self):
+        job = SimHadoopJob(
+            mapper=lambda w: [(w, 1)],
+            reducer=lambda k, vs: [(k, sum(vs))],
+            combiner=lambda a, b: a + b,
+        )
+        result = dict(job.run(["a", "b", "a"]))
+        assert result == {"a": 2, "b": 1}
+
+    def test_map_only_job(self):
+        job = SimHadoopJob(mapper=lambda x: [(x, x * x)])
+        assert dict(job.run([1, 2, 3])) == {1: 1, 2: 4, 3: 9}
+
+    def test_hadoop_slower_than_spark(self):
+        words = ["w%d" % (i % 50) for i in range(2000)]
+        job = SimHadoopJob(
+            mapper=lambda w: [(w, 1)],
+            reducer=lambda k, vs: [(k, sum(vs))],
+            combiner=lambda a, b: a + b,
+            config=EngineConfig(scale=1000),
+        )
+        job.run(words)
+        sc = SimSparkContext(EngineConfig(scale=1000))
+        sc.parallelize(words).map_to_pair(lambda w: (w, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        assert job.metrics.simulated_seconds > sc.metrics.simulated_seconds
+
+
+class TestFlinkAPI:
+    def test_group_reduce(self):
+        env = SimFlinkEnv()
+        result = (
+            env.from_collection(["a", "b", "a"])
+            .map_to_pair(lambda w: (w, 1))
+            .group_by_key_reduce(lambda x, y: x + y)
+            .collect()
+        )
+        assert dict(result) == {"a": 2, "b": 1}
+
+    def test_filter_map_pipeline(self):
+        env = SimFlinkEnv()
+        out = (
+            env.from_collection(list(range(10)))
+            .filter(lambda x: x > 5)
+            .map(lambda x: x * 10)
+            .collect()
+        )
+        assert out == [60, 70, 80, 90]
+
+    def test_flink_between_spark_and_hadoop(self):
+        words = ["w%d" % (i % 50) for i in range(2000)]
+        config = EngineConfig(scale=2000)
+
+        sc = SimSparkContext(config)
+        sc.parallelize(words).map_to_pair(lambda w: (w, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+
+        env = SimFlinkEnv(config)
+        env.from_collection(words).map_to_pair(lambda w: (w, 1)).group_by_key_reduce(
+            lambda a, b: a + b
+        ).collect()
+
+        job = SimHadoopJob(
+            mapper=lambda w: [(w, 1)],
+            reducer=lambda k, vs: [(k, sum(vs))],
+            combiner=lambda a, b: a + b,
+            config=config,
+        )
+        job.run(words)
+
+        assert (
+            sc.metrics.simulated_seconds
+            < env.metrics.simulated_seconds
+            < job.metrics.simulated_seconds
+        )
+
+
+class TestSequentialBaseline:
+    def test_sequential_result_and_time(self):
+        program = parse_program(
+            "int f(int[] d, int n) { int s = 0; for (int i = 0; i < n; i++) s += d[i]; return s; }"
+        )
+        result = run_sequential(program, "f", [[1, 2, 3], 3], scale=1000.0)
+        assert result.result == 6
+        assert result.simulated_seconds > 0
+        assert result.records == 3
+
+    def test_scale_increases_time_linearly(self):
+        program = parse_program(
+            "int f(int[] d, int n) { int s = 0; for (int i = 0; i < n; i++) s += d[i]; return s; }"
+        )
+        t1 = run_sequential(program, "f", [[1] * 100, 100], scale=1.0).simulated_seconds
+        t2 = run_sequential(program, "f", [[1] * 100, 100], scale=100.0).simulated_seconds
+        assert abs(t2 / t1 - 100.0) < 1.0

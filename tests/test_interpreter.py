@@ -1,0 +1,208 @@
+"""Unit tests for the mini-Java reference interpreter."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.lang import Instance, parse_date, run_function
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import parse_program
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert run_function("int f() { return -7 / 2; }", "f", []) == -3
+        assert run_function("int f() { return 7 / 2; }", "f", []) == 3
+
+    def test_integer_remainder_sign(self):
+        assert run_function("int f() { return -7 % 2; }", "f", []) == -1
+        assert run_function("int f() { return 7 % -2; }", "f", []) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run_function("int f() { return 1 / 0; }", "f", [])
+
+    def test_mixed_arithmetic_widens(self):
+        assert run_function("double f() { return 7 / 2.0; }", "f", []) == 3.5
+
+    def test_string_concatenation(self):
+        assert run_function('String f() { return "a" + 1; }', "f", []) == "a1"
+
+    def test_bitwise_operators(self):
+        assert run_function("int f() { return (5 & 3) | (4 ^ 1); }", "f", []) == (5 & 3) | (4 ^ 1)
+
+    def test_shift_operators(self):
+        assert run_function("int f() { return 1 << 4; }", "f", []) == 16
+
+    def test_short_circuit_and(self):
+        source = "boolean f(int x) { return x != 0 && 10 / x > 1; }"
+        assert run_function(source, "f", [0]) is False  # no division fault
+
+
+class TestControlFlow:
+    def test_for_loop_accumulation(self):
+        source = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }"
+        assert run_function(source, "f", [10]) == 55
+
+    def test_while_with_break(self):
+        source = """
+        int f() {
+          int i = 0;
+          while (true) { if (i >= 5) break; i++; }
+          return i;
+        }
+        """
+        assert run_function(source, "f", []) == 5
+
+    def test_continue_skips(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) { if (i % 2 == 0) continue; s += i; }
+          return s;
+        }
+        """
+        assert run_function(source, "f", [10]) == 1 + 3 + 5 + 7 + 9
+
+    def test_do_while_runs_once(self):
+        source = "int f() { int i = 0; do i++; while (false); return i; }"
+        assert run_function(source, "f", []) == 1
+
+    def test_nested_loops(self):
+        source = """
+        int f(int n) {
+          int c = 0;
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              c++;
+          return c;
+        }
+        """
+        assert run_function(source, "f", [4]) == 16
+
+    def test_foreach_over_list(self):
+        source = "int f(List<int> xs) { int s = 0; for (int x : xs) s += x; return s; }"
+        assert run_function(source, "f", [[1, 2, 3, 4]]) == 10
+
+    def test_infinite_loop_guard(self):
+        interp = Interpreter(parse_program("int f() { while (true) { } return 0; }"), max_steps=10_000)
+        with pytest.raises(InterpreterError):
+            interp.call_function("f", [])
+
+
+class TestDataStructures:
+    def test_array_allocation_and_store(self):
+        source = """
+        int[] f(int n) {
+          int[] a = new int[n];
+          for (int i = 0; i < n; i++) a[i] = i * i;
+          return a;
+        }
+        """
+        assert run_function(source, "f", [4]) == [0, 1, 4, 9]
+
+    def test_2d_array(self):
+        source = """
+        int f() {
+          int[][] m = new int[2][3];
+          m[1][2] = 7;
+          return m[1][2] + m[0][0];
+        }
+        """
+        assert run_function(source, "f", []) == 7
+
+    def test_array_bounds_checked(self):
+        with pytest.raises(InterpreterError):
+            run_function("int f(int[] a) { return a[5]; }", "f", [[1, 2]])
+
+    def test_map_operations(self):
+        source = """
+        int f() {
+          Map<String, Integer> m = new HashMap<String, Integer>();
+          m.put("a", 1);
+          m.put("a", m.getOrDefault("a", 0) + 10);
+          return m.get("a");
+        }
+        """
+        assert run_function(source, "f", []) == 11
+
+    def test_set_operations(self):
+        source = """
+        int f(List<int> xs) {
+          Set<int> s = new HashSet<int>();
+          for (int x : xs) s.add(x);
+          return s.size();
+        }
+        """
+        assert run_function(source, "f", [[1, 2, 2, 3, 3, 3]]) == 3
+
+    def test_list_add_get(self):
+        source = """
+        int f() {
+          List<int> xs = new ArrayList<int>();
+          xs.add(5);
+          xs.add(7);
+          return xs.get(1);
+        }
+        """
+        assert run_function(source, "f", []) == 7
+
+    def test_user_class_instance(self):
+        source = """
+        class P { int x; int y; }
+        int f() {
+          P p = new P(3, 4);
+          p.x = p.x + 1;
+          return p.x * p.y;
+        }
+        """
+        assert run_function(source, "f", []) == 16
+
+    def test_instance_argument(self):
+        source = "class P { int x; } int f(P p) { return p.x; }"
+        assert run_function(source, "f", [Instance("P", {"x": 9})]) == 9
+
+
+class TestLibraryMethods:
+    def test_math_methods(self):
+        assert run_function("int f() { return Math.abs(-4) + Math.max(1, 2); }", "f", []) == 6
+        assert run_function("double f() { return Math.sqrt(9.0); }", "f", []) == 3.0
+
+    def test_math_sqrt_negative_is_nan(self):
+        result = run_function("double f() { return Math.sqrt(-1.0); }", "f", [])
+        assert result != result  # NaN
+
+    def test_integer_constants(self):
+        assert run_function("int f() { return Integer.MAX_VALUE; }", "f", []) == 2**31 - 1
+
+    def test_string_methods(self):
+        source = 'boolean f(String s) { return s.toLowerCase().startsWith("ab"); }'
+        assert run_function(source, "f", ["ABc"]) is True
+
+    def test_string_split(self):
+        source = 'int f(String s) { return s.split(" ").length; }'
+        assert run_function(source, "f", ["a b c"]) == 3
+
+    def test_date_comparison(self):
+        source = """
+        boolean f(Date d) {
+          Date cutoff = Util.parseDate("2000-01-01");
+          return d.before(cutoff);
+        }
+        """
+        assert run_function(source, "f", [parse_date("1999-12-31")]) is True
+        assert run_function(source, "f", [parse_date("2000-01-02")]) is False
+
+    def test_user_function_call(self):
+        source = """
+        int sq(int x) { return x * x; }
+        int f(int a) { return sq(a) + sq(a + 1); }
+        """
+        program = parse_program(source)
+        assert Interpreter(program).call_function("f", [2]) == 4 + 9
+
+    def test_counters_track_operations(self):
+        program = parse_program("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }")
+        interp = Interpreter(program)
+        interp.call_function("f", [100])
+        assert interp.counters.loop_iterations == 100
+        assert interp.counters.arith_ops > 100

@@ -1,0 +1,157 @@
+"""Unit tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestLiterals:
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INT_LIT
+        assert tokens[0].text == "42"
+
+    def test_float_literal(self):
+        assert kinds("3.25") == [TokenType.FLOAT_LIT]
+
+    def test_float_with_exponent(self):
+        assert kinds("1e9 2.5e-3") == [TokenType.FLOAT_LIT, TokenType.FLOAT_LIT]
+
+    def test_float_suffix_consumed(self):
+        tokens = tokenize("2.0f")
+        assert tokens[0].type is TokenType.FLOAT_LIT
+        assert tokens[1].type is TokenType.EOF
+
+    def test_long_suffix_consumed(self):
+        tokens = tokenize("7L")
+        assert tokens[0].type is TokenType.INT_LIT
+        assert tokens[1].type is TokenType.EOF
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type is TokenType.STRING_LIT
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\t\"c\""')
+        assert tokens[0].text == 'a\nb\t"c"'
+
+    def test_char_literal(self):
+        tokens = tokenize("'x'")
+        assert tokens[0].type is TokenType.CHAR_LIT
+        assert tokens[0].text == "x"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+
+class TestOperators:
+    def test_compound_assignment_operators(self):
+        assert kinds("+= -= *= /= %=") == [
+            TokenType.PLUS_ASSIGN,
+            TokenType.MINUS_ASSIGN,
+            TokenType.STAR_ASSIGN,
+            TokenType.SLASH_ASSIGN,
+            TokenType.PERCENT_ASSIGN,
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("== != <= >= < >") == [
+            TokenType.EQ,
+            TokenType.NEQ,
+            TokenType.LE,
+            TokenType.GE,
+            TokenType.LT,
+            TokenType.GT,
+        ]
+
+    def test_increment_greedy_match(self):
+        assert kinds("i++ + ++j") == [
+            TokenType.IDENT,
+            TokenType.PLUS_PLUS,
+            TokenType.PLUS,
+            TokenType.PLUS_PLUS,
+            TokenType.IDENT,
+        ]
+
+    def test_logical_operators(self):
+        assert kinds("&& || !") == [
+            TokenType.AND_AND,
+            TokenType.OR_OR,
+            TokenType.NOT,
+        ]
+
+    def test_shift_operators(self):
+        assert kinds("<< >>") == [TokenType.SHL, TokenType.SHR]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x \n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestKeywordsAndIdentifiers:
+    def test_keywords_recognized(self):
+        for word in ("int", "for", "while", "class", "return", "true", "null"):
+            assert tokenize(word)[0].type is TokenType.KEYWORD
+
+    def test_identifier_not_keyword(self):
+        token = tokenize("integer")[0]
+        assert token.type is TokenType.IDENT
+
+    def test_underscore_identifier(self):
+        assert tokenize("_private_var1")[0].type is TokenType.IDENT
+
+    def test_is_keyword_helper(self):
+        assert tokenize("for")[0].is_keyword("for")
+        assert not tokenize("for")[0].is_keyword("if")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+
+def test_full_function_token_stream():
+    source = "int f(int x) { return x + 1; }"
+    assert kinds(source) == [
+        TokenType.KEYWORD,
+        TokenType.IDENT,
+        TokenType.LPAREN,
+        TokenType.KEYWORD,
+        TokenType.IDENT,
+        TokenType.RPAREN,
+        TokenType.LBRACE,
+        TokenType.KEYWORD,
+        TokenType.IDENT,
+        TokenType.PLUS,
+        TokenType.INT_LIT,
+        TokenType.SEMI,
+        TokenType.RBRACE,
+    ]

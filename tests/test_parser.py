@@ -1,0 +1,200 @@
+"""Unit tests for the mini-Java parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_function, parse_program
+from repro.lang.types import (
+    ArrayType,
+    ClassType,
+    DOUBLE,
+    INT,
+    ListType,
+    MapType,
+    SetType,
+    STRING,
+)
+
+
+class TestDeclarations:
+    def test_simple_function(self):
+        func = parse_function("int f(int x) { return x; }")
+        assert func.name == "f"
+        assert func.return_type == INT
+        assert [p.name for p in func.params] == ["x"]
+
+    def test_array_types(self):
+        func = parse_function("int[][] f(int[] a) { return null; }")
+        assert func.return_type == ArrayType(ArrayType(INT))
+        assert func.params[0].type == ArrayType(INT)
+
+    def test_generic_collections(self):
+        func = parse_function(
+            "Map<String, Integer> f(List<String> xs, Set<Double> s) { return null; }"
+        )
+        assert func.return_type == MapType(STRING, INT)
+        assert func.params[0].type == ListType(STRING)
+        assert func.params[1].type == SetType(DOUBLE)
+
+    def test_class_declaration(self):
+        program = parse_program("class P { int x; double y; }")
+        decl = program.class_decl("P")
+        assert [f.name for f in decl.fields] == ["x", "y"]
+        assert decl.fields[1].type == DOUBLE
+
+    def test_user_type_parameter(self):
+        func = parse_function("int f(List<Point> pts) { return 0; }")
+        assert func.params[0].type == ListType(ClassType("Point"))
+
+    def test_modifiers_skipped(self):
+        program = parse_program("public static int f() { return 1; }")
+        assert program.functions[0].name == "f"
+
+    def test_multi_variable_declaration(self):
+        func = parse_function("int f() { int a = 1, b = 2; return a + b; }")
+        decls = [s for s in func.body.stmts if isinstance(s, ast.VarDecl)]
+        assert [d.name for d in decls] == ["a", "b"]
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { return 1 }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        func = parse_function("int f(int x) { if (x > 0) return 1; else return 2; }")
+        stmt = func.body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_classic_for_loop(self):
+        func = parse_function("int f(int n) { for (int i = 0; i < n; i++) n--; return n; }")
+        loop = func.body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init[0], ast.VarDecl)
+        assert isinstance(loop.cond, ast.BinOp)
+        assert len(loop.update) == 1
+
+    def test_enhanced_for_loop(self):
+        func = parse_function("int f(List<String> xs) { for (String x : xs) { } return 0; }")
+        loop = func.body.stmts[0]
+        assert isinstance(loop, ast.ForEach)
+        assert loop.var_name == "x"
+        assert loop.var_type == STRING
+
+    def test_while_and_do_while(self):
+        func = parse_function(
+            "int f(int n) { while (n > 0) n--; do n++; while (n < 5); return n; }"
+        )
+        assert isinstance(func.body.stmts[0], ast.While)
+        assert isinstance(func.body.stmts[1], ast.DoWhile)
+
+    def test_break_continue(self):
+        func = parse_function(
+            "int f(int n) { for (int i = 0; i < n; i++) { if (i > 2) break; continue; } return n; }"
+        )
+        body = func.body.stmts[0].body
+        assert isinstance(body.stmts[0], ast.If)
+        assert isinstance(body.stmts[0].then, ast.Break)
+        assert isinstance(body.stmts[1], ast.Continue)
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        func = parse_function(f"int f(int a, int b, int c) {{ return {text}; }}")
+        return func.body.stmts[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr_of("a + b * c")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = self.expr_of("a > 0 || b > 0 && c > 0")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_comparison_precedence(self):
+        expr = self.expr_of("a + b < c * 2")
+        assert expr.op == "<"
+
+    def test_parenthesized(self):
+        expr = self.expr_of("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_ternary(self):
+        expr = self.expr_of("a > 0 ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_unary_negation(self):
+        expr = self.expr_of("-a + !b")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnOp) and expr.left.op == "-"
+
+    def test_cast(self):
+        expr = self.expr_of("(double) a")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type == DOUBLE
+
+    def test_array_index_chain(self):
+        expr = self.expr_of("a")
+        func = parse_function("int f(int[][] m, int i, int j) { return m[i][j]; }")
+        inner = func.body.stmts[0].value
+        assert isinstance(inner, ast.Index)
+        assert isinstance(inner.base, ast.Index)
+
+    def test_method_call_and_field_access(self):
+        func = parse_function(
+            "int f(List<String> xs) { return xs.get(0).length() + xs.size(); }"
+        )
+        expr = func.body.stmts[0].value
+        assert isinstance(expr.left, ast.MethodCall)
+        assert expr.left.method == "length"
+
+    def test_static_call(self):
+        func = parse_function("int f(int a) { return Math.abs(a); }")
+        call = func.body.stmts[0].value
+        assert isinstance(call, ast.MethodCall)
+        assert call.receiver.ident == "Math"
+
+    def test_new_array(self):
+        func = parse_function("int[] f(int n) { return new int[n]; }")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.NewArray)
+
+    def test_new_collection_diamond(self):
+        func = parse_function(
+            "Map<String, Integer> f() { return new HashMap<String, Integer>(); }"
+        )
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.NewObject)
+        assert expr.type == MapType(STRING, INT)
+
+    def test_assignment_expression(self):
+        func = parse_function("int f(int a) { a += 2; return a; }")
+        stmt = func.body.stmts[0]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert stmt.expr.op == "+="
+
+    def test_invalid_assignment_target_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int f(int a) { (a + 1) = 2; return a; }")
+
+
+class TestProgramLookup:
+    def test_function_lookup(self):
+        program = parse_program("int f() { return 1; } int g() { return 2; }")
+        assert program.function("g").name == "g"
+        with pytest.raises(KeyError):
+            program.function("h")
+
+    def test_parse_function_requires_unique(self):
+        with pytest.raises(ParseError):
+            parse_function("int f() { return 1; } int g() { return 2; }")
+
+    def test_walk_visits_nested_nodes(self):
+        func = parse_function("int f(int n) { if (n > 0) { return n + 1; } return 0; }")
+        names = [n for n in ast.walk(func) if isinstance(n, ast.Name)]
+        assert len(names) == 2
