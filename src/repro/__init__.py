@@ -33,11 +33,13 @@ from .compiler import (
     FragmentTranslation,
     run_translated,
     translate,
+    translate_many,
 )
 from .engine.config import ClusterConfig, EngineConfig
+from .pipeline import PassPipeline, SummaryCache
 from .synthesis.search import SearchConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CasperCompiler",
@@ -45,8 +47,11 @@ __all__ = [
     "CompilationResult",
     "EngineConfig",
     "FragmentTranslation",
+    "PassPipeline",
     "SearchConfig",
+    "SummaryCache",
     "run_translated",
     "translate",
+    "translate_many",
     "__version__",
 ]

@@ -138,3 +138,38 @@ def build_adaptive_program(
         sample_size=sample_size,
         cost_model=cost_model,
     )
+
+
+def rebuild_adaptive_program(
+    analysis: FragmentAnalysis,
+    serialized: list[dict],
+    backend: str = "spark",
+    engine_config: Optional[EngineConfig] = None,
+    sample_size: int = 5000,
+) -> AdaptiveProgram:
+    """Rebuild an adaptive program from serialized verified summaries.
+
+    ``serialized`` items are ``{"summary": ..., "proof": ...}`` dicts as
+    produced by the summary cache (:mod:`repro.pipeline.cache`) — e.g. a
+    cache entry read straight off disk.  The summaries must already be in
+    this fragment's variable namespace; deserialization feeds the same
+    cost-pruning + monitor assembly as a fresh compilation, so a cached
+    entry yields a program indistinguishable from a cold one.
+    """
+    from ..ir.nodes import summary_from_data
+    from ..verification.prover import proof_from_data
+
+    verified = [
+        VerifiedSummary(
+            summary=summary_from_data(item["summary"]),
+            proof=proof_from_data(item["proof"]),
+        )
+        for item in serialized
+    ]
+    return build_adaptive_program(
+        analysis,
+        verified,
+        backend=backend,
+        engine_config=engine_config,
+        sample_size=sample_size,
+    )

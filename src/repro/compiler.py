@@ -1,34 +1,44 @@
 """The end-to-end Casper compilation pipeline (paper Fig. 2).
 
-``CasperCompiler.translate`` runs the three modules in order:
+``CasperCompiler`` drives the staged pass pipeline of
+:mod:`repro.pipeline` — analyze → synthesize → verify-attach → codegen —
+over an explicit :class:`~repro.pipeline.context.CompilationContext`:
 
 1. **program analyzer** — parse, identify candidate code fragments,
-   extract inputs/outputs/operators, build the dataset view;
-2. **summary generator** — grammar generation, CEGIS search, two-phase
-   verification (bounded model checking + inductive prover);
+   extract inputs/outputs/operators, build the dataset view, and compute
+   the fragment's content-addressed fingerprint;
+2. **summary generator** — consult the summary cache, else grammar
+   generation, CEGIS search, two-phase verification (bounded model
+   checking + inductive prover);
 3. **code generator** — executable backend programs, static cost pruning,
    and the runtime monitor for adaptive dispatch.
+
+Independent fragments compile concurrently, and :meth:`CasperCompiler
+.translate_many` batches whole workload suites through one worker pool.
+Attach a :class:`~repro.pipeline.cache.SummaryCache` to skip the summary
+search entirely when recompiling identical or alpha-equivalent fragments.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence, Union
 
 from .errors import AnalysisError
 from .lang import ast_nodes as ast
 from .lang.parser import parse_program
-from .lang.analysis.fragments import (
-    CodeFragment,
-    FragmentAnalysis,
-    analyze_fragment,
-    identify_fragments,
-)
-from .codegen.glue import AdaptiveProgram, build_adaptive_program
+from .lang.analysis.fragments import CodeFragment, FragmentAnalysis
+from .codegen.glue import AdaptiveProgram
 from .codegen.render import render
 from .engine.config import EngineConfig
-from .synthesis.search import SearchConfig, SearchResult, find_summaries
+from .pipeline.cache import SummaryCache
+from .pipeline.context import CompilationContext
+from .pipeline.scheduler import PassPipeline
+from .synthesis.search import SearchConfig, SearchResult
+
+#: A batch item: plain source text, or ``(source, function_name)``.
+SourceSpec = Union[str, tuple[str, Optional[str]]]
 
 
 @dataclass
@@ -44,6 +54,11 @@ class FragmentTranslation:
     @property
     def translated(self) -> bool:
         return self.program is not None and bool(self.program.programs)
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when the summaries came from the summary cache."""
+        return self.search is not None and self.search.cache_hit
 
     def rendered_code(self, backend: str = "spark") -> str:
         """Java-like source of the chosen translation (Appendix C rules)."""
@@ -66,6 +81,8 @@ class CompilationResult:
     function: str
     fragments: list[FragmentTranslation] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Wall-clock seconds per pipeline pass, summed over fragments.
+    pass_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def identified(self) -> int:
@@ -79,6 +96,14 @@ class CompilationResult:
     def tp_failures(self) -> int:
         return sum(f.search.tp_failures for f in self.fragments if f.search)
 
+    @property
+    def candidates_checked(self) -> int:
+        return sum(f.search.candidates_checked for f in self.fragments if f.search)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for f in self.fragments if f.cache_hit)
+
 
 @dataclass
 class CasperCompiler:
@@ -87,11 +112,63 @@ class CasperCompiler:
     search_config: SearchConfig = field(default_factory=SearchConfig)
     engine_config: EngineConfig = field(default_factory=EngineConfig)
     backend: str = "spark"
+    #: Shared content-addressed summary cache; None disables caching.
+    cache: Optional[SummaryCache] = None
+    #: Worker threads for fragment-level parallelism; None → per-core
+    #: default, 1 → strictly sequential.
+    max_workers: Optional[int] = None
+
+    # ------------------------------------------------------------------
 
     def translate_source(
         self, source: str, function: Optional[str] = None
     ) -> CompilationResult:
         """Parse source text and translate the named (or sole) function."""
+        program, function = self._parse_spec(source, function)
+        return self.translate(program, function)
+
+    def translate(self, program: ast.Program, function: str) -> CompilationResult:
+        """Run the full pipeline on one function."""
+        started = time.monotonic()
+        ctx = self._context(program, function)
+        self._pipeline().run(ctx)
+        return self._finish(ctx, time.monotonic() - started)
+
+    def translate_many(
+        self, sources: Sequence[SourceSpec]
+    ) -> list[CompilationResult]:
+        """Compile a batch of programs through one shared worker pool.
+
+        Each item is source text or a ``(source, function)`` pair.  The
+        results are positionally aligned with ``sources`` and identical
+        to what sequential :meth:`translate` calls would produce; all
+        fragments of all programs share the scheduler's worker pool (and
+        the summary cache, when one is attached), so suites compile
+        concurrently instead of serially.
+
+        Batch execution interleaves programs, so each result's
+        ``elapsed_seconds`` is the wall-clock time its own passes spent
+        (summed over its fragments) — comparable to a sequential
+        ``translate`` timing, not the whole batch's duration.
+        """
+        contexts = []
+        for spec in sources:
+            source, function = (
+                spec if isinstance(spec, tuple) else (spec, None)
+            )
+            program, function = self._parse_spec(source, function)
+            contexts.append(self._context(program, function))
+        self._pipeline().run_many(contexts)
+        return [
+            self._finish(ctx, sum(ctx.pass_seconds.values()))
+            for ctx in contexts
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _parse_spec(
+        self, source: str, function: Optional[str]
+    ) -> tuple[ast.Program, str]:
         program = parse_program(source)
         if function is None:
             if len(program.functions) != 1:
@@ -99,57 +176,37 @@ class CasperCompiler:
                     "source defines multiple functions; name one explicitly"
                 )
             function = program.functions[0].name
-        return self.translate(program, function)
+        return program, function
 
-    def translate(self, program: ast.Program, function: str) -> CompilationResult:
-        """Run the full pipeline on one function."""
-        started = time.monotonic()
-        result = CompilationResult(function=function)
-        func = program.function(function)
+    def _pipeline(self) -> PassPipeline:
+        return PassPipeline(max_workers=self.max_workers)
 
-        for fragment in identify_fragments(func):
-            translation = self._translate_fragment(fragment, program)
-            result.fragments.append(translation)
-
-        result.elapsed_seconds = time.monotonic() - started
-        return result
-
-    def _translate_fragment(
-        self, fragment: CodeFragment, program: ast.Program
-    ) -> FragmentTranslation:
-        try:
-            analysis = analyze_fragment(fragment, program)
-        except AnalysisError as exc:
-            return FragmentTranslation(
-                fragment=fragment,
-                analysis=None,
-                search=None,
-                program=None,
-                failure_reason=f"analysis failed: {exc}",
-            )
-
-        search = find_summaries(analysis, self.search_config)
-        if not search.translated:
-            return FragmentTranslation(
-                fragment=fragment,
-                analysis=analysis,
-                search=search,
-                program=None,
-                failure_reason=search.failure_reason,
-            )
-
-        adaptive = build_adaptive_program(
-            analysis,
-            search.summaries,
-            backend=self.backend,
+    def _context(self, program: ast.Program, function: str) -> CompilationContext:
+        return CompilationContext(
+            program=program,
+            function=function,
+            search_config=self.search_config,
             engine_config=self.engine_config,
+            backend=self.backend,
+            cache=self.cache,
         )
-        return FragmentTranslation(
-            fragment=fragment,
-            analysis=analysis,
-            search=search,
-            program=adaptive,
-        )
+
+    @staticmethod
+    def _finish(ctx: CompilationContext, elapsed: float) -> CompilationResult:
+        result = CompilationResult(function=ctx.function)
+        for state in ctx.fragments:
+            result.fragments.append(
+                FragmentTranslation(
+                    fragment=state.fragment,
+                    analysis=state.analysis,
+                    search=state.search,
+                    program=state.program,
+                    failure_reason=state.failure_reason,
+                )
+            )
+        result.elapsed_seconds = elapsed
+        result.pass_seconds = dict(ctx.pass_seconds)
+        return result
 
 
 def translate(
@@ -158,21 +215,84 @@ def translate(
     backend: str = "spark",
     search_config: Optional[SearchConfig] = None,
     engine_config: Optional[EngineConfig] = None,
+    cache: Optional[SummaryCache] = None,
 ) -> CompilationResult:
     """One-call convenience API: source text in, translations out."""
     compiler = CasperCompiler(
         search_config=search_config or SearchConfig(),
         engine_config=engine_config or EngineConfig(),
         backend=backend,
+        cache=cache,
     )
     return compiler.translate_source(source, function)
 
 
+def translate_many(
+    sources: Sequence[SourceSpec],
+    backend: str = "spark",
+    search_config: Optional[SearchConfig] = None,
+    engine_config: Optional[EngineConfig] = None,
+    cache: Optional[SummaryCache] = None,
+    max_workers: Optional[int] = None,
+) -> list[CompilationResult]:
+    """Batch convenience API: compile many sources concurrently."""
+    compiler = CasperCompiler(
+        search_config=search_config or SearchConfig(),
+        engine_config=engine_config or EngineConfig(),
+        backend=backend,
+        cache=cache,
+        max_workers=max_workers,
+    )
+    return compiler.translate_many(sources)
+
+
 def run_translated(
-    result: CompilationResult, inputs: dict[str, Any]
+    result: CompilationResult,
+    inputs: dict[str, Any],
+    fragment_index: Optional[int] = None,
 ) -> dict[str, Any]:
-    """Run the first translated fragment of a compilation result."""
-    for fragment in result.fragments:
-        if fragment.translated:
-            return fragment.program.run(inputs)
-    raise AnalysisError("no translated fragment to run")
+    """Run one translated fragment of a compilation result.
+
+    Without ``fragment_index`` the result must contain exactly one
+    fragment and it must be translated; otherwise an
+    :class:`~repro.errors.AnalysisError` explains which fragments exist,
+    which failed to translate and why — nothing is silently skipped.
+    """
+    if fragment_index is not None:
+        try:
+            fragment = result.fragments[fragment_index]
+        except IndexError:
+            raise AnalysisError(
+                f"fragment_index {fragment_index} out of range: "
+                f"result has {len(result.fragments)} fragment(s)"
+            ) from None
+        if not fragment.translated:
+            raise AnalysisError(
+                f"fragment {fragment.fragment.id!r} was not translated: "
+                f"{fragment.failure_reason or 'unknown reason'}"
+            )
+        return fragment.program.run(inputs)
+
+    if not result.fragments:
+        raise AnalysisError("compilation identified no fragments to run")
+    if len(result.fragments) > 1:
+        raise AnalysisError(
+            "result has multiple fragments; pass fragment_index to pick one: "
+            + "; ".join(_fragment_status(f) for f in result.fragments)
+        )
+    only = result.fragments[0]
+    if not only.translated:
+        raise AnalysisError(
+            f"fragment {only.fragment.id!r} was not translated: "
+            f"{only.failure_reason or 'unknown reason'}"
+        )
+    return only.program.run(inputs)
+
+
+def _fragment_status(fragment: FragmentTranslation) -> str:
+    if fragment.translated:
+        return f"{fragment.fragment.id} (translated)"
+    return (
+        f"{fragment.fragment.id} (untranslated: "
+        f"{fragment.failure_reason or 'unknown reason'})"
+    )

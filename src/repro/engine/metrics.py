@@ -35,6 +35,13 @@ class JobMetrics:
         self.stages.append(metrics)
         return metrics
 
+    def last_stage(self, name: str) -> StageMetrics:
+        """The most recent stage recorded under ``name``; KeyError if none."""
+        for metrics in reversed(self.stages):
+            if metrics.name == name:
+                return metrics
+        raise KeyError(name)
+
     @property
     def bytes_emitted(self) -> int:
         """Total bytes produced by map-side stages (paper Table 4)."""

@@ -343,3 +343,276 @@ def summary_expr_nodes(summary: Summary):
 
 
 StageLike = Union[MapStage, ReduceStage, JoinStage]
+
+
+# ----------------------------------------------------------------------
+# Serialization (summary-cache round-trip) and alpha renaming
+#
+# Summaries are serialized to JSON-safe plain data so the compilation
+# pipeline's content-addressed cache can persist them (in memory and on
+# disk) and rebuild identical ``Summary`` objects later.  Only values a
+# summary can actually carry (None/bool/int/float/str) are accepted;
+# anything else raises :class:`~repro.errors.IRError` and the caller
+# declines to cache.
+
+
+def _scalar_to_data(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    from ..errors import IRError
+
+    raise IRError(f"value {value!r} is not serializable")
+
+
+def expr_to_data(expr: IRExpr) -> dict[str, Any]:
+    """Serialize an IR expression to JSON-safe plain data."""
+    if isinstance(expr, Const):
+        return {"t": "const", "value": _scalar_to_data(expr.value), "kind": expr.kind}
+    if isinstance(expr, Var):
+        return {"t": "var", "name": expr.name, "kind": expr.kind}
+    if isinstance(expr, BinOp):
+        return {
+            "t": "bin",
+            "op": expr.op,
+            "left": expr_to_data(expr.left),
+            "right": expr_to_data(expr.right),
+        }
+    if isinstance(expr, UnOp):
+        return {"t": "un", "op": expr.op, "operand": expr_to_data(expr.operand)}
+    if isinstance(expr, Cond):
+        return {
+            "t": "cond",
+            "cond": expr_to_data(expr.cond),
+            "then": expr_to_data(expr.then),
+            "other": expr_to_data(expr.other),
+        }
+    if isinstance(expr, TupleExpr):
+        return {"t": "tuple", "items": [expr_to_data(i) for i in expr.items]}
+    if isinstance(expr, Proj):
+        return {"t": "proj", "base": expr_to_data(expr.base), "index": expr.index}
+    if isinstance(expr, CallFn):
+        return {"t": "call", "name": expr.name, "args": [expr_to_data(a) for a in expr.args]}
+    from ..errors import IRError
+
+    raise IRError(f"cannot serialize IR expression {expr!r}")
+
+
+def expr_from_data(data: dict[str, Any]) -> IRExpr:
+    """Rebuild an IR expression from :func:`expr_to_data` output."""
+    tag = data["t"]
+    if tag == "const":
+        return Const(data["value"], data["kind"])
+    if tag == "var":
+        return Var(data["name"], data["kind"])
+    if tag == "bin":
+        return BinOp(data["op"], expr_from_data(data["left"]), expr_from_data(data["right"]))
+    if tag == "un":
+        return UnOp(data["op"], expr_from_data(data["operand"]))
+    if tag == "cond":
+        return Cond(
+            expr_from_data(data["cond"]),
+            expr_from_data(data["then"]),
+            expr_from_data(data["other"]),
+        )
+    if tag == "tuple":
+        return TupleExpr(tuple(expr_from_data(i) for i in data["items"]))
+    if tag == "proj":
+        return Proj(expr_from_data(data["base"]), data["index"])
+    if tag == "call":
+        return CallFn(data["name"], tuple(expr_from_data(a) for a in data["args"]))
+    from ..errors import IRError
+
+    raise IRError(f"unknown IR expression tag {tag!r}")
+
+
+def _emit_to_data(emit: Emit) -> dict[str, Any]:
+    return {
+        "key": expr_to_data(emit.key),
+        "value": expr_to_data(emit.value),
+        "cond": expr_to_data(emit.cond) if emit.cond is not None else None,
+    }
+
+
+def _emit_from_data(data: dict[str, Any]) -> Emit:
+    return Emit(
+        key=expr_from_data(data["key"]),
+        value=expr_from_data(data["value"]),
+        cond=expr_from_data(data["cond"]) if data["cond"] is not None else None,
+    )
+
+
+def _stage_to_data(stage: Stage) -> dict[str, Any]:
+    if isinstance(stage, MapStage):
+        return {
+            "t": "map",
+            "params": list(stage.lam.params),
+            "emits": [_emit_to_data(e) for e in stage.lam.emits],
+        }
+    if isinstance(stage, ReduceStage):
+        return {
+            "t": "reduce",
+            "params": list(stage.lam.params),
+            "body": expr_to_data(stage.lam.body),
+        }
+    if isinstance(stage, JoinStage):
+        return {"t": "join", "right": pipeline_to_data(stage.right)}
+    from ..errors import IRError
+
+    raise IRError(f"cannot serialize stage {stage!r}")
+
+
+def _stage_from_data(data: dict[str, Any]) -> Stage:
+    tag = data["t"]
+    if tag == "map":
+        return MapStage(
+            MapLambda(
+                tuple(data["params"]),
+                tuple(_emit_from_data(e) for e in data["emits"]),
+            )
+        )
+    if tag == "reduce":
+        return ReduceStage(
+            ReduceLambda(expr_from_data(data["body"]), tuple(data["params"]))
+        )
+    if tag == "join":
+        return JoinStage(pipeline_from_data(data["right"]))
+    from ..errors import IRError
+
+    raise IRError(f"unknown stage tag {tag!r}")
+
+
+def pipeline_to_data(pipeline: Pipeline) -> dict[str, Any]:
+    return {
+        "source": pipeline.source,
+        "stages": [_stage_to_data(s) for s in pipeline.stages],
+    }
+
+
+def pipeline_from_data(data: dict[str, Any]) -> Pipeline:
+    return Pipeline(
+        data["source"], tuple(_stage_from_data(s) for s in data["stages"])
+    )
+
+
+def summary_to_data(summary: Summary) -> dict[str, Any]:
+    """Serialize a program summary to JSON-safe plain data."""
+    return {
+        "pipeline": pipeline_to_data(summary.pipeline),
+        "outputs": [
+            {
+                "var": b.var,
+                "kind": b.kind,
+                "key": expr_to_data(b.key) if b.key is not None else None,
+                "default": _scalar_to_data(b.default),
+                "container": b.container,
+                "project": b.project,
+            }
+            for b in summary.outputs
+        ],
+    }
+
+
+def summary_from_data(data: dict[str, Any]) -> Summary:
+    """Rebuild a program summary from :func:`summary_to_data` output."""
+    return Summary(
+        pipeline=pipeline_from_data(data["pipeline"]),
+        outputs=tuple(
+            OutputBinding(
+                var=b["var"],
+                kind=b["kind"],
+                key=expr_from_data(b["key"]) if b["key"] is not None else None,
+                default=b["default"],
+                container=b["container"],
+                project=b["project"],
+            )
+            for b in data["outputs"]
+        ),
+    )
+
+
+def rename_expr(expr: IRExpr, mapping: dict[str, str]) -> IRExpr:
+    """Rename free variables of an expression by ``mapping``.
+
+    String constants whose value is a mapped variable name are renamed
+    too: the enumerator keys scalar emits with ``Const(var, "String")``,
+    so those constants denote variables, not data.  (Fragments where a
+    genuine string literal collides with a variable name are excluded
+    from the cache by the fingerprint's cacheability guard.)
+    """
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name), expr.kind)
+    if isinstance(expr, Const):
+        if expr.kind == "String" and expr.value in mapping:
+            return Const(mapping[expr.value], expr.kind)
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rename_expr(expr.left, mapping), rename_expr(expr.right, mapping))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, rename_expr(expr.operand, mapping))
+    if isinstance(expr, Cond):
+        return Cond(
+            rename_expr(expr.cond, mapping),
+            rename_expr(expr.then, mapping),
+            rename_expr(expr.other, mapping),
+        )
+    if isinstance(expr, TupleExpr):
+        return TupleExpr(tuple(rename_expr(i, mapping) for i in expr.items))
+    if isinstance(expr, Proj):
+        return Proj(rename_expr(expr.base, mapping), expr.index)
+    if isinstance(expr, CallFn):
+        return CallFn(expr.name, tuple(rename_expr(a, mapping) for a in expr.args))
+    return expr
+
+
+def _rename_stage(stage: Stage, mapping: dict[str, str]) -> Stage:
+    if isinstance(stage, MapStage):
+        return MapStage(
+            MapLambda(
+                tuple(mapping.get(p, p) for p in stage.lam.params),
+                tuple(
+                    Emit(
+                        key=rename_expr(e.key, mapping),
+                        value=rename_expr(e.value, mapping),
+                        cond=rename_expr(e.cond, mapping) if e.cond is not None else None,
+                    )
+                    for e in stage.lam.emits
+                ),
+            )
+        )
+    if isinstance(stage, ReduceStage):
+        return ReduceStage(
+            ReduceLambda(rename_expr(stage.lam.body, mapping), stage.lam.params)
+        )
+    if isinstance(stage, JoinStage):
+        return JoinStage(_rename_pipeline(stage.right, mapping))
+    return stage
+
+
+def _rename_pipeline(pipeline: Pipeline, mapping: dict[str, str]) -> Pipeline:
+    return Pipeline(
+        mapping.get(pipeline.source, pipeline.source),
+        tuple(_rename_stage(s, mapping) for s in pipeline.stages),
+    )
+
+
+def rename_summary(summary: Summary, mapping: dict[str, str]) -> Summary:
+    """Apply a variable renaming to every name a summary mentions.
+
+    Used by the summary cache to store summaries in canonical (alpha-
+    renamed) variable space and to rebind cached summaries to the
+    variable names of an alpha-equivalent fragment on a hit.
+    """
+    return Summary(
+        pipeline=_rename_pipeline(summary.pipeline, mapping),
+        outputs=tuple(
+            OutputBinding(
+                var=mapping.get(b.var, b.var),
+                kind=b.kind,
+                key=rename_expr(b.key, mapping) if b.key is not None else None,
+                default=b.default,
+                container=b.container,
+                project=b.project,
+            )
+            for b in summary.outputs
+        ),
+    )

@@ -4,8 +4,10 @@ from .fragments import (
     CodeFragment,
     FragmentAnalysis,
     FragmentFeatures,
+    FragmentFingerprint,
     analyze_fragment,
     analyze_function,
+    fingerprint_fragment,
     identify_fragments,
 )
 from .liveness import expr_defs, expr_uses, live_before, stmt_defs, stmt_uses
@@ -27,6 +29,7 @@ __all__ = [
     "DatasetView",
     "FragmentAnalysis",
     "FragmentFeatures",
+    "FragmentFingerprint",
     "ScanResult",
     "TypeEnv",
     "TypeInferencer",
@@ -39,6 +42,7 @@ __all__ = [
     "expr_uses",
     "extract_dataset_view",
     "find_loops",
+    "fingerprint_fragment",
     "identify_fragments",
     "infer_type",
     "live_before",

@@ -12,6 +12,7 @@ Implements the paper's *program analyzer* module (Fig. 2, sections 3.2,
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -283,6 +284,190 @@ def _uses_user_types(
         if isinstance(base, ClassType) and base.name != "Date":
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# Content-addressed fragment fingerprints (summary-cache keys)
+
+#: Canonical variable names.  The middle dot cannot appear inside a
+#: mini-Java identifier, so canonical names can never collide with
+#: source-program identifiers.
+CANONICAL_PREFIX = "α·"
+
+#: Names the IR reserves for transformer-internal binders; a source
+#: program using one of them as a variable cannot be safely renamed.
+_RESERVED_SUMMARY_NAMES = frozenset({"k", "v", "v1", "v2", "__t", "__element"})
+
+#: Fingerprint format version — bump to invalidate persisted caches.
+_FINGERPRINT_VERSION = "fpv1"
+
+
+@dataclass
+class FragmentFingerprint:
+    """Content address of a code fragment, up to alpha-renaming.
+
+    ``digest`` hashes the canonically-renamed fragment AST together with
+    its operator set and type signature, so two fragments that differ only
+    in local variable names share a digest.  ``renaming`` maps each source
+    variable name to its canonical name (``α·0``, ``α·1``, ... in order of
+    first occurrence); the summary cache uses it to store summaries in
+    canonical variable space and to rename them back on a hit.
+
+    ``digest is None`` marks the fragment non-cacheable (``reason`` says
+    why): renaming would be ambiguous (a string literal collides with a
+    variable name, a variable uses an IR-reserved name) or the fragment's
+    semantics reach outside its own text (calls a user-defined function).
+    """
+
+    digest: Optional[str]
+    renaming: dict[str, str] = field(default_factory=dict)
+    reason: Optional[str] = None
+
+    @property
+    def cacheable(self) -> bool:
+        return self.digest is not None
+
+    @property
+    def inverse_renaming(self) -> dict[str, str]:
+        return {canonical: name for name, canonical in self.renaming.items()}
+
+
+class _Canonicalizer:
+    """Serializes fragment ASTs with occurrence-ordered alpha renaming."""
+
+    def __init__(self) -> None:
+        self.mapping: dict[str, str] = {}
+        self.string_literals: set[str] = set()
+        self.called_functions: set[str] = set()
+
+    def canon(self, name: str) -> str:
+        if name in STATIC_NAMESPACES:
+            return name
+        if name not in self.mapping:
+            self.mapping[name] = f"{CANONICAL_PREFIX}{len(self.mapping)}"
+        return self.mapping[name]
+
+    def serialize(self, node: ast.Node) -> str:
+        parts = [type(node).__name__]
+        for key, value in vars(node).items():
+            if key == "line":
+                continue
+            parts.append(self._serialize_field(node, key, value))
+        return "(" + " ".join(parts) + ")"
+
+    def _serialize_field(self, node: ast.Node, key: str, value: Any) -> str:
+        if (
+            (isinstance(node, ast.Name) and key == "ident")
+            or (isinstance(node, ast.VarDecl) and key == "name")
+            or (isinstance(node, ast.ForEach) and key == "var_name")
+        ):
+            return self.canon(value)
+        if isinstance(node, ast.StringLit) and key == "value":
+            self.string_literals.add(value)
+            return repr(value)
+        if isinstance(node, ast.Call) and key == "func":
+            self.called_functions.add(value)
+            return value
+        if isinstance(value, ast.Node):
+            return self.serialize(value)
+        if isinstance(value, list):
+            inner = " ".join(
+                self.serialize(item) if isinstance(item, ast.Node) else repr(item)
+                for item in value
+            )
+            return f"[{inner}]"
+        if isinstance(value, JType):
+            return str(value)
+        if value is None:
+            return "∅"
+        return repr(value)
+
+
+def fingerprint_fragment(analysis: FragmentAnalysis) -> FragmentFingerprint:
+    """Compute the content-addressed fingerprint of an analyzed fragment.
+
+    The digest covers, in order: the alpha-renamed prelude + loop AST, the
+    input/output type signature, the dataset view layout, the declarations
+    of every user class the fragment touches, and the operator/method
+    census — everything the summary search depends on.  Fragments whose
+    summaries could not be safely renamed are marked non-cacheable.
+    """
+    canonicalizer = _Canonicalizer()
+    body_text = " ".join(
+        canonicalizer.serialize(stmt) for stmt in analysis.fragment.statements
+    )
+    mapping = canonicalizer.mapping
+
+    for name in mapping:
+        if name in _RESERVED_SUMMARY_NAMES or name.startswith("__"):
+            return FragmentFingerprint(
+                None, dict(mapping), f"variable {name!r} collides with an IR binder"
+            )
+    for literal in canonicalizer.string_literals:
+        if literal in mapping or literal.startswith(CANONICAL_PREFIX):
+            return FragmentFingerprint(
+                None,
+                dict(mapping),
+                f"string literal {literal!r} collides with a variable name",
+            )
+    for called in canonicalizer.called_functions:
+        try:
+            analysis.program.function(called)
+        except KeyError:
+            continue
+        return FragmentFingerprint(
+            None, dict(mapping), f"fragment calls user function {called!r}"
+        )
+
+    canon = canonicalizer.canon
+    type_strings: list[str] = []
+
+    def typed(names: dict[str, JType]) -> str:
+        pairs = sorted((canon(name), str(jtype)) for name, jtype in names.items())
+        type_strings.extend(text for _, text in pairs)
+        return " ".join(f"{name}:{text}" for name, text in pairs)
+
+    view = analysis.view
+    parts = [
+        _FINGERPRINT_VERSION,
+        body_text,
+        "inputs " + typed(analysis.input_vars),
+        "outputs " + typed(analysis.output_vars),
+        "view "
+        + " ".join(
+            [
+                view.kind,
+                "[" + " ".join(canon(s) for s in view.sources) + "]",
+                "[" + " ".join(canon(i) for i in view.index_vars) + "]",
+                canon(view.element_var) if view.element_var else "∅",
+                view.element_class or "∅",
+            ]
+        ),
+        "ops " + " ".join(sorted(analysis.scan.operators)),
+        "methods " + " ".join(sorted(analysis.scan.methods)),
+    ]
+    if view.element_class is not None:
+        type_strings.append(view.element_class)
+    # Every user class the fragment can reach shapes its semantics —
+    # including classes reachable only through another class's fields —
+    # so close over field types transitively before hashing.
+    referenced: dict[str, ast.ClassDecl] = {}
+    frontier = list(type_strings)
+    while frontier:
+        texts, frontier = frontier, []
+        for cls in analysis.program.classes:
+            if cls.name in referenced:
+                continue
+            if any(cls.name in text for text in texts):
+                referenced[cls.name] = cls
+                frontier.extend(str(f.type) for f in cls.fields)
+    for name in sorted(referenced):
+        cls = referenced[name]
+        fields = " ".join(f"{f.name}:{f.type}" for f in cls.fields)
+        parts.append(f"class {cls.name} {fields}")
+
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return FragmentFingerprint(digest, dict(mapping))
 
 
 def analyze_function(

@@ -1,0 +1,281 @@
+"""Content-addressed summary cache: fingerprints → verified summaries.
+
+Recompiling an identical — or merely alpha-equivalent — code fragment is
+pure waste: the CEGIS search and theorem-prover calls dominate compile
+time (paper Table 2) yet deterministically reproduce the same verified
+summaries.  This cache keys serialized :class:`VerifiedSummary` lists by
+the fragment fingerprint of :func:`repro.lang.analysis.fragments
+.fingerprint_fragment` plus the search-configuration knobs that affect
+the result, so a warm hit skips synthesis and verification entirely.
+
+Entries are stored in *canonical* variable space (the fingerprint's alpha
+renaming applied), and renamed back to the requesting fragment's own
+variable names on a hit — two workloads that differ only in identifier
+choice share cache entries.
+
+The in-memory tier is a thread-safe LRU; an optional on-disk tier stores
+one JSON file per entry under ``cache_dir`` so caches survive processes.
+Serialization failures (a summary carrying a non-JSON value) silently
+decline to cache — correctness never depends on the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ReproError
+from ..ir.nodes import rename_summary, summary_from_data, summary_to_data
+from ..lang.analysis.fragments import FragmentFingerprint
+from ..synthesis.search import SearchConfig, VerifiedSummary
+from ..verification.prover import proof_from_data, proof_to_data
+
+#: Disk-format version; mismatching files are ignored.
+_DISK_FORMAT = 1
+
+
+def search_config_key(config: SearchConfig) -> str:
+    """The part of the cache key contributed by search configuration.
+
+    Every knob that changes *which* summaries come out is included —
+    that's the grammar/acceptance switches plus the verification
+    strength: with ``accept_bounded_only`` a candidate whose proof is
+    ``unknown`` is admitted on bounded/extended-domain evidence alone, so
+    weaker domains genuinely admit different summaries.  Only the search
+    timeout is excluded (timed-out results are never cached).
+    """
+    bc = config.bounded_config
+    strength = "|".join(
+        str(part)
+        for part in (
+            config.extended_states,
+            bc.max_dataset_size,
+            bc.int_range,
+            bc.float_values,
+            bc.string_pool,
+            bc.date_range,
+            bc.seed,
+        )
+    )
+    strength_tag = hashlib.sha256(strength.encode("utf-8")).hexdigest()[:12]
+    return (
+        f"ig={int(config.incremental_grammar)}"
+        f",max={config.max_summaries_per_class}"
+        f",abo={int(config.accept_bounded_only)}"
+        f",ex={int(config.exhaustive)}"
+        f",vs={strength_tag}"
+    )
+
+
+@dataclass
+class CacheHit:
+    """A successful lookup: summaries rebound to the caller's names."""
+
+    summaries: list[VerifiedSummary]
+    final_class: Optional[str] = None
+    classes_searched: int = 0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class SummaryCache:
+    """Thread-safe LRU of serialized verified summaries, optionally disk-backed."""
+
+    capacity: int = 512
+    cache_dir: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, dict[str, Any]]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, fingerprint: FragmentFingerprint, config: SearchConfig
+    ) -> Optional[CacheHit]:
+        """Return cached summaries renamed to the fragment's variables."""
+        if not fingerprint.cacheable:
+            return None
+        key = self._key(fingerprint, config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            entry = self._load_disk(key)
+            if entry is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._insert(key, entry)
+        if entry is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            hit = self._decode(entry, fingerprint)
+        except (ReproError, KeyError, TypeError, ValueError):
+            # Corrupt or stale entry: drop it (disk copy too, or every
+            # future lookup would reload and re-fail it) — treat as miss.
+            with self._lock:
+                self._entries.pop(key, None)
+                self.stats.misses += 1
+            self._remove_disk(key)
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return hit
+
+    def store(
+        self,
+        fingerprint: FragmentFingerprint,
+        config: SearchConfig,
+        summaries: list[VerifiedSummary],
+        final_class: Optional[str] = None,
+        classes_searched: int = 0,
+    ) -> bool:
+        """Serialize and cache a completed search result; False if declined."""
+        if not fingerprint.cacheable or not summaries:
+            return False
+        try:
+            entry = self._encode(
+                fingerprint, summaries, final_class, classes_searched
+            )
+        except ReproError:
+            return False  # unserializable summary — skip, never fail
+        key = self._key(fingerprint, config)
+        with self._lock:
+            self._insert(key, entry)
+            self.stats.stores += 1
+        self._write_disk(key, entry)
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(fingerprint: FragmentFingerprint, config: SearchConfig) -> str:
+        return f"{fingerprint.digest}:{search_config_key(config)}"
+
+    def _insert(self, key: str, entry: dict[str, Any]) -> None:
+        """Caller holds the lock."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _encode(
+        fingerprint: FragmentFingerprint,
+        summaries: list[VerifiedSummary],
+        final_class: Optional[str],
+        classes_searched: int,
+    ) -> dict[str, Any]:
+        to_canonical = fingerprint.renaming
+        return {
+            "format": _DISK_FORMAT,
+            "final_class": final_class,
+            "classes_searched": classes_searched,
+            "summaries": [
+                {
+                    "summary": summary_to_data(
+                        rename_summary(vs.summary, to_canonical)
+                    ),
+                    "proof": proof_to_data(vs.proof),
+                }
+                for vs in summaries
+            ],
+        }
+
+    @staticmethod
+    def _decode(
+        entry: dict[str, Any], fingerprint: FragmentFingerprint
+    ) -> CacheHit:
+        from_canonical = fingerprint.inverse_renaming
+        summaries = [
+            VerifiedSummary(
+                summary=rename_summary(
+                    summary_from_data(item["summary"]), from_canonical
+                ),
+                proof=proof_from_data(item["proof"]),
+            )
+            for item in entry["summaries"]
+        ]
+        return CacheHit(
+            summaries=summaries,
+            final_class=entry.get("final_class"),
+            classes_searched=entry.get("classes_searched", 0),
+        )
+
+    # -- disk tier ------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        safe = key.replace(":", "_").replace("=", "-").replace(",", "+")
+        return os.path.join(self.cache_dir, f"{safe}.json")
+
+    def _load_disk(self, key: str) -> Optional[dict[str, Any]]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("format") != _DISK_FORMAT:
+            return None
+        return entry
+
+    def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            pass  # disk tier is best-effort
+
+    def _remove_disk(self, key: str) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -1,0 +1,80 @@
+"""Compilation context threaded through the staged pass pipeline.
+
+One :class:`CompilationContext` describes one function being translated;
+it carries the parsed program, the configuration, the shared summary
+cache, and one :class:`FragmentState` per candidate code fragment.  The
+passes in :mod:`repro.pipeline.passes` mutate fragment states in order
+(analyze → synthesize → verify-attach → codegen); the scheduler may run
+different fragments' pass chains concurrently, so anything shared across
+fragments (the cache, the timing table) is lock-protected.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from ..engine.config import EngineConfig
+from ..lang import ast_nodes as ast
+from ..lang.analysis.fragments import (
+    CodeFragment,
+    FragmentAnalysis,
+    FragmentFingerprint,
+)
+from ..synthesis.search import SearchConfig, SearchResult
+
+if TYPE_CHECKING:
+    from ..codegen.glue import AdaptiveProgram
+    from .cache import SummaryCache
+
+
+@dataclass
+class FragmentState:
+    """Everything the passes accumulate for one code fragment.
+
+    A pass that cannot proceed sets ``failure_reason`` and the scheduler
+    skips the remaining passes for this fragment; earlier results stay
+    available so callers can inspect how far the fragment got.
+    """
+
+    fragment: CodeFragment
+    analysis: Optional[FragmentAnalysis] = None
+    fingerprint: Optional[FragmentFingerprint] = None
+    search: Optional[SearchResult] = None
+    program: Optional["AdaptiveProgram"] = None
+    failure_reason: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure_reason is not None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.search is not None and self.search.cache_hit
+
+
+@dataclass
+class CompilationContext:
+    """Shared state of one function's trip through the pass pipeline."""
+
+    program: ast.Program
+    function: str
+    search_config: SearchConfig = field(default_factory=SearchConfig)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    backend: str = "spark"
+    cache: Optional["SummaryCache"] = None
+    fragments: list[FragmentState] = field(default_factory=list)
+    #: Wall-clock seconds spent in each pass, summed over fragments.
+    pass_seconds: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_pass_time(self, pass_name: str, seconds: float) -> None:
+        with self._lock:
+            self.pass_seconds[pass_name] = (
+                self.pass_seconds.get(pass_name, 0.0) + seconds
+            )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for state in self.fragments if state.cache_hit)

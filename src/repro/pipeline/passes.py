@@ -1,0 +1,131 @@
+"""The staged compiler passes: analyze → synthesize → verify-attach → codegen.
+
+Each pass is a small, stateless object transforming one fragment's
+:class:`~repro.pipeline.context.FragmentState`.  Keeping the stages as
+explicit passes (instead of one monolithic ``translate`` body) gives the
+pipeline its seams: the scheduler can run fragments concurrently, the
+synthesize pass can consult the summary cache, and instrumentation gets
+per-stage timings for free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..errors import AnalysisError, CodegenError
+from ..lang.analysis.fragments import analyze_fragment, fingerprint_fragment
+from .context import CompilationContext, FragmentState
+
+
+class CompilerPass:
+    """Base class: a named transformation of one fragment's state."""
+
+    name = "pass"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        raise NotImplementedError
+
+
+class AnalyzePass(CompilerPass):
+    """Program analysis: inputs/outputs/operators/view + fingerprint."""
+
+    name = "analyze"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        try:
+            state.analysis = analyze_fragment(state.fragment, ctx.program)
+        except AnalysisError as exc:
+            state.failure_reason = f"analysis failed: {exc}"
+            return
+        # The fingerprint only exists to key the summary cache; skip the
+        # canonical serialization + hash when no cache is attached.
+        if ctx.cache is not None:
+            state.fingerprint = fingerprint_fragment(state.analysis)
+
+
+class SynthesizePass(CompilerPass):
+    """Summary search: cache lookup, else grammar → CEGIS → verification."""
+
+    name = "synthesize"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        from ..synthesis.search import find_summaries_cached
+
+        assert state.analysis is not None
+        state.search = find_summaries_cached(
+            state.analysis,
+            ctx.search_config,
+            cache=ctx.cache,
+            fingerprint=state.fingerprint,
+        )
+        if not state.search.translated:
+            state.failure_reason = state.search.failure_reason
+
+
+class VerifyAttachPass(CompilerPass):
+    """Attach proofs: re-check every summary carries an accepted proof.
+
+    Verification itself is interleaved with CEGIS inside the synthesize
+    pass (candidates must be verified to be blocked or kept), so this
+    pass is the pipeline's acceptance gate: it drops any summary whose
+    proof the current configuration would not accept — which matters for
+    cache hits, where the entry may have been produced under a laxer
+    ``accept_bounded_only`` or by an older library version.
+    """
+
+    name = "verify-attach"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        assert state.search is not None
+        accepted = []
+        for vs in state.search.summaries:
+            if vs.proof.status == "proved":
+                accepted.append(vs)
+            elif vs.proof.status == "unknown" and ctx.search_config.accept_bounded_only:
+                accepted.append(vs)
+        if len(accepted) != len(state.search.summaries):
+            state.search.summaries = accepted
+        if not accepted:
+            state.failure_reason = (
+                state.search.failure_reason
+                or "no summary carries an acceptable proof"
+            )
+
+
+class CodegenPass(CompilerPass):
+    """Build the adaptive program (cost pruning + runtime monitor)."""
+
+    name = "codegen"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        from ..codegen.glue import build_adaptive_program
+
+        assert state.analysis is not None and state.search is not None
+        try:
+            state.program = build_adaptive_program(
+                state.analysis,
+                state.search.summaries,
+                backend=ctx.backend,
+                engine_config=ctx.engine_config,
+            )
+        except CodegenError as exc:
+            state.failure_reason = f"codegen failed: {exc}"
+
+
+def default_passes() -> Sequence[CompilerPass]:
+    """The standard four-stage pipeline, in execution order."""
+    return (AnalyzePass(), SynthesizePass(), VerifyAttachPass(), CodegenPass())
+
+
+def run_passes(
+    passes: Sequence[CompilerPass], ctx: CompilationContext, state: FragmentState
+) -> FragmentState:
+    """Run a fragment through the pass chain, stopping at first failure."""
+    for compiler_pass in passes:
+        if state.failed:
+            break
+        started = time.monotonic()
+        compiler_pass.run(ctx, state)
+        ctx.record_pass_time(compiler_pass.name, time.monotonic() - started)
+    return state

@@ -15,6 +15,7 @@ from .search import (
     SearchResult,
     VerifiedSummary,
     find_summaries,
+    find_summaries_cached,
 )
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "Synthesizer",
     "VerifiedSummary",
     "find_summaries",
+    "find_summaries_cached",
     "generate_classes",
     "harvest_paths",
     "monolithic_class",

@@ -13,10 +13,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..ir.nodes import Summary
-from ..lang.analysis.fragments import FragmentAnalysis
+from ..lang.analysis.fragments import (
+    FragmentAnalysis,
+    FragmentFingerprint,
+    fingerprint_fragment,
+)
+
+if TYPE_CHECKING:
+    from ..pipeline.cache import SummaryCache
 from ..verification.bounded import BoundedCheckConfig, BoundedChecker
 from ..verification.prover import FullVerifier, ProofResult
 from .cegis import Synthesizer
@@ -49,6 +56,9 @@ class SearchResult:
     final_class: Optional[str] = None
     elapsed_seconds: float = 0.0
     failure_reason: Optional[str] = None
+    #: True when the summaries came from the content-addressed cache —
+    #: no candidates were generated or sent to the theorem prover.
+    cache_hit: bool = False
 
     @property
     def translated(self) -> bool:
@@ -66,6 +76,51 @@ class SearchConfig:
     bounded_config: BoundedCheckConfig = field(default_factory=BoundedCheckConfig)
     extended_states: int = 120
     exhaustive: bool = False  # collect every valid summary (Table 3 mode)
+
+
+def find_summaries_cached(
+    analysis: FragmentAnalysis,
+    config: Optional[SearchConfig] = None,
+    cache: Optional["SummaryCache"] = None,
+    fingerprint: Optional[FragmentFingerprint] = None,
+) -> SearchResult:
+    """Cache-aware summary search.
+
+    Looks the fragment's content-addressed fingerprint up in ``cache``
+    before searching: a warm hit returns the cached verified summaries —
+    renamed to this fragment's variables — with ``candidates_checked == 0``
+    and ``tp_failures == 0``, since neither CEGIS nor the theorem prover
+    ran.  A miss falls through to :func:`find_summaries` and stores the
+    completed result (only clean, non-timed-out successes are cached).
+    """
+    config = config or SearchConfig()
+    if cache is None:
+        return find_summaries(analysis, config)
+
+    started = time.monotonic()
+    if fingerprint is None:
+        fingerprint = fingerprint_fragment(analysis)
+    hit = cache.lookup(fingerprint, config)
+    if hit is not None:
+        return SearchResult(
+            fragment_id=analysis.fragment.id,
+            summaries=hit.summaries,
+            final_class=hit.final_class,
+            classes_searched=hit.classes_searched,
+            cache_hit=True,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    result = find_summaries(analysis, config)
+    if result.translated and result.failure_reason is None:
+        cache.store(
+            fingerprint,
+            config,
+            result.summaries,
+            final_class=result.final_class,
+            classes_searched=result.classes_searched,
+        )
+    return result
 
 
 def find_summaries(

@@ -92,6 +92,33 @@ class ProofResult:
         return self.status == "proved"
 
 
+def proof_to_data(proof: ProofResult) -> dict:
+    """Serialize a proof result to JSON-safe plain data.
+
+    The counterexample (a concrete :class:`ProgramState`) is not carried:
+    only *accepted* proofs enter the summary cache, and refuted results
+    never do, so a serialized proof has no counterexample by construction.
+    """
+    return {
+        "status": proof.status,
+        "reason": proof.reason,
+        "is_commutative": proof.is_commutative,
+        "is_associative": proof.is_associative,
+        "obligations": list(proof.obligations),
+    }
+
+
+def proof_from_data(data: dict) -> ProofResult:
+    """Rebuild a proof result from :func:`proof_to_data` output."""
+    return ProofResult(
+        status=data["status"],
+        reason=data["reason"],
+        is_commutative=data["is_commutative"],
+        is_associative=data["is_associative"],
+        obligations=list(data["obligations"]),
+    )
+
+
 _MAX_CASE_ATOMS = 10
 
 

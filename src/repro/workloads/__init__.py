@@ -9,13 +9,17 @@ from .registry import (
     suite_benchmarks,
     suites,
 )
+from .runner import compile_benchmark, compile_suite, run_benchmark
 
 __all__ = [
     "Benchmark",
     "all_benchmarks",
+    "compile_benchmark",
+    "compile_suite",
     "datagen",
     "get_benchmark",
     "register",
+    "run_benchmark",
     "suite_benchmarks",
     "suites",
 ]

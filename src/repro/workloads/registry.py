@@ -84,4 +84,7 @@ def _ensure_loaded() -> None:
     if _loaded:
         return
     _loaded = True
-    from .suites import ariths, biglambda, fiji, iterative, phoenix, stats, tpch  # noqa: F401
+    # The subpackage is deliberately named ``suite_defs``, not ``suites``:
+    # importing a submodule rebinds the parent package's attribute of the
+    # same name, which would shadow the ``suites()`` API function above.
+    from .suite_defs import ariths, biglambda, fiji, iterative, phoenix, stats, tpch  # noqa: F401

@@ -53,13 +53,53 @@ def compile_benchmark(
     benchmark: Benchmark,
     search_config: Optional[SearchConfig] = None,
     backend: str = "spark",
+    compiler: Optional[CasperCompiler] = None,
 ) -> CompilationResult:
-    """Run the Casper pipeline on one benchmark program."""
+    """Run the Casper pipeline on one benchmark program.
+
+    Pass either a pre-configured ``compiler`` or the individual
+    ``search_config``/``backend`` knobs — not both; silently ignoring
+    the knobs would hand back a result compiled under settings the
+    caller didn't ask for.
+    """
+    if compiler is not None:
+        if search_config is not None or backend != "spark":
+            raise ValueError(
+                "pass either compiler or search_config/backend, not both"
+            )
+    else:
+        compiler = CasperCompiler(
+            search_config=search_config or SearchConfig(),
+            backend=backend,
+        )
+    return compiler.translate(benchmark.parse(), benchmark.function)
+
+
+def compile_suite(
+    benchmarks: list[Benchmark],
+    search_config: Optional[SearchConfig] = None,
+    backend: str = "spark",
+    cache=None,
+    max_workers: Optional[int] = None,
+) -> dict[str, CompilationResult]:
+    """Compile a whole suite concurrently through the batch pipeline.
+
+    Every fragment of every benchmark shares one worker pool (and the
+    summary cache, when given), so suites compile in parallel instead of
+    one benchmark at a time.  Returns ``{benchmark name: result}`` in the
+    suite's order; results are identical to per-benchmark
+    :func:`compile_benchmark` calls.
+    """
     compiler = CasperCompiler(
         search_config=search_config or SearchConfig(),
         backend=backend,
+        cache=cache,
+        max_workers=max_workers,
     )
-    return compiler.translate(benchmark.parse(), benchmark.function)
+    results = compiler.translate_many(
+        [(b.source, b.function) for b in benchmarks]
+    )
+    return {b.name: result for b, result in zip(benchmarks, results)}
 
 
 def data_bytes(benchmark: Benchmark, inputs: dict[str, Any]) -> int:

@@ -1,5 +1,7 @@
 """Tests for the simulated MapReduce engine: core, sizes, three APIs."""
 
+import dataclasses
+
 import pytest
 
 from repro.engine import (
@@ -46,6 +48,109 @@ class TestPartitioning:
     def test_invalid_count_raises(self):
         with pytest.raises(EngineError):
             partition_data([1], 0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(EngineError):
+            partition_data([1, 2], -3)
+
+    def test_more_partitions_than_records(self):
+        parts = partition_data([1, 2, 3], 10)
+        # No padding partitions are invented; every record lands once.
+        assert len(parts) == 3
+        assert [r for p in parts for r in p] == [1, 2, 3]
+        assert all(p for p in parts)
+
+    def test_single_record_many_partitions(self):
+        assert partition_data([42], 8) == [[42]]
+
+    def test_empty_data_any_partition_count(self):
+        assert partition_data([], 1) == [[]]
+        assert partition_data([], 100) == [[]]
+
+
+class TestExecutorCore:
+    """Direct Executor coverage: shuffle modes and metrics invariants."""
+
+    @staticmethod
+    def make_executor(combiners: bool = True):
+        from repro.engine.core import Executor
+
+        config = EngineConfig()
+        config = dataclasses.replace(
+            config, framework=dataclasses.replace(config.framework, combiners=combiners)
+        )
+        return Executor(config=config)
+
+    PAIRS = [("a", 1), ("a", 2), ("b", 3), ("a", 4), ("b", 5)]
+
+    def test_shuffle_with_combiner_collapses_per_partition(self):
+        executor = self.make_executor(combiners=True)
+        parts = partition_data(self.PAIRS, 2)
+        groups = executor.run_shuffle(parts, lambda x, y: x + y)
+        # Grouped values are per-partition partial sums, one per partition
+        # containing the key; the total is conserved.
+        assert sum(groups["a"]) == 7
+        assert sum(groups["b"]) == 8
+        stage = executor.metrics.last_stage("shuffle")
+        assert stage.records_in == len(self.PAIRS)
+        assert stage.records_out == sum(len(v) for v in groups.values())
+        assert stage.records_out < len(self.PAIRS)
+
+    def test_shuffle_with_combiners_disabled_passes_values_through(self):
+        executor = self.make_executor(combiners=False)
+        parts = partition_data(self.PAIRS, 2)
+        groups = executor.run_shuffle(parts, lambda x, y: x + y)
+        # The combiner function is supplied but the framework profile
+        # disables it: every value crosses the network unmerged.
+        assert sorted(groups["a"]) == [1, 2, 4]
+        assert sorted(groups["b"]) == [3, 5]
+        stage = executor.metrics.last_stage("shuffle")
+        assert stage.records_in == len(self.PAIRS)
+        assert stage.records_out == len(self.PAIRS)
+
+    def test_disabled_combiners_shuffle_more_bytes(self):
+        with_combiner = self.make_executor(combiners=True)
+        without = self.make_executor(combiners=False)
+        pairs = [("k%d" % (i % 3), 1) for i in range(600)]
+        with_combiner.run_shuffle(partition_data(pairs, 4), lambda x, y: x + y)
+        without.run_shuffle(partition_data(pairs, 4), lambda x, y: x + y)
+        assert (
+            with_combiner.metrics.last_stage("shuffle").bytes_shuffled
+            < without.metrics.last_stage("shuffle").bytes_shuffled
+        )
+
+    def test_narrow_stage_conserves_record_counts(self):
+        executor = self.make_executor()
+        parts = partition_data(list(range(50)), 4)
+        out = executor.run_narrow(parts, lambda x: [x, x], "double")
+        stage = executor.metrics.last_stage("double")
+        assert stage.records_in == 50
+        assert stage.records_out == 100
+        assert stage.records_out == sum(len(p) for p in out)
+
+    def test_narrow_stage_on_empty_partitions(self):
+        executor = self.make_executor()
+        out = executor.run_narrow([[]], lambda x: [x], "noop")
+        stage = executor.metrics.last_stage("noop")
+        assert stage.records_in == 0
+        assert stage.records_out == 0
+        assert out == [[]]
+
+    def test_scan_records_in_equals_records_out(self):
+        executor = self.make_executor()
+        executor.run_scan(list(range(30)), 4)
+        stage = executor.metrics.last_stage("scan")
+        assert stage.records_in == stage.records_out == 30
+        assert stage.bytes_in == stage.bytes_out > 0
+
+    def test_reduce_groups_conserves_totals(self):
+        executor = self.make_executor()
+        groups = {"a": [1, 2, 4], "b": [3, 5]}
+        out = executor.run_reduce_groups(groups, lambda x, y: x + y)
+        stage = executor.metrics.last_stage("reduce")
+        assert stage.records_in == 5
+        assert stage.records_out == len(out) == 2
+        assert dict(out) == {"a": 7, "b": 8}
 
 
 class TestSparkAPI:

@@ -1,0 +1,424 @@
+"""Tests for the staged pass pipeline, fragment fingerprints, and the
+content-addressed summary cache (serialization round-trip, alpha-renamed
+hits, batch compilation parity)."""
+
+import json
+
+import pytest
+
+from repro import (
+    CasperCompiler,
+    SearchConfig,
+    SummaryCache,
+    run_translated,
+    translate,
+    translate_many,
+)
+from repro.errors import AnalysisError
+from repro.ir.nodes import (
+    rename_summary,
+    summary_from_data,
+    summary_to_data,
+)
+from repro.lang.analysis.fragments import fingerprint_fragment
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.values import values_equal
+from repro.pipeline import (
+    CompilationContext,
+    PassPipeline,
+    default_passes,
+)
+from repro.pipeline.cache import search_config_key
+from repro.verification.prover import proof_from_data, proof_to_data
+from tests.conftest import (
+    Q6_SOURCE,
+    RWM_SOURCE,
+    SUM_SOURCE,
+    WORDCOUNT_SOURCE,
+    analysis_of,
+)
+
+SUM_ALPHA_SOURCE = """
+int total(int[] values, int count) {
+  int acc = 0;
+  for (int k0 = 0; k0 < count; k0++) acc += values[k0];
+  return acc;
+}
+"""
+
+
+class TestFingerprint:
+    def test_identical_fragments_share_digest(self):
+        a = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        b = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        assert a.digest == b.digest
+
+    def test_alpha_equivalent_fragments_share_digest(self):
+        a = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        b = fingerprint_fragment(analysis_of(SUM_ALPHA_SOURCE))
+        assert a.digest is not None
+        assert a.digest == b.digest
+        assert a.renaming != b.renaming  # different source names, same shape
+
+    def test_semantic_change_changes_digest(self):
+        changed = SUM_SOURCE.replace("total = 0", "total = 1")
+        assert changed != SUM_SOURCE
+        a = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        b = fingerprint_fragment(analysis_of(changed))
+        assert a.digest != b.digest
+
+    def test_operator_change_changes_digest(self):
+        changed = SUM_SOURCE.replace("total += data[i]", "total *= data[i]")
+        a = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        b = fingerprint_fragment(analysis_of(changed))
+        assert a.digest != b.digest
+
+    def test_type_change_changes_digest(self):
+        changed = SUM_SOURCE.replace("int[] data", "double[] data").replace(
+            "int total", "double total"
+        )
+        a = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        b = fingerprint_fragment(analysis_of(changed))
+        assert a.digest != b.digest
+
+    def test_nested_class_field_change_changes_digest(self):
+        # Inner is reachable only through Outer's fields; editing it must
+        # still invalidate the fingerprint (transitive class closure).
+        template = """
+        class Inner {{ {field}; }}
+        class Outer {{ Inner p; double w; }}
+        double total(List<Outer> items) {{
+          double t = 0;
+          for (Outer o : items) t += o.w;
+          return t;
+        }}
+        """
+        a = fingerprint_fragment(
+            analysis_of(template.format(field="int x"), "total")
+        )
+        b = fingerprint_fragment(
+            analysis_of(template.format(field="double x"), "total")
+        )
+        assert a.digest != b.digest
+
+    def test_reserved_variable_name_not_cacheable(self):
+        source = """
+        int sum(int[] v1, int n) {
+          int total = 0;
+          for (int i = 0; i < n; i++) total += v1[i];
+          return total;
+        }
+        """
+        fp = fingerprint_fragment(analysis_of(source))
+        assert not fp.cacheable
+        assert "v1" in fp.reason
+
+    def test_string_literal_colliding_with_variable_not_cacheable(self):
+        source = """
+        Map<String, Integer> wc(List<String> words) {
+          Map<String, Integer> counts = new HashMap<String, Integer>();
+          for (String w : words) {
+            counts.put("counts", counts.getOrDefault("counts", 0) + 1);
+          }
+          return counts;
+        }
+        """
+        fp = fingerprint_fragment(analysis_of(source))
+        assert not fp.cacheable
+
+    def test_inverse_renaming_round_trips(self):
+        fp = fingerprint_fragment(analysis_of(SUM_SOURCE))
+        for name, canonical in fp.renaming.items():
+            assert fp.inverse_renaming[canonical] == name
+
+
+class TestSerde:
+    def test_summary_json_round_trip(self, sum_search):
+        for vs in sum_search.summaries:
+            data = json.loads(json.dumps(summary_to_data(vs.summary)))
+            assert summary_from_data(data) == vs.summary
+
+    def test_wordcount_summary_round_trip(self, wordcount_search):
+        for vs in wordcount_search.summaries:
+            data = json.loads(json.dumps(summary_to_data(vs.summary)))
+            assert summary_from_data(data) == vs.summary
+
+    def test_rwm_summary_round_trip(self, rwm_search):
+        for vs in rwm_search.summaries:
+            data = json.loads(json.dumps(summary_to_data(vs.summary)))
+            assert summary_from_data(data) == vs.summary
+
+    def test_proof_round_trip(self, sum_search):
+        proof = sum_search.summaries[0].proof
+        back = proof_from_data(json.loads(json.dumps(proof_to_data(proof))))
+        assert back.status == proof.status
+        assert back.is_commutative == proof.is_commutative
+        assert back.is_associative == proof.is_associative
+        assert back.obligations == proof.obligations
+
+    def test_rename_then_inverse_is_identity(self, sum_search):
+        summary = sum_search.summaries[0].summary
+        mapping = {"total": "α·0", "data": "α·1", "n": "α·2", "i": "α·3"}
+        inverse = {v: k for k, v in mapping.items()}
+        assert rename_summary(rename_summary(summary, mapping), inverse) == summary
+
+
+class TestSummaryCache:
+    def test_warm_hit_skips_search_entirely(self):
+        cache = SummaryCache()
+        cold = translate(SUM_SOURCE, cache=cache)
+        assert cold.candidates_checked > 0 and cold.cache_hits == 0
+        warm = translate(SUM_SOURCE, cache=cache)
+        assert warm.cache_hits == 1
+        assert warm.candidates_checked == 0
+        assert warm.tp_failures == 0
+        assert warm.translated == cold.translated
+
+    def test_warm_hit_produces_equivalent_program(self):
+        cache = SummaryCache()
+        translate(Q6_SOURCE, "query6", cache=cache)
+        warm = translate(Q6_SOURCE, "query6", cache=cache)
+        assert warm.cache_hits == 1
+        from repro.workloads import datagen
+
+        items = datagen.lineitems(300, seed=11)
+        outputs = warm.fragments[0].program.run({"lineitem": items})
+        expected = Interpreter(parse_program(Q6_SOURCE)).call_function(
+            "query6", [items]
+        )
+        assert values_equal(outputs["revenue"], expected)
+
+    def test_alpha_equivalent_hit_is_renamed_correctly(self):
+        cache = SummaryCache()
+        translate(SUM_SOURCE, cache=cache)
+        warm = translate(SUM_ALPHA_SOURCE, cache=cache)
+        assert warm.cache_hits == 1
+        assert warm.candidates_checked == 0
+        # The cached summary must run under the *new* variable names.
+        outputs = warm.fragments[0].program.run(
+            {"values": [5, 6, 7], "count": 3}
+        )
+        assert outputs == {"acc": 18}
+
+    def test_different_search_configs_do_not_share_entries(self):
+        cache = SummaryCache()
+        exhaustive = SearchConfig(exhaustive=True)
+        default = SearchConfig()
+        assert search_config_key(exhaustive) != search_config_key(default)
+        translate(SUM_SOURCE, cache=cache, search_config=default)
+        result = translate(SUM_SOURCE, cache=cache, search_config=exhaustive)
+        assert result.cache_hits == 0  # no cross-config reuse
+
+    def test_verification_strength_is_part_of_the_key(self):
+        # With accept_bounded_only, 'unknown' proofs are admitted on
+        # bounded/extended-domain evidence alone — weaker domains admit
+        # different summaries, so they must not share cache entries.
+        from repro.verification.bounded import BoundedCheckConfig
+
+        default = SearchConfig()
+        weak_states = SearchConfig(extended_states=4)
+        weak_domain = SearchConfig(
+            bounded_config=BoundedCheckConfig(max_dataset_size=2, int_range=(0, 1))
+        )
+        keys = {
+            search_config_key(default),
+            search_config_key(weak_states),
+            search_config_key(weak_domain),
+        }
+        assert len(keys) == 3
+
+    def test_lru_eviction(self):
+        cache = SummaryCache(capacity=1)
+        translate(SUM_SOURCE, cache=cache)
+        translate(WORDCOUNT_SOURCE, cache=cache)  # evicts the sum entry
+        assert len(cache) == 1
+        result = translate(SUM_SOURCE, cache=cache)
+        assert result.cache_hits == 0
+        assert cache.stats.evictions >= 1
+
+    def test_disk_store_survives_new_cache_instance(self, tmp_path):
+        first = SummaryCache(cache_dir=str(tmp_path))
+        translate(SUM_SOURCE, cache=first)
+        assert list(tmp_path.glob("*.json"))
+        fresh = SummaryCache(cache_dir=str(tmp_path))
+        result = translate(SUM_SOURCE, cache=fresh)
+        assert result.cache_hits == 1
+        assert result.candidates_checked == 0
+        assert fresh.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = SummaryCache(cache_dir=str(tmp_path))
+        translate(SUM_SOURCE, cache=cache)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        fresh = SummaryCache(cache_dir=str(tmp_path))
+        result = translate(SUM_SOURCE, cache=fresh)
+        assert result.translated == 1  # falls back to a clean search
+        assert result.cache_hits == 0
+
+    def test_untranslatable_fragment_not_cached(self):
+        cache = SummaryCache()
+        source = """
+        double[] blur(double[] img, int n) {
+          double[] out = new double[n];
+          double prev = 0;
+          for (int i = 0; i < n; i++) {
+            prev = 0.5 * prev + 0.5 * img[i];
+            out[i] = prev;
+          }
+          return out;
+        }
+        """
+        translate(source, cache=cache, search_config=SearchConfig(timeout_seconds=20))
+        assert cache.stats.stores == 0
+
+
+class TestPassPipeline:
+    def test_default_passes_in_order(self):
+        names = [p.name for p in default_passes()]
+        assert names == ["analyze", "synthesize", "verify-attach", "codegen"]
+
+    def test_pass_timings_recorded(self):
+        result = translate(SUM_SOURCE)
+        assert set(result.pass_seconds) == {
+            "analyze",
+            "synthesize",
+            "verify-attach",
+            "codegen",
+        }
+        assert result.pass_seconds["synthesize"] > 0
+
+    def test_context_drives_pipeline_directly(self):
+        ctx = CompilationContext(
+            program=parse_program(SUM_SOURCE),
+            function="sum",
+            cache=SummaryCache(),
+        )
+        PassPipeline(max_workers=1).run(ctx)
+        assert len(ctx.fragments) == 1
+        state = ctx.fragments[0]
+        assert state.analysis is not None
+        assert state.fingerprint is not None and state.fingerprint.cacheable
+        assert state.search is not None and state.search.translated
+        assert state.program is not None
+
+    def test_fingerprint_skipped_without_cache(self):
+        ctx = CompilationContext(
+            program=parse_program(SUM_SOURCE), function="sum"
+        )
+        PassPipeline(max_workers=1).run(ctx)
+        assert ctx.fragments[0].program is not None
+        assert ctx.fragments[0].fingerprint is None  # no cache, no hashing
+
+    def test_analysis_failure_stops_chain(self):
+        # A loop with no observable outputs fails analysis; later passes
+        # must not run (no search, no program).
+        source = """
+        int noop(int[] data, int n) {
+          for (int i = 0; i < n; i++) { int x = data[i]; }
+          return 0;
+        }
+        """
+        result = translate(source)
+        frag = result.fragments[0]
+        assert frag.failure_reason is not None
+        assert frag.search is None
+        assert frag.program is None
+
+
+class TestTranslateMany:
+    SOURCES = [SUM_SOURCE, WORDCOUNT_SOURCE, (RWM_SOURCE, None), (Q6_SOURCE, "query6")]
+
+    def test_batch_matches_sequential(self):
+        batch = translate_many(self.SOURCES)
+        for spec, batched in zip(self.SOURCES, batch):
+            source, function = spec if isinstance(spec, tuple) else (spec, None)
+            sequential = translate(source, function)
+            assert batched.function == sequential.function
+            assert batched.identified == sequential.identified
+            assert batched.translated == sequential.translated
+            for bf, sf in zip(batched.fragments, sequential.fragments):
+                assert (bf.search is None) == (sf.search is None)
+                if bf.search and sf.search:
+                    assert [vs.summary for vs in bf.search.summaries] == [
+                        vs.summary for vs in sf.search.summaries
+                    ]
+
+    def test_batch_results_positionally_aligned(self):
+        results = translate_many([WORDCOUNT_SOURCE, SUM_SOURCE])
+        assert results[0].function == "wc"
+        assert results[1].function == "sum"
+
+    def test_batch_shares_cache_across_items(self):
+        cache = SummaryCache()
+        results = translate_many(
+            [SUM_SOURCE, SUM_ALPHA_SOURCE, SUM_SOURCE], cache=cache
+        )
+        assert all(r.translated == 1 for r in results)
+        # At least one of the three identical fragments hit the entry
+        # stored by another (scheduling decides exactly how many).
+        assert cache.stats.hits + cache.stats.stores >= 3
+
+    def test_sequential_worker_pool_equivalent(self):
+        parallel = translate_many([SUM_SOURCE, WORDCOUNT_SOURCE], max_workers=4)
+        serial = translate_many([SUM_SOURCE, WORDCOUNT_SOURCE], max_workers=1)
+        for p, s in zip(parallel, serial):
+            assert p.translated == s.translated
+            assert [vs.summary for f in p.fragments for vs in f.search.summaries] == [
+                vs.summary for f in s.fragments for vs in f.search.summaries
+            ]
+
+    def test_compiler_level_batch(self):
+        compiler = CasperCompiler(cache=SummaryCache())
+        results = compiler.translate_many([SUM_SOURCE])
+        assert results[0].translated == 1
+
+
+class TestRunTranslated:
+    def test_single_translated_fragment_runs(self):
+        result = translate(SUM_SOURCE)
+        assert run_translated(result, {"data": [1, 2, 3], "n": 3}) == {"total": 6}
+
+    def test_explicit_index_runs_that_fragment(self):
+        result = translate(SUM_SOURCE)
+        outputs = run_translated(result, {"data": [4, 5], "n": 2}, fragment_index=0)
+        assert outputs == {"total": 9}
+
+    def test_untranslated_fragment_error_names_reason(self):
+        source = """
+        double[] blur(double[] img, int n) {
+          double[] out = new double[n];
+          double prev = 0;
+          for (int i = 0; i < n; i++) {
+            prev = 0.5 * prev + 0.5 * img[i];
+            out[i] = prev;
+          }
+          return out;
+        }
+        """
+        result = translate(source, search_config=SearchConfig(timeout_seconds=20))
+        with pytest.raises(AnalysisError, match="blur#0"):
+            run_translated(result, {"img": [1.0], "n": 1})
+
+    def test_multiple_fragments_require_index(self):
+        source = """
+        int twoLoops(int[] data, int n) {
+          int a = 0;
+          for (int i = 0; i < n; i++) a += data[i];
+          int b = 0;
+          for (int j = 0; j < n; j++) b += data[j] * data[j];
+          return a + b;
+        }
+        """
+        result = translate(source)
+        assert result.identified == 2
+        with pytest.raises(AnalysisError, match="fragment_index"):
+            run_translated(result, {"data": [1, 2], "n": 2})
+        outputs = run_translated(result, {"data": [1, 2], "n": 2}, fragment_index=1)
+        assert outputs == {"b": 5}
+
+    def test_index_out_of_range(self):
+        result = translate(SUM_SOURCE)
+        with pytest.raises(AnalysisError, match="out of range"):
+            run_translated(result, {"data": [1], "n": 1}, fragment_index=5)

@@ -92,3 +92,26 @@ class TestRegistry:
         assert args[0] == inputs["data"]
         assert args[1] == inputs["n"]
         assert args[2] == inputs["threshold"]
+
+
+class TestCompileSuite:
+    def test_batch_suite_compilation_matches_single(self):
+        from repro import SummaryCache
+        from repro.workloads.runner import compile_benchmark, compile_suite
+
+        benchmarks = [get_benchmark("ariths_sum"), get_benchmark("ariths_max")]
+        results = compile_suite(benchmarks, cache=SummaryCache())
+        assert list(results) == ["ariths_sum", "ariths_max"]
+        for benchmark in benchmarks:
+            single = compile_benchmark(benchmark)
+            batched = results[benchmark.name]
+            assert batched.translated == single.translated
+            assert [
+                vs.summary
+                for f in batched.fragments
+                for vs in f.search.summaries
+            ] == [
+                vs.summary
+                for f in single.fragments
+                for vs in f.search.summaries
+            ]
