@@ -1,0 +1,178 @@
+"""Collect the repository's performance trajectory into one JSON file.
+
+Run by CI's ``bench`` job (and locally with ``PYTHONPATH=src python
+benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
+
+* **compile** — cold and warm (summary-cache) batch compile wall-clock
+  per workload suite, plus cache statistics;
+* **suites** — per-suite end-to-end ``run_benchmark`` wall-clock and
+  simulated speedup aggregates;
+* **planner** — sequential vs ``plan="auto"`` wall-clock on a large
+  input, with the chosen backend and the planner's own estimates, so
+  the cost model can be tracked against measured reality over time.
+
+The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
+recording the perf trajectory PR over PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+from repro import SummaryCache, translate_many
+from repro.engine.multiprocess import default_process_count
+from repro.workloads import get_benchmark, suite_benchmarks, suites
+from repro.workloads.runner import compile_benchmark, run_benchmark
+
+#: Input sizes kept modest so the bench job stays under a few minutes
+#: (matrix-multiply-style kernels are cubic in size — the interpreter's
+#: step budget enforces this).  Mirrors test_table1_feasibility.py.
+RUN_SIZE_BY_SUITE = {
+    "ariths": 6000,
+    "biglambda": 3000,
+    "fiji": 3000,
+    "iterative": 2500,
+    "phoenix": 4000,
+    "stats": 5000,
+    "tpch": 2500,
+}
+PLANNER_SIZE = 200_000
+PLANNER_BENCHMARK = "stats_correlation_sums"
+
+
+def measure_compile() -> dict:
+    """Cold vs warm batch compilation per suite (the PR-1 cache story)."""
+    cache = SummaryCache()
+    out: dict[str, dict] = {}
+    for suite in suites():
+        benchmarks = suite_benchmarks(suite)
+        specs = [(b.source, b.function) for b in benchmarks]
+        started = time.perf_counter()
+        cold = translate_many(specs, cache=cache)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = translate_many(specs, cache=cache)
+        warm_s = time.perf_counter() - started
+        out[suite] = {
+            "benchmarks": len(benchmarks),
+            "fragments": sum(r.identified for r in cold),
+            "translated": sum(r.translated for r in cold),
+            "cold_seconds": round(cold_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "warm_cache_hits": sum(r.cache_hits for r in warm),
+        }
+    out["_cache_stats"] = cache.stats.as_dict()
+    return out
+
+
+def measure_suites() -> dict:
+    """End-to-end run wall-clock and simulated speedups per suite."""
+    out: dict[str, dict] = {}
+    for suite in suites():
+        started = time.perf_counter()
+        speedups = []
+        matched = 0
+        total = 0
+        errors = []
+        size = RUN_SIZE_BY_SUITE.get(suite, 3000)
+        for benchmark in suite_benchmarks(suite):
+            total += 1
+            try:
+                run = run_benchmark(benchmark, size=size)
+            except Exception as exc:
+                errors.append(f"{benchmark.name}: {exc}")
+                continue
+            if run.translated:
+                speedups.append(run.speedup)
+                matched += int(run.outputs_match)
+        out[suite] = {
+            "benchmarks": total,
+            "translated_runs": len(speedups),
+            "outputs_matched": matched,
+            "wall_seconds": round(time.perf_counter() - started, 3),
+            "mean_simulated_speedup": (
+                round(sum(speedups) / len(speedups), 2) if speedups else None
+            ),
+            "errors": errors,
+        }
+    return out
+
+
+def measure_planner() -> dict:
+    """Sequential vs auto-planned execution, measured for real."""
+    benchmark = get_benchmark(PLANNER_BENCHMARK)
+    compilation = compile_benchmark(benchmark)
+    fragment = next((f for f in compilation.fragments if f.translated), None)
+    if fragment is None:
+        return {"error": f"{PLANNER_BENCHMARK} did not translate"}
+    inputs = benchmark.make_inputs(PLANNER_SIZE, 7)
+
+    fragment.program.run(dict(inputs), plan="sequential")
+    seq = fragment.program.last_plan_report
+    fragment.program.run(dict(inputs), plan="auto")
+    auto = fragment.program.last_plan_report
+    speedup = seq.wall_seconds / auto.wall_seconds if auto.wall_seconds else None
+    return {
+        "benchmark": PLANNER_BENCHMARK,
+        "records": PLANNER_SIZE,
+        "sequential_wall_seconds": round(seq.wall_seconds, 4),
+        "auto_wall_seconds": round(auto.wall_seconds, 4),
+        "auto_report": auto.summary(),
+        "measured_speedup": round(speedup, 2) if speedup else None,
+    }
+
+
+def git_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return (
+            subprocess.check_output(["git", "rev-parse", "HEAD"])
+            .decode()
+            .strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_local.json", help="output path")
+    parser.add_argument(
+        "--skip-compile",
+        action="store_true",
+        help="skip the (slow) cold-compile measurements",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    payload = {
+        "meta": {
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": default_process_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "compile": None if args.skip_compile else measure_compile(),
+        "suites": measure_suites(),
+        "planner": measure_planner(),
+    }
+    payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.output} in {payload['meta']['total_seconds']}s")
+    print(json.dumps(payload["planner"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

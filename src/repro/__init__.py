@@ -13,7 +13,10 @@ distributed substrate (see DESIGN.md for the substitution map):
 * :mod:`repro.synthesis` — grammar generation + CEGIS search
 * :mod:`repro.verification` — bounded checking + inductive prover
 * :mod:`repro.cost` — the data-centric cost model + runtime monitor
-* :mod:`repro.engine` — simulated Spark/Hadoop/Flink execution
+* :mod:`repro.engine` — simulated Spark/Hadoop/Flink execution, plus the
+  real multiprocess backend
+* :mod:`repro.planner` — cost-driven execution planning (backend,
+  partitions, combiners) with per-run ``PlanReport`` evidence
 * :mod:`repro.codegen` — code generation and the adaptive program
 * :mod:`repro.compiler` — the end-to-end pipeline
 * :mod:`repro.baselines` — MOLD-style rules, mini-SparkSQL, manual impls
@@ -31,25 +34,32 @@ from .compiler import (
     CasperCompiler,
     CompilationResult,
     FragmentTranslation,
+    last_plan_report,
     run_translated,
     translate,
     translate_many,
 )
 from .engine.config import ClusterConfig, EngineConfig
 from .pipeline import PassPipeline, SummaryCache
+from .planner import ExecutionPlan, ExecutionPlanner, PlannerConfig, PlanReport
 from .synthesis.search import SearchConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CasperCompiler",
     "ClusterConfig",
     "CompilationResult",
     "EngineConfig",
+    "ExecutionPlan",
+    "ExecutionPlanner",
     "FragmentTranslation",
     "PassPipeline",
+    "PlanReport",
+    "PlannerConfig",
     "SearchConfig",
     "SummaryCache",
+    "last_plan_report",
     "run_translated",
     "translate",
     "translate_many",

@@ -66,13 +66,13 @@ def sparksql_q1(
     context = SimSparkContext(_sql_config(config))
     rdd = context.parallelize(lineitem)
     projected = rdd.map_to_pair(
-        lambda l: (
-            (l.get("l_returnflag"), l.get("l_linestatus")),
+        lambda li: (
+            (li.get("l_returnflag"), li.get("l_linestatus")),
             (
-                l.get("l_quantity"),
-                l.get("l_extendedprice"),
-                _price_disc(l),
-                _price_disc(l) * (1.0 + l.get("l_tax")),
+                li.get("l_quantity"),
+                li.get("l_extendedprice"),
+                _price_disc(li),
+                _price_disc(li) * (1.0 + li.get("l_tax")),
                 1.0,
             ),
         ),
@@ -95,13 +95,13 @@ def sparksql_q6(
     dt2 = parse_date("1994-01-01").get("epoch")
     rdd = context.parallelize(lineitem)
     filtered = rdd.filter(
-        lambda l: dt1 < l.get("l_shipdate").get("epoch") < dt2
-        and 0.05 <= l.get("l_discount") <= 0.07
-        and l.get("l_quantity") < 24.0,
+        lambda li: dt1 < li.get("l_shipdate").get("epoch") < dt2
+        and 0.05 <= li.get("l_discount") <= 0.07
+        and li.get("l_quantity") < 24.0,
         complexity=6,
     )
     projected = filtered.map_to_pair(
-        lambda l: (0, l.get("l_extendedprice") * l.get("l_discount")), complexity=2
+        lambda li: (0, li.get("l_extendedprice") * li.get("l_discount")), complexity=2
     )
     # The exchange before the single-group aggregate (no combiner).
     summed = projected.group_by_key().map_values(lambda vs: sum(vs), complexity=1)
@@ -125,7 +125,7 @@ def sparksql_q15(
         context = SimSparkContext(base_config)
         rdd = context.parallelize(lineitem)
         pairs = rdd.map_to_pair(
-            lambda l: (l.get("l_suppkey"), _price_disc(l)), complexity=3
+            lambda li: (li.get("l_suppkey"), _price_disc(li)), complexity=3
         )
         reduced = pairs.reduce_by_key(lambda a, b: a + b)
         return reduced.collect_as_map(), context.metrics
@@ -151,19 +151,19 @@ def sparksql_q17(
     context = SimSparkContext(_sql_config(config))
     rdd = context.parallelize(lineitem)
     stats = rdd.map_to_pair(
-        lambda l: (l.get("l_partkey"), (l.get("l_quantity"), 1.0)), complexity=3
+        lambda li: (li.get("l_partkey"), (li.get("l_quantity"), 1.0)), complexity=3
     )
     reduced = stats.reduce_by_key(lambda a, b: (a[0] + b[0], a[1] + b[1]))
     averages = {k: s / c for k, (s, c) in reduced.collect_as_map().items()}
     broadcast = context.broadcast(averages)
 
     filtered = rdd.filter(
-        lambda l: l.get("l_quantity")
-        < 0.2 * broadcast.value.get(l.get("l_partkey"), 0.0),
+        lambda li: li.get("l_quantity")
+        < 0.2 * broadcast.value.get(li.get("l_partkey"), 0.0),
         complexity=4,
     )
     prices = filtered.map_to_pair(
-        lambda l: (0, l.get("l_extendedprice")), complexity=1
+        lambda li: (0, li.get("l_extendedprice")), complexity=1
     )
     total = prices.reduce_by_key(lambda a, b: a + b).collect_as_map().get(0, 0.0)
     return SqlResult(result=total / 7.0, metrics=context.metrics)

@@ -15,7 +15,10 @@ rules (section 6.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from ..planner.plan import ExecutionPlan
 
 from ..errors import CodegenError, InterpreterError
 from ..lang.analysis.fragments import FragmentAnalysis
@@ -41,10 +44,18 @@ from ..verification.prover import ProofResult
 
 @dataclass
 class ExecutionOutcome:
-    """Result of running a generated program: outputs + engine metrics."""
+    """Result of running a generated program: outputs + engine metrics.
+
+    ``wall_seconds`` and ``fallback_reason`` are populated by the real
+    (multiprocess/sequential) backends; the simulated backends leave
+    them at their defaults.
+    """
 
     outputs: dict[str, Any]
     metrics: JobMetrics
+    wall_seconds: float = 0.0
+    fallback_reason: Optional[str] = None
+    processes_used: int = 1
 
 
 def prepare_globals(
@@ -108,35 +119,72 @@ def record_env(view: DatasetView, record: Any) -> dict[str, Any]:
     raise CodegenError(f"unsupported view kind {view.kind!r}")
 
 
-def _emit_fn(emits: tuple[Emit, ...], globals_env: dict[str, Any], view: DatasetView):
-    """Build the record → pairs closure for a first map stage."""
+@dataclass
+class RecordMapper:
+    """The first map stage: raw record → emitted pairs.
 
-    def fn(record: Any):
-        env = {**globals_env, **record_env(view, record)}
+    A module-level callable class (not a closure) so the multiprocess
+    backend can ship it to worker processes with plain pickle.
+    """
+
+    emits: tuple[Emit, ...]
+    globals_env: dict[str, Any]
+    view: DatasetView
+
+    def __call__(self, record: Any) -> list[tuple]:
+        env = {**self.globals_env, **record_env(self.view, record)}
         out = []
-        for emit in emits:
+        for emit in self.emits:
             if emit.cond is not None and not eval_expr(emit.cond, env):
                 continue
             out.append((eval_expr(emit.key, env), eval_expr(emit.value, env)))
         return out
 
-    return fn
 
+@dataclass
+class PairMapper:
+    """A later map stage: (key, value) pair → emitted pairs.  Picklable."""
 
-def _pair_emit_fn(stage: MapStage, globals_env: dict[str, Any]):
-    k_name = stage.lam.params[0]
-    v_name = stage.lam.params[1] if len(stage.lam.params) > 1 else "v"
+    params: tuple[str, ...]
+    emits: tuple[Emit, ...]
+    globals_env: dict[str, Any]
 
-    def fn(pair: tuple):
-        env = {**globals_env, k_name: pair[0], v_name: pair[1]}
+    def __call__(self, pair: tuple) -> list[tuple]:
+        k_name = self.params[0]
+        v_name = self.params[1] if len(self.params) > 1 else "v"
+        env = {**self.globals_env, k_name: pair[0], v_name: pair[1]}
         out = []
-        for emit in stage.lam.emits:
+        for emit in self.emits:
             if emit.cond is not None and not eval_expr(emit.cond, env):
                 continue
             out.append((eval_expr(emit.key, env), eval_expr(emit.value, env)))
         return out
 
-    return fn
+
+@dataclass
+class ReduceApplier:
+    """λr as a picklable two-argument callable."""
+
+    body: Any
+    params: tuple[str, str]
+    globals_env: dict[str, Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        v1, v2 = self.params
+        return eval_expr(self.body, {**self.globals_env, v1: a, v2: b})
+
+
+def _emit_fn(
+    emits: tuple[Emit, ...], globals_env: dict[str, Any], view: DatasetView
+) -> RecordMapper:
+    """Build the record → pairs callable for a first map stage."""
+    return RecordMapper(emits=emits, globals_env=globals_env, view=view)
+
+
+def _pair_emit_fn(stage: MapStage, globals_env: dict[str, Any]) -> PairMapper:
+    return PairMapper(
+        params=stage.lam.params, emits=stage.lam.emits, globals_env=globals_env
+    )
 
 
 def _stage_complexity(stage: MapStage) -> int:
@@ -200,28 +248,47 @@ class GeneratedProgram:
     proof: ProofResult
     engine_config: EngineConfig = field(default_factory=EngineConfig)
 
-    def run(self, inputs: dict[str, Any]) -> ExecutionOutcome:
-        if self.backend == "spark":
+    def run(
+        self,
+        inputs: dict[str, Any],
+        backend: Optional[str] = None,
+        plan: Optional["ExecutionPlan"] = None,
+        records: Optional[list] = None,
+    ) -> ExecutionOutcome:
+        """Execute on ``backend`` (default: the compiled one).
+
+        ``sequential`` and ``multiprocess`` are the *real* local
+        backends; an :class:`~repro.planner.plan.ExecutionPlan` can pin
+        their process/partition/combiner choices.  ``records`` lets a
+        caller that already materialized ``view_records(analysis.view,
+        inputs)`` (the planner does, for calibration) pass them through
+        instead of paying the transformation twice.
+        """
+        backend = backend or self.backend
+        if backend == "spark":
             return self._run_spark(inputs)
-        if self.backend == "hadoop":
+        if backend == "hadoop":
             return self._run_hadoop(inputs)
-        if self.backend == "flink":
+        if backend == "flink":
             return self._run_flink(inputs)
-        raise CodegenError(f"unknown backend {self.backend!r}")
+        if backend in ("multiprocess", "sequential"):
+            return self._run_local(
+                inputs, backend=backend, plan=plan, records=records
+            )
+        raise CodegenError(f"unknown backend {backend!r}")
 
     # ------------------------------------------------------------------
 
     def _combiner_safe(self) -> bool:
         return self.proof.is_commutative and self.proof.is_associative
 
-    def _reduce_fn(self, stage: ReduceStage, globals_env: dict[str, Any]):
+    def _reduce_fn(
+        self, stage: ReduceStage, globals_env: dict[str, Any]
+    ) -> ReduceApplier:
         lam = stage.lam
-        v1, v2 = lam.params
-
-        def fn(a: Any, b: Any) -> Any:
-            return eval_expr(lam.body, {**globals_env, v1: a, v2: b})
-
-        return fn
+        return ReduceApplier(
+            body=lam.body, params=lam.params, globals_env=globals_env
+        )
 
     def _run_spark(self, inputs: dict[str, Any]) -> ExecutionOutcome:
         config = (
@@ -325,6 +392,70 @@ class GeneratedProgram:
         pairs = dataset.collect()
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=env.metrics)
+
+    def _run_local(
+        self,
+        inputs: dict[str, Any],
+        backend: str = "multiprocess",
+        plan: Optional["ExecutionPlan"] = None,
+        records: Optional[list] = None,
+    ) -> ExecutionOutcome:
+        """Real execution: multiprocess pool, or in-process sequential.
+
+        Both modes run the identical algorithm (the multiprocess engine
+        with ``processes=0`` executes inline), so their results are
+        byte-identical and their wall-clock times directly comparable.
+        """
+        from ..engine.multiprocess import MapStep, MultiprocessEngine, ReduceStep
+
+        config = (
+            self.engine_config
+            if self.engine_config.framework.name == "multiprocess"
+            else self.engine_config.with_framework("multiprocess")
+        )
+        globals_env, output_sizes = prepare_globals(self.analysis, inputs)
+        if records is None:
+            records = view_records(self.analysis.view, inputs)
+        steps: list[Any] = []
+        for index, stage in enumerate(self.summary.pipeline.stages):
+            if isinstance(stage, MapStage):
+                fn = (
+                    _emit_fn(stage.lam.emits, globals_env, self.analysis.view)
+                    if index == 0
+                    else _pair_emit_fn(stage, globals_env)
+                )
+                steps.append(MapStep(fn, _stage_complexity(stage)))
+            elif isinstance(stage, ReduceStage):
+                combine = self._combiner_safe()
+                if plan is not None:
+                    combine = combine and plan.combiner_for(index)
+                steps.append(
+                    ReduceStep(self._reduce_fn(stage, globals_env), combine=combine)
+                )
+            elif isinstance(stage, JoinStage):
+                raise CodegenError("join stages are generated via JoinProgram")
+        if backend == "sequential":
+            processes: Optional[int] = 0
+        elif plan is not None:
+            processes = plan.processes
+        else:
+            processes = None
+        engine = MultiprocessEngine(
+            config=config,
+            processes=processes,
+            partitions=plan.partitions if plan is not None else None,
+        )
+        result = engine.run_pipeline(records, steps)
+        outputs = bind_outputs(
+            self.summary.outputs, result.pairs, globals_env, output_sizes
+        )
+        return ExecutionOutcome(
+            outputs=outputs,
+            metrics=result.metrics,
+            wall_seconds=result.metrics.wall_seconds,
+            fallback_reason=result.fallback_reason,
+            processes_used=result.processes_used,
+        )
 
 
 def _ordered_fold(values: list, fn) -> Any:

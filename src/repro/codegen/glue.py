@@ -8,6 +8,7 @@ cheapest implementation (paper sections 5.2, 6.3, Fig. 8).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -16,6 +17,8 @@ from ..cost.monitor import Implementation, RuntimeMonitor
 from ..engine.config import EngineConfig
 from ..engine.metrics import JobMetrics
 from ..lang.analysis.fragments import FragmentAnalysis
+from ..planner.plan import ExecutionPlan, PlanReport, forced_plan
+from ..planner.planner import ExecutionPlanner
 from ..synthesis.search import VerifiedSummary
 from .base import ExecutionOutcome, GeneratedProgram, record_env, view_records
 
@@ -35,6 +38,10 @@ class AdaptiveProgram:
     cost_model: CostModel = field(default_factory=CostModel)
     monitor: RuntimeMonitor = field(init=False)
     last_outcome: Optional[ExecutionOutcome] = None
+    #: Attached by the pipeline's ``plan`` pass; created lazily for
+    #: programs built outside the pipeline.
+    planner: Optional[ExecutionPlanner] = None
+    last_plan_report: Optional[PlanReport] = None
 
     def __post_init__(self) -> None:
         implementations = []
@@ -64,15 +71,71 @@ class AdaptiveProgram:
         for program in self.programs:
             program.engine_config = config
 
-    def run(self, inputs: dict[str, Any]) -> dict[str, Any]:
-        """Sample, select, execute; returns the fragment outputs."""
-        sample = self._sample_elements(inputs)
+    def run(
+        self, inputs: dict[str, Any], plan: Optional[str] = None
+    ) -> dict[str, Any]:
+        """Sample, select, execute; returns the fragment outputs.
+
+        ``plan`` selects the execution strategy: ``None`` keeps the
+        compiled backend (the paper's behaviour), ``"auto"`` lets the
+        execution planner choose, and a backend name
+        (``"sequential"``, ``"multiprocess"``, ``"spark"``,
+        ``"hadoop"``, ``"flink"``) forces it.  Planned runs leave a
+        :class:`PlanReport` in :attr:`last_plan_report`.
+        """
+        records = view_records(self.analysis.view, inputs)
+        sample = self._sample_elements(records)
         globals_env = self._globals(inputs)
         chosen = self.monitor.choose(sample, globals_env)
         index = int(chosen.name.split("_")[1])
-        outcome = self.programs[index].run(inputs)
+        program = self.programs[index]
+        if plan is None:
+            outcome = program.run(inputs)
+            self.last_outcome = outcome
+            return outcome.outputs
+
+        execution_plan, report = self._plan_execution(
+            plan, program, records, sample, globals_env
+        )
+        report.implementation = chosen.name
+        started = time.perf_counter()
+        if execution_plan.backend in ("sequential", "multiprocess"):
+            outcome = program.run(
+                inputs,
+                backend=execution_plan.backend,
+                plan=execution_plan,
+                records=records,
+            )
+        else:
+            outcome = program.run(inputs, backend=execution_plan.backend)
+        report.wall_seconds = time.perf_counter() - started
+        # A deliberately-sequential plan is not a "fallback" even though
+        # the engine runs it in-process; only a planned pool that could
+        # not run counts.
+        if execution_plan.backend == "multiprocess" and outcome.fallback_reason:
+            report.fallback_reason = outcome.fallback_reason
+            report.backend_used = "sequential"
+        else:
+            report.backend_used = execution_plan.backend
         self.last_outcome = outcome
+        self.last_plan_report = report
         return outcome.outputs
+
+    def _plan_execution(
+        self,
+        plan: str,
+        program: GeneratedProgram,
+        records: list,
+        sample: list[dict[str, Any]],
+        globals_env: dict[str, Any],
+    ) -> tuple[ExecutionPlan, PlanReport]:
+        if plan != "auto":
+            forced = forced_plan(plan)
+            return forced, PlanReport(plan=forced, input_records=len(records))
+        if self.planner is None:
+            self.planner = ExecutionPlanner(cost_model=self.cost_model)
+            self.planner.precompute(self.programs)
+        return self.planner.plan(program, records, sample, globals_env)
 
     @property
     def chosen_implementation(self) -> Optional[str]:
@@ -84,8 +147,7 @@ class AdaptiveProgram:
 
     # ------------------------------------------------------------------
 
-    def _sample_elements(self, inputs: dict[str, Any]) -> list[dict[str, Any]]:
-        records = view_records(self.analysis.view, inputs)
+    def _sample_elements(self, records: list) -> list[dict[str, Any]]:
         view = self.analysis.view
         return [record_env(view, r) for r in records[: self.sample_size]]
 

@@ -1,8 +1,8 @@
 """The end-to-end Casper compilation pipeline (paper Fig. 2).
 
 ``CasperCompiler`` drives the staged pass pipeline of
-:mod:`repro.pipeline` — analyze → synthesize → verify-attach → codegen —
-over an explicit :class:`~repro.pipeline.context.CompilationContext`:
+:mod:`repro.pipeline` — analyze → synthesize → verify-attach → codegen →
+plan — over an explicit :class:`~repro.pipeline.context.CompilationContext`:
 
 1. **program analyzer** — parse, identify candidate code fragments,
    extract inputs/outputs/operators, build the dataset view, and compute
@@ -11,7 +11,10 @@ over an explicit :class:`~repro.pipeline.context.CompilationContext`:
    generation, CEGIS search, two-phase verification (bounded model
    checking + inductive prover);
 3. **code generator** — executable backend programs, static cost pruning,
-   and the runtime monitor for adaptive dispatch.
+   and the runtime monitor for adaptive dispatch;
+4. **execution planner** — compile-time cost bounds plus a runtime
+   backend/partition/combiner decision (``run_translated(...,
+   plan="auto")``), validated by the real multiprocess backend.
 
 Independent fragments compile concurrently, and :meth:`CasperCompiler
 .translate_many` batches whole workload suites through one worker pool.
@@ -35,6 +38,7 @@ from .engine.config import EngineConfig
 from .pipeline.cache import SummaryCache
 from .pipeline.context import CompilationContext
 from .pipeline.scheduler import PassPipeline
+from .planner.planner import PlannerConfig
 from .synthesis.search import SearchConfig, SearchResult
 
 #: A batch item: plain source text, or ``(source, function_name)``.
@@ -117,6 +121,8 @@ class CasperCompiler:
     #: Worker threads for fragment-level parallelism; None → per-core
     #: default, 1 → strictly sequential.
     max_workers: Optional[int] = None
+    #: Execution-planner knobs attached by the plan pass; None → defaults.
+    planner_config: Optional["PlannerConfig"] = None
 
     # ------------------------------------------------------------------
 
@@ -189,6 +195,7 @@ class CasperCompiler:
             engine_config=self.engine_config,
             backend=self.backend,
             cache=self.cache,
+            planner_config=self.planner_config,
         )
 
     @staticmethod
@@ -250,6 +257,7 @@ def run_translated(
     result: CompilationResult,
     inputs: dict[str, Any],
     fragment_index: Optional[int] = None,
+    plan: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run one translated fragment of a compilation result.
 
@@ -257,7 +265,27 @@ def run_translated(
     fragment and it must be translated; otherwise an
     :class:`~repro.errors.AnalysisError` explains which fragments exist,
     which failed to translate and why — nothing is silently skipped.
+
+    ``plan`` selects the execution strategy: ``None`` keeps the
+    compiled backend, ``"auto"`` asks the execution planner to choose
+    (sequential vs the real multiprocess backend), and a backend name
+    forces one.  After a planned run, :func:`last_plan_report` returns
+    the planner's :class:`~repro.planner.plan.PlanReport`.
     """
+    fragment = _pick_fragment(result, fragment_index)
+    return fragment.program.run(inputs, plan=plan)
+
+
+def last_plan_report(
+    result: CompilationResult, fragment_index: Optional[int] = None
+):
+    """The ``PlanReport`` left by the last planned run of a fragment."""
+    return _pick_fragment(result, fragment_index).program.last_plan_report
+
+
+def _pick_fragment(
+    result: CompilationResult, fragment_index: Optional[int]
+) -> FragmentTranslation:
     if fragment_index is not None:
         try:
             fragment = result.fragments[fragment_index]
@@ -271,7 +299,7 @@ def run_translated(
                 f"fragment {fragment.fragment.id!r} was not translated: "
                 f"{fragment.failure_reason or 'unknown reason'}"
             )
-        return fragment.program.run(inputs)
+        return fragment
 
     if not result.fragments:
         raise AnalysisError("compilation identified no fragments to run")
@@ -286,7 +314,7 @@ def run_translated(
             f"fragment {only.fragment.id!r} was not translated: "
             f"{only.failure_reason or 'unknown reason'}"
         )
-    return only.program.run(inputs)
+    return only
 
 
 def _fragment_status(fragment: FragmentTranslation) -> str:

@@ -90,6 +90,12 @@ class CostExpr:
     def upper_bound(self) -> float:
         return self.evaluate({})
 
+    def bounds(self) -> tuple[float, float]:
+        """(lower, upper) over all data distributions — what static
+        pruning compares, and what the execution planner records as a
+        summary's compile-time cost envelope."""
+        return self.lower_bound(), self.upper_bound()
+
     def lower_bound(self) -> float:
         """All unknown probabilities/ratios at 0."""
         total = 0.0

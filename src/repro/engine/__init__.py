@@ -12,6 +12,7 @@ from .config import (
     FLINK,
     FrameworkProfile,
     HADOOP,
+    MULTIPROCESS,
     PROFILES,
     SPARK,
 )
@@ -19,6 +20,13 @@ from .core import Executor, lambda_cpu_ns, partition_data
 from .flink import SimDataSet, SimFlinkEnv
 from .hadoop import SimHadoopJob, SimHadoopPipeline
 from .metrics import JobMetrics, StageMetrics
+from .multiprocess import (
+    MapStep,
+    MultiprocessEngine,
+    MultiprocessResult,
+    ReduceStep,
+    default_process_count,
+)
 from .sequential import SequentialResult, run_sequential
 from .sizes import dataset_bytes, sizeof, sizeof_kind, sizeof_pair
 from .spark import Broadcast, SimRDD, SimSparkContext
@@ -32,7 +40,12 @@ __all__ = [
     "FrameworkProfile",
     "HADOOP",
     "JobMetrics",
+    "MULTIPROCESS",
+    "MapStep",
+    "MultiprocessEngine",
+    "MultiprocessResult",
     "PROFILES",
+    "ReduceStep",
     "SPARK",
     "SequentialResult",
     "SimDataSet",
@@ -43,6 +56,7 @@ __all__ = [
     "SimSparkContext",
     "StageMetrics",
     "dataset_bytes",
+    "default_process_count",
     "lambda_cpu_ns",
     "partition_data",
     "run_sequential",

@@ -73,7 +73,23 @@ FLINK = FrameworkProfile(
     record_cpu_factor=1.5,
 )
 
-PROFILES = {"spark": SPARK, "hadoop": HADOOP, "flink": FLINK}
+# The local multiprocess backend: no cluster startup, negligible per-stage
+# overhead — simulated-time accounting stays available so its real
+# wall-clock measurements can be compared against the same model the
+# cluster profiles use.
+MULTIPROCESS = FrameworkProfile(
+    name="multiprocess",
+    startup_s=0.2,
+    per_stage_overhead_s=0.02,
+    record_cpu_factor=1.0,
+)
+
+PROFILES = {
+    "spark": SPARK,
+    "hadoop": HADOOP,
+    "flink": FLINK,
+    "multiprocess": MULTIPROCESS,
+}
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional
 
-from .config import EngineConfig, HADOOP
+from .config import EngineConfig
 from .core import Executor, lambda_cpu_ns
 from .metrics import JobMetrics
 from .sizes import sizeof

@@ -3,6 +3,11 @@
 These are the quantities the paper's evaluation reports: bytes emitted in
 the map stage, bytes shuffled across the network (Table 4 / Appendix E.3),
 and simulated wall-clock seconds (Figures 7-9).
+
+The multiprocess backend additionally records *real* wall-clock seconds
+(``wall_seconds``) alongside the simulated-time accounting, so the
+execution planner's predictions can be validated against measured
+reality.  The simulated engines leave ``wall_seconds`` at zero.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ class StageMetrics:
     bytes_out: int = 0
     bytes_shuffled: int = 0
     seconds: float = 0.0
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -29,6 +35,7 @@ class JobMetrics:
 
     stages: list[StageMetrics] = field(default_factory=list)
     simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
 
     def stage(self, name: str) -> StageMetrics:
         metrics = StageMetrics(name=name)
@@ -58,13 +65,18 @@ class JobMetrics:
     def add_seconds(self, seconds: float) -> None:
         self.simulated_seconds += seconds
 
+    def add_wall_seconds(self, seconds: float) -> None:
+        self.wall_seconds += seconds
+
     def merge(self, other: "JobMetrics") -> None:
         self.stages.extend(other.stages)
         self.simulated_seconds += other.simulated_seconds
+        self.wall_seconds += other.wall_seconds
 
     def summary(self) -> dict:
         return {
             "simulated_seconds": round(self.simulated_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 6),
             "bytes_emitted": self.bytes_emitted,
             "bytes_shuffled": self.bytes_shuffled,
             "stages": len(self.stages),

@@ -1,0 +1,511 @@
+"""Real multiprocess MapReduce backend over a ``ProcessPoolExecutor``.
+
+Unlike the simulated Spark/Hadoop/Flink engines — which execute lambdas
+in-process and only *model* distributed time — this backend actually
+spreads map, shuffle-combine, and reduce work across worker processes,
+measuring real wall-clock seconds alongside the familiar simulated-time
+accounting.  That pairing is what lets the execution planner
+(:mod:`repro.planner`) be validated against measured reality.
+
+Results are guaranteed identical to the in-process engines: the same
+block partitioning (``partition_data``), per-partition map-side
+combining, first-seen key ordering, and ordered value folds are
+reproduced exactly — only the work moves to other processes.  Closures
+are shipped to workers with plain :mod:`pickle`; payloads that cannot be
+pickled (e.g. a locally-defined lambda) trigger a transparent fallback
+to in-process execution, recorded as ``fallback_reason`` so callers (the
+planner's ``PlanReport``) can surface it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..errors import EngineError
+from .config import EngineConfig
+from .core import lambda_cpu_ns, partition_data
+from .metrics import JobMetrics
+from .sizes import sizeof, sizeof_pair
+
+
+@dataclass(frozen=True)
+class MapStep:
+    """One narrow stage: ``fn(record) -> iterable of emitted records``."""
+
+    fn: Callable[[Any], Any]
+    complexity: int = 3
+
+
+@dataclass(frozen=True)
+class ReduceStep:
+    """One keyed reduction: ``fn(a, b) -> a``, optionally map-side combined."""
+
+    fn: Callable[[Any, Any], Any]
+    combine: bool = True
+
+
+PipelineStep = Union[MapStep, ReduceStep]
+
+
+@dataclass
+class MultiprocessResult:
+    """Outcome of one multiprocess job: pairs, metrics, and how it ran."""
+
+    pairs: list
+    metrics: JobMetrics
+    processes_used: int = 0
+    map_tasks: int = 0
+    #: Why the engine executed in-process instead of across workers
+    #: (``None`` when the pool actually ran).
+    fallback_reason: Optional[str] = None
+
+    @property
+    def executed_parallel(self) -> bool:
+        return self.fallback_reason is None and self.processes_used > 1
+
+
+@dataclass
+class _MapOut:
+    """What one map task reports back to the driver."""
+
+    chunk_pairs: list[list]
+    #: Per fused map stage: [records_in, records_out, bytes_out].
+    stage_counts: list[list[int]]
+    outgoing_records: int = 0
+    shuffled_bytes: int = 0
+
+    def merge(self, other: "_MapOut") -> None:
+        self.chunk_pairs.extend(other.chunk_pairs)
+        for mine, theirs in zip(self.stage_counts, other.stage_counts):
+            for i in range(3):
+                mine[i] += theirs[i]
+        self.outgoing_records += other.outgoing_records
+        self.shuffled_bytes += other.shuffled_bytes
+
+
+def _run_map_chunks(
+    map_fns: Sequence[Callable],
+    combiner: Optional[Callable[[Any, Any], Any]],
+    chunks: list[list],
+    shuffle_next: bool,
+    account_bytes: bool,
+) -> _MapOut:
+    """Apply fused map stages (then an optional combine) per chunk.
+
+    Shared by the pool workers and the in-process fallback, so both
+    execution modes produce byte-identical results.
+    """
+    out = _MapOut(chunk_pairs=[], stage_counts=[[0, 0, 0] for _ in map_fns])
+    for chunk in chunks:
+        current: list = chunk
+        for index, fn in enumerate(map_fns):
+            counts = out.stage_counts[index]
+            emitted: list = []
+            for record in current:
+                counts[0] += 1
+                for pair in fn(record):
+                    emitted.append(pair)
+            counts[1] += len(emitted)
+            if account_bytes:
+                for pair in emitted:
+                    counts[2] += sizeof(pair)
+            current = emitted
+        if combiner is not None:
+            local: dict[Any, Any] = {}
+            for key, value in current:
+                if key in local:
+                    local[key] = combiner(local[key], value)
+                else:
+                    local[key] = value
+            current = list(local.items())
+        out.outgoing_records += len(current)
+        if shuffle_next and account_bytes:
+            for key, value in current:
+                out.shuffled_bytes += sizeof_pair(key, value)
+        out.chunk_pairs.append(current)
+    return out
+
+
+def _fold_groups(
+    fn: Callable[[Any, Any], Any], groups: list[tuple[Any, list]]
+) -> list[tuple]:
+    """Ordered fold of each key's values — the reduce-side work."""
+    out = []
+    for key, values in groups:
+        acc = values[0]
+        for value in values[1:]:
+            acc = fn(acc, value)
+        out.append((key, acc))
+    return out
+
+
+def _map_task(payload: bytes) -> _MapOut:
+    """Pool entry point: unpickle one map task and run it."""
+    map_fns, combiner, chunks, shuffle_next, account_bytes = pickle.loads(payload)
+    return _run_map_chunks(map_fns, combiner, chunks, shuffle_next, account_bytes)
+
+
+def _reduce_task(payload: bytes) -> list[tuple]:
+    """Pool entry point: unpickle one bucket of key groups and fold it."""
+    fn, groups = pickle.loads(payload)
+    return _fold_groups(fn, groups)
+
+
+def default_process_count() -> int:
+    """Worker processes available to the multiprocess backend."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity
+        return os.cpu_count() or 1
+
+
+@dataclass
+class MultiprocessEngine:
+    """Executes a map/shuffle/reduce pipeline across worker processes.
+
+    ``processes <= 1`` runs the identical algorithm in-process — that is
+    the planner's *sequential* backend, and also the automatic fallback
+    for unpicklable payloads or tiny inputs.
+    """
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+    #: Worker processes; None → one per available core.
+    processes: Optional[int] = None
+    #: Logical partitions (block partitioning, mirrors the simulated
+    #: engines); None → ``config.default_partitions``.
+    partitions: Optional[int] = None
+    #: Inputs smaller than this run in-process — pool startup dominates.
+    min_parallel_records: int = 2048
+    #: Compute byte volumes (sizeof per record) for simulated accounting.
+    account_bytes: bool = True
+
+    def run_pipeline(
+        self, records: list, steps: Sequence[PipelineStep]
+    ) -> MultiprocessResult:
+        """Run the stage list over the records; returns final pairs."""
+        if not steps:
+            raise EngineError("multiprocess pipeline needs at least one step")
+        metrics = JobMetrics()
+        processes = (
+            self.processes if self.processes is not None else default_process_count()
+        )
+        partitions = self.partitions or self.config.default_partitions
+        result = MultiprocessResult(pairs=[], metrics=metrics)
+
+        pool: Optional[ProcessPoolExecutor] = None
+        if processes <= 1:
+            result.fallback_reason = "single process requested"
+        elif len(records) < self.min_parallel_records:
+            result.fallback_reason = (
+                f"tiny input ({len(records)} records < "
+                f"{self.min_parallel_records}): pool startup would dominate"
+            )
+        else:
+            pool = self._open_pool(processes)
+            if pool is None:
+                self._record_fallback(
+                    result, "worker pool could not start (process/semaphore limits)"
+                )
+        result.processes_used = processes if pool is not None else 1
+
+        started = time.perf_counter()
+        try:
+            chunks = partition_data(list(records), partitions)
+            self._charge_scan(metrics, records)
+            pairs = self._execute_steps(chunks, list(steps), pool, result)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        metrics.add_wall_seconds(time.perf_counter() - started)
+        if self.account_bytes:
+            self._charge_collect(metrics, pairs)
+        result.pairs = pairs
+        return result
+
+    # ------------------------------------------------------------------
+    # Stage execution
+
+    def _execute_steps(
+        self,
+        chunks: list[list],
+        steps: list[PipelineStep],
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+    ) -> list:
+        index = 0
+        stage_counter = 0
+        while index < len(steps):
+            map_fns: list[Callable] = []
+            complexities: list[int] = []
+            while index < len(steps) and isinstance(steps[index], MapStep):
+                map_fns.append(steps[index].fn)
+                complexities.append(steps[index].complexity)
+                index += 1
+            reduce_step: Optional[ReduceStep] = None
+            if index < len(steps):
+                step = steps[index]
+                assert isinstance(step, ReduceStep)
+                reduce_step = step
+                index += 1
+            if not map_fns and reduce_step is None:
+                break
+            combiner = (
+                reduce_step.fn
+                if reduce_step is not None and reduce_step.combine
+                else None
+            )
+            out = self._map_phase(
+                chunks,
+                map_fns,
+                combiner,
+                shuffle_next=reduce_step is not None,
+                pool=pool,
+                result=result,
+                stage_offset=stage_counter,
+                complexities=complexities,
+            )
+            stage_counter += len(map_fns)
+            chunks = out.chunk_pairs
+            if reduce_step is not None:
+                pairs = self._reduce_phase(
+                    out, reduce_step, pool, result, stage_counter
+                )
+                stage_counter += 1
+                chunks = partition_data(
+                    pairs, self.partitions or self.config.default_partitions
+                )
+        return [pair for chunk in chunks for pair in chunk]
+
+    def _map_phase(
+        self,
+        chunks: list[list],
+        map_fns: list[Callable],
+        combiner: Optional[Callable],
+        shuffle_next: bool,
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stage_offset: int,
+        complexities: list[int],
+    ) -> _MapOut:
+        started = time.perf_counter()
+        out: Optional[_MapOut] = None
+        if pool is not None:
+            payloads = self._map_payloads(
+                chunks, map_fns, combiner, shuffle_next, result
+            )
+            if payloads is not None:
+                try:
+                    parts = list(pool.map(_map_task, payloads))
+                except BrokenProcessPool:
+                    self._record_fallback(result, "worker pool broke mid-job")
+                    parts = None
+                if parts:
+                    out = parts[0]
+                    for part in parts[1:]:
+                        out.merge(part)
+                    result.map_tasks += len(payloads)
+        if out is None:
+            out = _run_map_chunks(
+                map_fns, combiner, chunks, shuffle_next, self.account_bytes
+            )
+        elapsed = time.perf_counter() - started
+        self._charge_map_stages(
+            result.metrics,
+            out,
+            len(chunks),
+            stage_offset,
+            complexities,
+            elapsed,
+        )
+        return out
+
+    def _map_payloads(
+        self,
+        chunks: list[list],
+        map_fns: list[Callable],
+        combiner: Optional[Callable],
+        shuffle_next: bool,
+        result: MultiprocessResult,
+    ) -> Optional[list[bytes]]:
+        """Pre-pickle one payload per task; None when unpicklable."""
+        task_count = min(len(chunks), max(1, result.processes_used * 2))
+        bounds = self._task_bounds(len(chunks), task_count)
+        try:
+            return [
+                pickle.dumps(
+                    (
+                        map_fns,
+                        combiner,
+                        chunks[lo:hi],
+                        shuffle_next,
+                        self.account_bytes,
+                    )
+                )
+                for lo, hi in bounds
+            ]
+        except Exception as exc:  # PicklingError, TypeError, RecursionError…
+            self._record_fallback(result, f"payload not picklable: {exc!r}")
+            return None
+
+    @staticmethod
+    def _record_fallback(result: MultiprocessResult, reason: str) -> None:
+        """Report a fallback; when no pool work has run yet, the job was
+        effectively single-process, so keep ``processes_used`` honest."""
+        result.fallback_reason = reason
+        if result.map_tasks == 0:
+            result.processes_used = 1
+
+    @staticmethod
+    def _task_bounds(n_chunks: int, n_tasks: int) -> list[tuple[int, int]]:
+        """Contiguous chunk slices — order across tasks is preserved."""
+        base, extra = divmod(n_chunks, n_tasks)
+        bounds = []
+        lo = 0
+        for task in range(n_tasks):
+            hi = lo + base + (1 if task < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def _reduce_phase(
+        self,
+        out: _MapOut,
+        reduce_step: ReduceStep,
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stage_index: int,
+    ) -> list[tuple]:
+        started = time.perf_counter()
+        # Driver-side merge in chunk order: first-seen key ordering and
+        # per-key value order match the simulated engines exactly.
+        grouped: dict[Any, list] = {}
+        for chunk in out.chunk_pairs:
+            for key, value in chunk:
+                grouped.setdefault(key, []).append(value)
+        groups = list(grouped.items())
+        total_values = sum(len(values) for _key, values in groups)
+        pairs: Optional[list[tuple]] = None
+        if (
+            pool is not None
+            and len(groups) > 1
+            and total_values >= self.min_parallel_records
+        ):
+            task_count = min(len(groups), max(1, result.processes_used * 2))
+            bounds = self._task_bounds(len(groups), task_count)
+            payloads: Optional[list[bytes]] = None
+            try:
+                payloads = [
+                    pickle.dumps((reduce_step.fn, groups[lo:hi]))
+                    for lo, hi in bounds
+                ]
+            except Exception:  # unpicklable reducer — fold in-process
+                payloads = None
+            if payloads is not None:
+                try:
+                    folded = list(pool.map(_reduce_task, payloads))
+                    pairs = [pair for bucket in folded for pair in bucket]
+                except BrokenProcessPool:
+                    self._record_fallback(result, "worker pool broke during reduce")
+                    pairs = None
+        if pairs is None:
+            pairs = _fold_groups(reduce_step.fn, groups)
+        elapsed = time.perf_counter() - started
+        self._charge_reduce_stage(
+            result.metrics, out, groups, total_values, stage_index, elapsed
+        )
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Metrics: wall-clock measured, simulated time modeled
+
+    def _open_pool(self, processes: int) -> Optional[ProcessPoolExecutor]:
+        import multiprocessing
+
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        try:
+            return ProcessPoolExecutor(max_workers=processes, mp_context=context)
+        except (OSError, ValueError):
+            return None
+
+    def _charge_scan(self, metrics: JobMetrics, records: list) -> None:
+        stage = metrics.stage("scan")
+        stage.records_in = len(records)
+        stage.records_out = len(records)
+        if self.account_bytes:
+            total = sum(sizeof(r) for r in records)
+            stage.bytes_in = total
+            stage.bytes_out = total
+            cluster = self.config.cluster
+            seconds = (total * self.config.scale) / (
+                cluster.worker_disk_bw * cluster.workers
+            )
+            stage.seconds += seconds
+            metrics.add_seconds(seconds + self.config.framework.startup_s)
+
+    def _charge_map_stages(
+        self,
+        metrics: JobMetrics,
+        out: _MapOut,
+        num_chunks: int,
+        stage_offset: int,
+        complexities: list[int],
+        wall_elapsed: float,
+    ) -> None:
+        profile = self.config.framework
+        cluster = self.config.cluster
+        for index, counts in enumerate(out.stage_counts):
+            records_in, records_out, bytes_out = counts
+            stage = metrics.stage(f"map.{stage_offset + index}")
+            stage.records_in = records_in
+            stage.records_out = records_out
+            stage.bytes_out = bytes_out
+            complexity = complexities[index] if index < len(complexities) else 3
+            total_cpu = (
+                records_in
+                * self.config.scale
+                * lambda_cpu_ns(complexity)
+                * profile.record_cpu_factor
+                * 1e-9
+            )
+            slots = max(1, min(num_chunks, cluster.total_slots))
+            seconds = total_cpu / slots + profile.per_stage_overhead_s
+            if self.account_bytes:
+                seconds += (bytes_out * self.config.scale) / cluster.emit_bw
+            stage.seconds += seconds
+            stage.wall_seconds = wall_elapsed / max(1, len(out.stage_counts))
+            metrics.add_seconds(seconds)
+
+    def _charge_reduce_stage(
+        self,
+        metrics: JobMetrics,
+        out: _MapOut,
+        groups: list[tuple[Any, list]],
+        total_values: int,
+        stage_index: int,
+        wall_elapsed: float,
+    ) -> None:
+        cluster = self.config.cluster
+        stage = metrics.stage(f"shuffle.reduce.{stage_index}")
+        stage.records_in = total_values
+        stage.records_out = len(groups)
+        stage.bytes_shuffled = out.shuffled_bytes
+        stage.wall_seconds = wall_elapsed
+        scaled = out.shuffled_bytes * self.config.scale
+        seconds = scaled / cluster.network_bw + cluster.shuffle_latency_s
+        seconds += 2 * scaled / (cluster.worker_disk_bw * cluster.workers)
+        stage.seconds += seconds
+        metrics.add_seconds(seconds)
+
+    def _charge_collect(self, metrics: JobMetrics, pairs: list) -> None:
+        total = sum(sizeof(p) for p in pairs)
+        metrics.add_seconds(
+            (total * self.config.scale) / self.config.cluster.network_bw
+        )

@@ -29,7 +29,6 @@ from .nodes import (
     ReduceLambda,
     ReduceStage,
     Summary,
-    Var,
 )
 
 

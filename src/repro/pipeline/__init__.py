@@ -18,6 +18,7 @@ from .passes import (
     AnalyzePass,
     CodegenPass,
     CompilerPass,
+    PlanPass,
     SynthesizePass,
     VerifyAttachPass,
     default_passes,
@@ -34,6 +35,7 @@ __all__ = [
     "CompilerPass",
     "FragmentState",
     "PassPipeline",
+    "PlanPass",
     "SummaryCache",
     "SynthesizePass",
     "VerifyAttachPass",

@@ -4,7 +4,8 @@ One :class:`CompilationContext` describes one function being translated;
 it carries the parsed program, the configuration, the shared summary
 cache, and one :class:`FragmentState` per candidate code fragment.  The
 passes in :mod:`repro.pipeline.passes` mutate fragment states in order
-(analyze → synthesize → verify-attach → codegen); the scheduler may run
+(analyze → synthesize → verify-attach → codegen → plan); the scheduler
+may run
 different fragments' pass chains concurrently, so anything shared across
 fragments (the cache, the timing table) is lock-protected.
 """
@@ -26,6 +27,7 @@ from ..synthesis.search import SearchConfig, SearchResult
 
 if TYPE_CHECKING:
     from ..codegen.glue import AdaptiveProgram
+    from ..planner.planner import PlannerConfig
     from .cache import SummaryCache
 
 
@@ -64,6 +66,8 @@ class CompilationContext:
     engine_config: EngineConfig = field(default_factory=EngineConfig)
     backend: str = "spark"
     cache: Optional["SummaryCache"] = None
+    #: Execution-planner knobs used by the ``plan`` pass; None → defaults.
+    planner_config: Optional["PlannerConfig"] = None
     fragments: list[FragmentState] = field(default_factory=list)
     #: Wall-clock seconds spent in each pass, summed over fragments.
     pass_seconds: dict[str, float] = field(default_factory=dict)

@@ -1,4 +1,4 @@
-"""The staged compiler passes: analyze → synthesize → verify-attach → codegen.
+"""The staged compiler passes: analyze → synthesize → verify-attach → codegen → plan.
 
 Each pass is a small, stateless object transforming one fragment's
 :class:`~repro.pipeline.context.FragmentState`.  Keeping the stages as
@@ -113,9 +113,41 @@ class CodegenPass(CompilerPass):
             state.failure_reason = f"codegen failed: {exc}"
 
 
+class PlanPass(CompilerPass):
+    """Attach the execution planner and its compile-time statics.
+
+    The data-dependent half of planning (input size, sampled estimates,
+    calibration timings) has to wait until run time; this pass does the
+    static half once per fragment — per-implementation cost bounds and a
+    picklability probe of the summary payload — and hangs an
+    :class:`~repro.planner.planner.ExecutionPlanner` off the adaptive
+    program so ``run(plan="auto")`` can finish the job.
+    """
+
+    name = "plan"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        from ..planner.planner import ExecutionPlanner, PlannerConfig
+
+        if state.program is None:
+            return
+        planner = ExecutionPlanner(
+            config=ctx.planner_config or PlannerConfig(),
+            cost_model=state.program.cost_model,
+        )
+        planner.precompute(state.program.programs)
+        state.program.planner = planner
+
+
 def default_passes() -> Sequence[CompilerPass]:
-    """The standard four-stage pipeline, in execution order."""
-    return (AnalyzePass(), SynthesizePass(), VerifyAttachPass(), CodegenPass())
+    """The standard five-stage pipeline, in execution order."""
+    return (
+        AnalyzePass(),
+        SynthesizePass(),
+        VerifyAttachPass(),
+        CodegenPass(),
+        PlanPass(),
+    )
 
 
 def run_passes(

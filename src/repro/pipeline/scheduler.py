@@ -1,7 +1,7 @@
 """Fragment scheduler: runs pass chains, concurrently when asked.
 
 The unit of parallelism is one code fragment's full pass chain
-(analyze → synthesize → verify-attach → codegen): fragments are
+(analyze → synthesize → verify-attach → codegen → plan): fragments are
 independent translation units, so whole workload suites can compile
 concurrently through :meth:`PassPipeline.run_many` while each fragment
 still sees its passes strictly in order.  The shared summary cache is

@@ -1,0 +1,30 @@
+"""Execution planner: cost-driven backend/partition/combiner selection.
+
+The fifth compiler pass (``plan``) attaches an
+:class:`~repro.planner.planner.ExecutionPlanner` to every adaptive
+program; running with ``plan="auto"`` lets it choose between in-process
+sequential execution, the real multiprocess backend, and the simulated
+cluster frameworks, and surfaces the decision (plus measured reality) as
+a :class:`~repro.planner.plan.PlanReport`.
+"""
+
+from .plan import (
+    BACKENDS,
+    CLUSTER_BACKENDS,
+    ExecutionPlan,
+    PlanReport,
+    StagePlan,
+    forced_plan,
+)
+from .planner import ExecutionPlanner, PlannerConfig
+
+__all__ = [
+    "BACKENDS",
+    "CLUSTER_BACKENDS",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "PlanReport",
+    "PlannerConfig",
+    "StagePlan",
+    "forced_plan",
+]

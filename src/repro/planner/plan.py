@@ -1,0 +1,121 @@
+"""Execution-plan data model: what the planner decides, and its report.
+
+An :class:`ExecutionPlan` is the planner's concrete answer for one job:
+which backend executes it (in-process sequential, one of the simulated
+cluster frameworks, or the real multiprocess pool), how many worker
+processes and logical partitions to use, and whether each reduce stage
+may combine map-side.  A :class:`PlanReport` wraps the plan together
+with the evidence behind it — per-backend cost estimates, the simulated
+cluster ranking, and (after execution) the measured wall-clock time and
+any fallback the engine had to take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Backends the planner may select or a caller may force.
+BACKENDS = ("sequential", "multiprocess", "spark", "hadoop", "flink")
+
+#: The simulated cluster frameworks ranked in every report.
+CLUSTER_BACKENDS = ("spark", "hadoop", "flink")
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Per-stage decision: pipeline stage index, kind, combiner on/off."""
+
+    index: int
+    kind: str  # "map" | "reduce"
+    combiner: bool = False
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The planner's concrete choice of how to execute one job."""
+
+    backend: str
+    #: Worker processes: 0 → strictly in-process, None → engine default.
+    #: Only meaningful for the real local backends.
+    processes: Optional[int] = 0
+    #: Logical partitions; None → the engine's configured default.
+    partitions: Optional[int] = None
+    stages: tuple[StagePlan, ...] = ()
+    #: Human-readable decision trail, in the order decisions were made.
+    reasons: tuple[str, ...] = ()
+
+    def combiner_for(self, stage_index: int) -> bool:
+        """Whether the reduce stage at ``stage_index`` may combine."""
+        for stage in self.stages:
+            if stage.index == stage_index and stage.kind == "reduce":
+                return stage.combiner
+        return True
+
+    def describe(self) -> str:
+        parts = [f"backend={self.backend}"]
+        if self.processes:
+            parts.append(f"processes={self.processes}")
+        if self.partitions is not None:
+            parts.append(f"partitions={self.partitions}")
+        for stage in self.stages:
+            if stage.kind == "reduce":
+                parts.append(
+                    f"stage[{stage.index}].combiner="
+                    f"{'on' if stage.combiner else 'off'}"
+                )
+        return ", ".join(parts)
+
+
+@dataclass
+class PlanReport:
+    """Evidence and outcome of one planned execution."""
+
+    plan: ExecutionPlan
+    input_records: int = 0
+    #: Predicted wall-seconds per candidate local strategy.
+    estimated_seconds: dict[str, float] = field(default_factory=dict)
+    #: Simulated seconds per cluster framework (the paper's backends).
+    cluster_seconds: dict[str, float] = field(default_factory=dict)
+    #: Cheapest simulated cluster framework for this job.
+    cluster_recommendation: Optional[str] = None
+    #: Runtime-monitor implementation the job dispatched to.
+    implementation: Optional[str] = None
+    #: Backend that actually executed (differs from ``plan.backend``
+    #: when the engine fell back).
+    backend_used: str = ""
+    wall_seconds: float = 0.0
+    fallback_reason: Optional[str] = None
+
+    def summary(self) -> dict:
+        """Compact dict form, convenient for logs and benchmark JSON."""
+        return {
+            "backend": self.plan.backend,
+            "backend_used": self.backend_used or self.plan.backend,
+            "processes": self.plan.processes,
+            "partitions": self.plan.partitions,
+            "input_records": self.input_records,
+            "estimated_seconds": {
+                name: round(value, 6)
+                for name, value in sorted(self.estimated_seconds.items())
+            },
+            "cluster_recommendation": self.cluster_recommendation,
+            "implementation": self.implementation,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "fallback_reason": self.fallback_reason,
+            "reasons": list(self.plan.reasons),
+        }
+
+
+def forced_plan(backend: str, stages: tuple[StagePlan, ...] = ()) -> ExecutionPlan:
+    """A plan that pins the backend because the caller asked for it."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS} or 'auto'"
+        )
+    return ExecutionPlan(
+        backend=backend,
+        processes=0 if backend == "sequential" else None,
+        stages=stages,
+        reasons=(f"backend {backend!r} forced by caller",),
+    )

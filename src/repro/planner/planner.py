@@ -1,0 +1,292 @@
+"""Cost-driven execution planning (extends the paper's §5 machinery).
+
+Casper's cost model and runtime monitor originally only *rank candidate
+summaries*; this module uses the same signals — symbolic per-record
+costs, first-k sample estimates of emit probabilities and distinct-key
+ratios — to decide *how to execute* a compiled job:
+
+* **backend** — in-process sequential, the real multiprocess pool, or a
+  simulated cluster framework forced by the caller.  The
+  sequential-vs-multiprocess choice compares a measured per-record cost
+  (the planner times the job's own λm on a calibration prefix) against
+  the pool's overheads (fork startup, driver-side pickling), so the
+  decision is grounded in this machine's reality rather than constants.
+* **partition count** — mirrors the simulated engines' block
+  partitioning when a combining reduce is present (so map-side combine
+  groups records identically and results stay byte-for-byte equal), and
+  otherwise scales with the worker count.
+* **combiner on/off per reduce stage** — combining requires the λr
+  commutativity+associativity proof, and is turned off when the sampled
+  distinct-key ratio says map-side combining would not shrink the
+  shuffle.
+
+Every decision is recorded in the plan's ``reasons`` trail, and the
+:class:`~repro.planner.plan.PlanReport` also ranks the simulated cluster
+frameworks for the job, preserving the paper's backend-diversity story.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..cost.model import CostModel
+from ..cost.monitor import estimate_from_sample
+from ..engine.config import PROFILES, EngineConfig
+from ..engine.multiprocess import default_process_count
+from ..ir.nodes import MapStage, ReduceStage, Summary
+
+if TYPE_CHECKING:
+    from ..codegen.base import GeneratedProgram
+    from .plan import ExecutionPlan, PlanReport
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs of the execution planner."""
+
+    #: Worker processes available; None → detect CPU affinity.
+    processes: Optional[int] = None
+    #: Inputs below this size always stay sequential.
+    min_parallel_records: int = 4096
+    #: Multiprocess must be predicted to win by this factor.
+    parallel_margin: float = 1.3
+    #: Records timed to calibrate the per-record cost.
+    calibration_records: int = 200
+    #: Estimated per-worker pool startup (fork + import) in seconds.
+    pool_startup_s: float = 0.04
+    #: Distinct-key ratio above which map-side combining is pointless.
+    combiner_key_ratio_cutoff: float = 0.95
+
+
+@dataclass
+class ExecutionPlanner:
+    """Chooses an :class:`ExecutionPlan` for one compiled fragment.
+
+    Instances are attached to adaptive programs by the pipeline's
+    ``plan`` pass; the static part (per-implementation cost bounds,
+    payload picklability of the summary itself) is computed once at
+    compile time, while :meth:`plan` finalizes the data-dependent
+    decisions per run.
+    """
+
+    config: PlannerConfig = field(default_factory=PlannerConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Compile-time probe: is the summary/view payload picklable at all?
+    static_unpicklable: Optional[str] = None
+    #: Per-implementation (lower, upper) per-record cost bounds.
+    static_cost_bounds: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Compile-time half
+
+    def precompute(self, programs: list["GeneratedProgram"]) -> None:
+        """Static analysis at compile time (the pipeline's plan pass)."""
+        for index, program in enumerate(programs):
+            cost = self.cost_model.summary_cost(
+                program.summary,
+                commutative_associative=(
+                    program.proof.is_commutative and program.proof.is_associative
+                ),
+            )
+            self.static_cost_bounds[f"impl_{index}"] = cost.bounds()
+        if programs:
+            try:
+                pickle.dumps((programs[0].summary, programs[0].analysis.view))
+            except Exception as exc:
+                self.static_unpicklable = f"summary payload not picklable: {exc!r}"
+
+    # ------------------------------------------------------------------
+    # Run-time half
+
+    def plan(
+        self,
+        program: "GeneratedProgram",
+        records: list,
+        sample: list[dict[str, Any]],
+        globals_env: dict[str, Any],
+    ) -> tuple["ExecutionPlan", "PlanReport"]:
+        """Decide how to execute ``program`` over ``records``."""
+        from .plan import ExecutionPlan, PlanReport
+
+        reasons: list[str] = []
+        n = len(records)
+        processes = (
+            self.config.processes
+            if self.config.processes is not None
+            else default_process_count()
+        )
+        estimates = estimate_from_sample(program.summary, sample, globals_env)
+        stages = self._stage_plans(program, estimates, reasons)
+
+        per_record_s = self._calibrate(program, records, globals_env)
+        pickle_s = self._pickle_seconds(records)
+        seq_s = per_record_s * n
+        mp_s = (
+            seq_s / max(1, processes)
+            + self.config.pool_startup_s * processes
+            + pickle_s
+        )
+        estimated = {"sequential": seq_s, "multiprocess": mp_s}
+
+        backend = "multiprocess"
+        if processes < 2:
+            backend = "sequential"
+            reasons.append(f"only {processes} CPU(s) available")
+        elif n < self.config.min_parallel_records:
+            backend = "sequential"
+            reasons.append(
+                f"tiny input ({n} < {self.config.min_parallel_records} records)"
+            )
+        elif self.static_unpicklable is not None:
+            backend = "sequential"
+            reasons.append(self.static_unpicklable)
+        elif seq_s < mp_s * self.config.parallel_margin:
+            backend = "sequential"
+            reasons.append(
+                f"predicted sequential {seq_s:.4f}s beats pool {mp_s:.4f}s "
+                f"(margin {self.config.parallel_margin}×)"
+            )
+        else:
+            reasons.append(
+                f"predicted pool {mp_s:.4f}s beats sequential {seq_s:.4f}s "
+                f"across {processes} processes"
+            )
+
+        partitions = self._partitions(program, stages, processes, reasons)
+        plan = ExecutionPlan(
+            backend=backend,
+            processes=0 if backend == "sequential" else processes,
+            partitions=partitions,
+            stages=tuple(stages),
+            reasons=tuple(reasons),
+        )
+        cluster = self._cluster_ranking(
+            program, estimates.as_dict(), n, program.engine_config
+        )
+        report = PlanReport(
+            plan=plan,
+            input_records=n,
+            estimated_seconds=estimated,
+            cluster_seconds=cluster,
+            cluster_recommendation=(
+                min(cluster, key=cluster.get) if cluster else None
+            ),
+        )
+        return plan, report
+
+    # ------------------------------------------------------------------
+
+    def _stage_plans(self, program, estimates, reasons: list[str]):
+        from .plan import StagePlan
+
+        plans = []
+        prefix = "s"
+        proof_ok = program.proof.is_commutative and program.proof.is_associative
+        for index, stage in enumerate(program.summary.pipeline.stages):
+            if isinstance(stage, MapStage):
+                plans.append(StagePlan(index=index, kind="map"))
+            elif isinstance(stage, ReduceStage):
+                combiner = proof_ok
+                if not proof_ok:
+                    reasons.append(
+                        f"stage {index}: combiner off (λr not proven "
+                        "commutative+associative)"
+                    )
+                else:
+                    ratio = estimates.key_ratios.get(f"k_{prefix}{index}")
+                    if (
+                        ratio is not None
+                        and ratio >= self.config.combiner_key_ratio_cutoff
+                    ):
+                        combiner = False
+                        reasons.append(
+                            f"stage {index}: combiner off (distinct-key "
+                            f"ratio {ratio:.2f} — combining cannot shrink "
+                            "the shuffle)"
+                        )
+                plans.append(StagePlan(index=index, kind="reduce", combiner=combiner))
+        return plans
+
+    def _partitions(
+        self, program, stages, processes: int, reasons: list[str]
+    ) -> Optional[int]:
+        default = program.engine_config.default_partitions
+        combining = any(s.kind == "reduce" and s.combiner for s in stages)
+        if combining:
+            reasons.append(
+                f"partitions={default} (engine default, so map-side combine "
+                "groups records exactly like the simulated engines)"
+            )
+            return None  # engine default
+        partitions = min(default, max(8, 4 * max(1, processes)))
+        reasons.append(
+            f"partitions={partitions} (no combining reduce — scaled to "
+            f"{processes} workers)"
+        )
+        return partitions
+
+    def _calibrate(self, program, records: list, globals_env: dict) -> float:
+        """Measure the job's own first map stage on a record prefix."""
+        from ..codegen.base import _emit_fn
+
+        stages = program.summary.pipeline.stages
+        first = stages[0] if stages else None
+        if not isinstance(first, MapStage) or not records:
+            return 0.0
+        fn = _emit_fn(first.lam.emits, globals_env, program.analysis.view)
+        k = min(len(records), self.config.calibration_records)
+        started = time.perf_counter()
+        for record in records[:k]:
+            fn(record)
+        return (time.perf_counter() - started) / k
+
+    def _pickle_seconds(self, records: list) -> float:
+        """Estimate driver-side serialization cost for the whole input."""
+        k = min(len(records), self.config.calibration_records)
+        if k == 0:
+            return 0.0
+        started = time.perf_counter()
+        try:
+            pickle.dumps(records[:k])
+        except Exception:
+            return float("inf")  # unpicklable records → pool impossible
+        return (time.perf_counter() - started) * (len(records) / k)
+
+    def _cluster_ranking(
+        self,
+        program,
+        estimates: dict[str, float],
+        n: int,
+        engine_config: EngineConfig,
+    ) -> dict[str, float]:
+        """Rank the simulated cluster frameworks for this job.
+
+        Startup + per-stage overheads come from the framework profiles;
+        the data-movement term plugs the sampled estimates into the §5.1
+        cost expression (per-record bytes) and pushes them through the
+        cluster's network model.  Heuristic, but it reproduces the
+        paper's ordering (Spark ≤ Flink ≤ Hadoop for multi-stage jobs).
+        """
+        summary: Summary = program.summary
+        n_stages = len(summary.pipeline.stages)
+        cost = self.cost_model.summary_cost(
+            summary,
+            commutative_associative=(
+                program.proof.is_commutative and program.proof.is_associative
+            ),
+        )
+        bytes_per_record = cost.evaluate(estimates)
+        moved = bytes_per_record * n * engine_config.scale
+        cluster = engine_config.cluster
+        ranking = {}
+        for name in ("spark", "hadoop", "flink"):
+            profile = PROFILES[name]
+            seconds = profile.startup_s + n_stages * profile.per_stage_overhead_s
+            seconds += moved / cluster.network_bw
+            if profile.materialize_between_stages:
+                seconds += 2 * moved / (cluster.worker_disk_bw * cluster.workers)
+            ranking[name] = seconds
+        return ranking

@@ -23,7 +23,6 @@ from ..ir.nodes import Summary
 from ..lang.analysis.fragments import FragmentAnalysis
 from ..verification.bounded import (
     BoundedChecker,
-    FragmentRunResult,
     ProgramState,
     run_sequential_fragment,
 )

@@ -238,7 +238,6 @@ class CandidateEnumerator:
         names = list(self.scalar_outputs)
         if not 2 <= len(names) <= self.grammar_class.max_tuple:
             return
-        kinds = [_kind_of_jtype(self.scalar_outputs[n]) for n in names]
         component_parts: list[list[ScalarPart]] = []
         for var, jtype in self.scalar_outputs.items():
             parts = self._scalar_parts(var, jtype)

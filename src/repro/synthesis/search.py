@@ -28,7 +28,7 @@ from ..verification.bounded import BoundedCheckConfig, BoundedChecker
 from ..verification.prover import FullVerifier, ProofResult
 from .cegis import Synthesizer
 from .classes import generate_classes, monolithic_class
-from .grammar import GrammarBuilder, GrammarClass, harvest_paths
+from .grammar import GrammarBuilder, harvest_paths
 
 
 @dataclass

@@ -27,7 +27,6 @@ from ..lang.analysis.fragments import FragmentAnalysis
 from ..lang.interpreter import Environment, Interpreter
 from ..lang.types import (
     ArrayType,
-    BOOLEAN,
     ClassType,
     JType,
     ListType,

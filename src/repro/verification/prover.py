@@ -45,7 +45,6 @@ from ..errors import VerificationError
 from ..lang import ast_nodes as ast
 from ..lang.analysis.fragments import FragmentAnalysis
 from ..ir.nodes import (
-    BinOp,
     Cond,
     Const,
     Emit,

@@ -22,7 +22,6 @@ from ..ir.nodes import (
     Cond,
     Const,
     IRExpr,
-    Proj,
     TupleExpr,
     UnOp,
     Var,
@@ -220,7 +219,6 @@ class SymbolicExecutor:
             state.scalars[target.ident] = value
             return
         if isinstance(target, ast.Index):
-            base = target.base
             # Either a[i] or a[i][j] on an output container.
             container, key = self._index_target(target, state)
             state.writes.setdefault(container, []).append((key, value))

@@ -10,7 +10,6 @@ time to full-size data.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Optional
 

@@ -10,7 +10,7 @@ experiments (Tables 1-2, Figures 7-9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from ..lang.parser import parse_program
 

@@ -15,6 +15,7 @@ from ..compiler import CasperCompiler, CompilationResult
 from ..engine.config import EngineConfig
 from ..engine.sequential import run_sequential
 from ..engine.sizes import sizeof
+from ..planner.plan import PlanReport
 from ..synthesis.search import SearchConfig
 from .registry import Benchmark
 
@@ -37,6 +38,12 @@ class BenchmarkRun:
     outputs_match: bool = True
     backend: str = "spark"
     scale: float = 1.0
+    #: Execution plan requested for fragment runs (None → compiled backend).
+    plan: Optional[str] = None
+    #: One report per planned fragment execution, in fragment order.
+    plan_reports: list[PlanReport] = field(default_factory=list)
+    #: Real wall-clock seconds spent executing fragments (all backends).
+    wall_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -119,12 +126,18 @@ def run_benchmark(
     backend: str = "spark",
     search_config: Optional[SearchConfig] = None,
     compilation: Optional[CompilationResult] = None,
+    plan: Optional[str] = None,
 ) -> BenchmarkRun:
     """Compile (optionally reusing a compilation) and run a benchmark.
 
     The engine's ``scale`` is set so the generated dataset stands in for
     ``target_bytes`` of input, and both sequential and distributed
     simulated times are extrapolated consistently.
+
+    ``plan`` is forwarded to each fragment execution (``"auto"`` lets
+    the execution planner pick sequential vs the real multiprocess
+    backend); the resulting :class:`~repro.planner.plan.PlanReport` per
+    fragment lands in ``BenchmarkRun.plan_reports``.
     """
     if compilation is None:
         compilation = compile_benchmark(benchmark, search_config, backend)
@@ -155,6 +168,7 @@ def run_benchmark(
         sequential_seconds=sequential.simulated_seconds,
         backend=backend,
         scale=scale,
+        plan=plan,
     )
     if compilation.translated == 0:
         return run
@@ -169,10 +183,12 @@ def run_benchmark(
             continue
         fragment.program.set_engine_config(engine_config)
         try:
-            outputs = fragment.program.run(fresh_inputs)
+            outputs = fragment.program.run(fresh_inputs, plan=plan)
         except Exception:
             outputs_ok = False
             continue
+        if plan is not None and fragment.program.last_plan_report is not None:
+            run.plan_reports.append(fragment.program.last_plan_report)
         metrics = fragment.program.last_metrics
         if metrics is not None:
             # Each translated fragment is its own job, re-reading its input
@@ -181,6 +197,7 @@ def run_benchmark(
             total_seconds += metrics.simulated_seconds
             run.bytes_emitted += metrics.bytes_emitted
             run.bytes_shuffled += metrics.bytes_shuffled
+            run.wall_seconds += metrics.wall_seconds
         # Verify the fragment's outputs against the interpreter.
         outputs_ok = outputs_ok and _check_outputs(
             fragment, benchmark, fresh_inputs, outputs

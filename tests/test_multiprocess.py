@@ -1,0 +1,184 @@
+"""Unit tests for the real multiprocess backend (engine level)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.metrics import JobMetrics
+from repro.engine.multiprocess import (
+    MapStep,
+    MultiprocessEngine,
+    MultiprocessResult,
+    ReduceStep,
+    default_process_count,
+)
+
+
+class KeyedEmit:
+    """Picklable record → [(key, value)] mapper for tests."""
+
+    def __init__(self, modulo: int = 10):
+        self.modulo = modulo
+
+    def __call__(self, record):
+        return [(record % self.modulo, record)]
+
+
+class PassThrough:
+    def __call__(self, pair):
+        return [pair]
+
+
+class Add:
+    def __call__(self, a, b):
+        return a + b
+
+
+class Subtract:
+    """Deliberately non-commutative: fold order must be preserved."""
+
+    def __call__(self, a, b):
+        return a - b
+
+
+def reference_groups(records, modulo):
+    grouped = {}
+    for r in records:
+        grouped.setdefault(r % modulo, []).append(r)
+    return grouped
+
+
+class TestInlineExecution:
+    def test_map_only_pipeline(self):
+        records = list(range(100))
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            records, [MapStep(KeyedEmit(7))]
+        )
+        assert result.pairs == [(r % 7, r) for r in records]
+        assert result.fallback_reason == "single process requested"
+
+    def test_map_reduce_sum(self):
+        records = list(range(1000))
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            records, [MapStep(KeyedEmit(10)), ReduceStep(Add())]
+        )
+        expected = [(k, sum(v)) for k, v in reference_groups(records, 10).items()]
+        assert result.pairs == expected
+
+    def test_non_commutative_fold_preserves_order(self):
+        records = list(range(50))
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            records, [MapStep(KeyedEmit(5)), ReduceStep(Subtract(), combine=False)]
+        )
+        expected = []
+        for key, values in reference_groups(records, 5).items():
+            acc = values[0]
+            for value in values[1:]:
+                acc = acc - value
+            expected.append((key, acc))
+        assert result.pairs == expected
+
+    def test_chained_map_stages(self):
+        records = list(range(30))
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            records, [MapStep(KeyedEmit(3)), MapStep(PassThrough())]
+        )
+        assert result.pairs == [(r % 3, r) for r in records]
+
+    def test_empty_input(self):
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            [], [MapStep(KeyedEmit()), ReduceStep(Add())]
+        )
+        assert result.pairs == []
+
+    def test_empty_steps_rejected(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            MultiprocessEngine(processes=0).run_pipeline([1, 2], [])
+
+
+class TestPooledExecution:
+    def test_pooled_matches_inline_exactly(self):
+        records = list(range(4000))
+        steps = [MapStep(KeyedEmit(13)), ReduceStep(Add())]
+        inline = MultiprocessEngine(processes=0).run_pipeline(records, steps)
+        pooled = MultiprocessEngine(
+            processes=2, min_parallel_records=100
+        ).run_pipeline(records, steps)
+        assert pooled.fallback_reason is None
+        assert pooled.executed_parallel
+        assert pooled.pairs == inline.pairs
+
+    def test_pooled_non_commutative_matches_inline(self):
+        records = list(range(3000))
+        steps = [MapStep(KeyedEmit(4)), ReduceStep(Subtract(), combine=False)]
+        inline = MultiprocessEngine(processes=0).run_pipeline(records, steps)
+        pooled = MultiprocessEngine(
+            processes=2, min_parallel_records=100
+        ).run_pipeline(records, steps)
+        assert pooled.fallback_reason is None
+        assert pooled.pairs == inline.pairs
+
+    def test_task_bounds_cover_all_chunks_in_order(self):
+        bounds = MultiprocessEngine._task_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        flat = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flat == list(range(10))
+
+
+class TestFallbacks:
+    def test_tiny_input_stays_in_process(self):
+        result = MultiprocessEngine(
+            processes=4, min_parallel_records=1000
+        ).run_pipeline(list(range(10)), [MapStep(KeyedEmit())])
+        assert result.fallback_reason is not None
+        assert "tiny input" in result.fallback_reason
+        assert result.pairs == [(r % 10, r) for r in range(10)]
+
+    def test_unpicklable_lambda_falls_back_sequentially(self):
+        records = list(range(3000))
+        result = MultiprocessEngine(
+            processes=2, min_parallel_records=100
+        ).run_pipeline(records, [MapStep(lambda r: [(r % 2, r)])])
+        assert result.fallback_reason is not None
+        assert "not picklable" in result.fallback_reason
+        assert result.pairs == [(r % 2, r) for r in records]
+        assert not result.executed_parallel
+
+    def test_mapper_exception_propagates(self):
+        class Boom:
+            def __call__(self, record):
+                raise ValueError("boom in mapper")
+
+        with pytest.raises(ValueError, match="boom in mapper"):
+            MultiprocessEngine(processes=0).run_pipeline(
+                list(range(10)), [MapStep(Boom())]
+            )
+
+
+class TestMetrics:
+    def test_wall_and_simulated_seconds_recorded(self):
+        records = list(range(2000))
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            records, [MapStep(KeyedEmit(10)), ReduceStep(Add())]
+        )
+        metrics: JobMetrics = result.metrics
+        assert metrics.wall_seconds > 0
+        assert metrics.simulated_seconds > 0
+        names = [s.name for s in metrics.stages]
+        assert names[0] == "scan"
+        assert any(n.startswith("map") for n in names)
+        assert any(n.startswith("shuffle") for n in names)
+        assert metrics.bytes_emitted > 0
+        assert metrics.bytes_shuffled > 0
+
+    def test_result_shape(self):
+        result = MultiprocessEngine(processes=0).run_pipeline(
+            [1, 2, 3], [MapStep(KeyedEmit())]
+        )
+        assert isinstance(result, MultiprocessResult)
+        assert result.processes_used == 1
+
+    def test_default_process_count_positive(self):
+        assert default_process_count() >= 1

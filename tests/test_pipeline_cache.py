@@ -277,7 +277,13 @@ class TestSummaryCache:
 class TestPassPipeline:
     def test_default_passes_in_order(self):
         names = [p.name for p in default_passes()]
-        assert names == ["analyze", "synthesize", "verify-attach", "codegen"]
+        assert names == [
+            "analyze",
+            "synthesize",
+            "verify-attach",
+            "codegen",
+            "plan",
+        ]
 
     def test_pass_timings_recorded(self):
         result = translate(SUM_SOURCE)
@@ -286,6 +292,7 @@ class TestPassPipeline:
             "synthesize",
             "verify-attach",
             "codegen",
+            "plan",
         }
         assert result.pass_seconds["synthesize"] > 0
 

@@ -1,0 +1,187 @@
+"""Tests for the cost-driven execution planner and its wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CasperCompiler,
+    PlannerConfig,
+    last_plan_report,
+    run_translated,
+    translate,
+)
+from repro.planner.plan import (
+    BACKENDS,
+    ExecutionPlan,
+    PlanReport,
+    StagePlan,
+    forced_plan,
+)
+
+WORDCOUNT_SOURCE = """
+Map<String, Integer> wc(List<String> words) {
+  Map<String, Integer> counts = new HashMap<String, Integer>();
+  for (String w : words) {
+    counts.put(w, counts.getOrDefault(w, 0) + 1);
+  }
+  return counts;
+}
+"""
+
+WORDS = [f"w{i % 40}" for i in range(9000)]
+
+
+@pytest.fixture(scope="module")
+def wc_result():
+    return translate(WORDCOUNT_SOURCE)
+
+
+class TestPlanDataModel:
+    def test_combiner_for_defaults_true(self):
+        plan = ExecutionPlan(backend="sequential")
+        assert plan.combiner_for(1) is True
+
+    def test_combiner_for_reads_stage_plans(self):
+        plan = ExecutionPlan(
+            backend="multiprocess",
+            stages=(
+                StagePlan(index=0, kind="map"),
+                StagePlan(index=1, kind="reduce", combiner=False),
+            ),
+        )
+        assert plan.combiner_for(1) is False
+
+    def test_forced_plan_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            forced_plan("mapreduce-in-the-sky")
+        for backend in BACKENDS:
+            assert forced_plan(backend).backend == backend
+
+    def test_describe_and_summary(self):
+        plan = forced_plan("multiprocess")
+        assert "backend=multiprocess" in plan.describe()
+        report = PlanReport(plan=plan, input_records=5)
+        summary = report.summary()
+        assert summary["backend"] == "multiprocess"
+        assert summary["input_records"] == 5
+
+
+class TestPlanPass:
+    def test_pipeline_attaches_planner(self, wc_result):
+        fragment = wc_result.fragments[0]
+        assert fragment.program.planner is not None
+        assert fragment.program.planner.static_cost_bounds
+
+    def test_plan_pass_timing_recorded(self, wc_result):
+        assert "plan" in wc_result.pass_seconds
+
+    def test_static_cost_bounds_ordered(self, wc_result):
+        for low, high in fragment_bounds(wc_result):
+            assert low <= high
+
+
+def fragment_bounds(result):
+    planner = result.fragments[0].program.planner
+    return list(planner.static_cost_bounds.values())
+
+
+class TestAutoPlanning:
+    def test_auto_matches_default_outputs(self, wc_result):
+        default = run_translated(wc_result, {"words": list(WORDS)})
+        auto = run_translated(wc_result, {"words": list(WORDS)}, plan="auto")
+        assert auto == default
+
+    def test_report_surfaced(self, wc_result):
+        run_translated(wc_result, {"words": list(WORDS)}, plan="auto")
+        report = last_plan_report(wc_result)
+        assert report is not None
+        assert report.input_records == len(WORDS)
+        assert set(report.estimated_seconds) == {"sequential", "multiprocess"}
+        assert report.implementation is not None
+        assert report.wall_seconds > 0
+        assert report.plan.reasons
+
+    def test_tiny_input_stays_sequential(self, wc_result):
+        run_translated(wc_result, {"words": list(WORDS[:64])}, plan="auto")
+        report = last_plan_report(wc_result)
+        assert report.plan.backend == "sequential"
+        assert any("tiny input" in r or "CPU" in r for r in report.plan.reasons)
+
+    def test_cluster_ranking_reproduces_paper_ordering(self, wc_result):
+        run_translated(wc_result, {"words": list(WORDS)}, plan="auto")
+        report = last_plan_report(wc_result)
+        assert set(report.cluster_seconds) == {"spark", "hadoop", "flink"}
+        assert report.cluster_seconds["spark"] < report.cluster_seconds["hadoop"]
+        assert report.cluster_recommendation == "spark"
+
+    def test_forced_worker_count_chooses_multiprocess(self):
+        compiler = CasperCompiler(
+            planner_config=PlannerConfig(
+                processes=8,
+                min_parallel_records=100,
+                parallel_margin=0.0,
+                pool_startup_s=0.0,
+            )
+        )
+        result = compiler.translate_source(WORDCOUNT_SOURCE)
+        outputs = run_translated(result, {"words": list(WORDS)}, plan="auto")
+        report = last_plan_report(result)
+        assert report.plan.backend == "multiprocess"
+        assert report.plan.processes == 8
+        assert outputs == run_translated(result, {"words": list(WORDS)})
+
+    def test_combiner_disabled_by_key_ratio_cutoff(self):
+        compiler = CasperCompiler(
+            planner_config=PlannerConfig(combiner_key_ratio_cutoff=0.0)
+        )
+        result = compiler.translate_source(WORDCOUNT_SOURCE)
+        run_translated(result, {"words": list(WORDS)}, plan="auto")
+        report = last_plan_report(result)
+        reduce_stages = [s for s in report.plan.stages if s.kind == "reduce"]
+        assert reduce_stages and all(not s.combiner for s in reduce_stages)
+        assert any("combiner off" in r for r in report.plan.reasons)
+
+    def test_partitions_follow_engine_default_when_combining(self, wc_result):
+        run_translated(wc_result, {"words": list(WORDS)}, plan="auto")
+        report = last_plan_report(wc_result)
+        combining = any(s.kind == "reduce" and s.combiner for s in report.plan.stages)
+        if combining:
+            assert report.plan.partitions is None  # engine default
+
+
+class TestForcedPlans:
+    @pytest.mark.parametrize("backend", ["sequential", "multiprocess", "spark"])
+    def test_forced_backends_agree(self, wc_result, backend):
+        default = run_translated(wc_result, {"words": list(WORDS)})
+        forced = run_translated(wc_result, {"words": list(WORDS)}, plan=backend)
+        assert forced == default
+        report = last_plan_report(wc_result)
+        assert report.plan.backend == backend
+        assert any("forced by caller" in r for r in report.plan.reasons)
+
+    def test_unknown_plan_name_rejected(self, wc_result):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_translated(wc_result, {"words": list(WORDS)}, plan="dask")
+
+    def test_multiprocess_fallback_reported(self, wc_result):
+        # On a single-CPU machine the pool cannot win; either way the
+        # report must tell the truth about what actually executed.
+        run_translated(wc_result, {"words": list(WORDS)}, plan="multiprocess")
+        report = last_plan_report(wc_result)
+        if report.fallback_reason is not None:
+            assert report.backend_used == "sequential"
+        else:
+            assert report.backend_used == "multiprocess"
+
+
+class TestRunnerIntegration:
+    def test_run_benchmark_surfaces_plan_reports(self):
+        from repro.workloads import get_benchmark
+        from repro.workloads.runner import run_benchmark
+
+        run = run_benchmark(get_benchmark("ariths_sum"), size=2000, plan="auto")
+        assert run.plan == "auto"
+        assert len(run.plan_reports) == run.fragments_translated
+        assert run.outputs_match
+        assert run.wall_seconds > 0
