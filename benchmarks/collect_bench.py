@@ -9,7 +9,11 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
   simulated speedup aggregates;
 * **planner** — sequential vs ``plan="auto"`` wall-clock on a large
   input, with the chosen backend and the planner's own estimates, so
-  the cost model can be tracked against measured reality over time.
+  the cost model can be tracked against measured reality over time;
+* **dag** — fused whole-program (``run_program``) vs unfused
+  per-fragment execution on the multi-stage benchmarks: wall and
+  simulated seconds per benchmark, the fusion decisions taken, and the
+  aggregate fusion speedups.
 
 The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
 recording the perf trajectory PR over PR.
@@ -28,7 +32,11 @@ import time
 from repro import SummaryCache, translate_many
 from repro.engine.multiprocess import default_process_count
 from repro.workloads import get_benchmark, suite_benchmarks, suites
-from repro.workloads.runner import compile_benchmark, run_benchmark
+from repro.workloads.runner import (
+    compile_benchmark,
+    run_benchmark,
+    run_benchmark_graph,
+)
 
 #: Input sizes kept modest so the bench job stays under a few minutes
 #: (matrix-multiply-style kernels are cubic in size — the interpreter's
@@ -44,6 +52,18 @@ RUN_SIZE_BY_SUITE = {
 }
 PLANNER_SIZE = 200_000
 PLANNER_BENCHMARK = "stats_correlation_sums"
+
+#: Multi-stage programs measured fused vs unfused (mirrors
+#: benchmarks/test_dag_bench.py, which gates the speedup on ≥4 cores).
+DAG_BENCHMARKS = [
+    "biglambda_select_sum",
+    "tpch_q1",
+    "tpch_q15",
+    "tpch_q17",
+    "iterative_pagerank",
+    "iterative_logistic_regression",
+]
+DAG_SIZE = 40_000
 
 
 def measure_compile() -> dict:
@@ -128,6 +148,65 @@ def measure_planner() -> dict:
     }
 
 
+def measure_dag() -> dict:
+    """Fused run_program vs unfused per-fragment DAG, measured for real.
+
+    ``plan="auto"`` lets the per-unit planner engage the pool where it
+    can win; on single-CPU hosts both modes run sequentially and the
+    comparison isolates pure fusion savings (one scan + startup per
+    chain instead of per fragment).
+    """
+    per_benchmark: dict[str, dict] = {}
+    fused_wall = unfused_wall = 0.0
+    fused_sim = unfused_sim = 0.0
+    for name in DAG_BENCHMARKS:
+        benchmark = get_benchmark(name)
+        try:
+            compilation = compile_benchmark(benchmark)
+            fused = run_benchmark_graph(
+                benchmark, size=DAG_SIZE, plan="auto", compilation=compilation
+            )
+            unfused = run_benchmark_graph(
+                benchmark,
+                size=DAG_SIZE,
+                plan="auto",
+                fuse=False,
+                compilation=compilation,
+            )
+        except Exception as exc:
+            per_benchmark[name] = {"error": str(exc)}
+            continue
+        fused_wall += fused.wall_seconds
+        unfused_wall += unfused.wall_seconds
+        fused_sim += fused.simulated_seconds
+        unfused_sim += unfused.simulated_seconds
+        per_benchmark[name] = {
+            "outputs_match": fused.outputs_match and unfused.outputs_match,
+            "fused_wall_seconds": round(fused.wall_seconds, 4),
+            "unfused_wall_seconds": round(unfused.wall_seconds, 4),
+            "fused_simulated_seconds": round(fused.simulated_seconds, 4),
+            "unfused_simulated_seconds": round(unfused.simulated_seconds, 4),
+            "waves": [list(w) for w in fused.run.report.plan.waves],
+            "fused_away": fused.run.report.fused_away,
+            "decisions": fused.run.report.decisions,
+            "records_cache_hits": fused.run.report.records_cache_hits,
+        }
+    return {
+        "benchmarks": per_benchmark,
+        "records": DAG_SIZE,
+        "fused_wall_seconds": round(fused_wall, 4),
+        "unfused_wall_seconds": round(unfused_wall, 4),
+        "wall_speedup": (
+            round(unfused_wall / fused_wall, 2) if fused_wall else None
+        ),
+        "fused_simulated_seconds": round(fused_sim, 4),
+        "unfused_simulated_seconds": round(unfused_sim, 4),
+        "simulated_speedup": (
+            round(unfused_sim / fused_sim, 2) if fused_sim else None
+        ),
+    }
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -164,6 +243,7 @@ def main(argv: list[str]) -> int:
         "compile": None if args.skip_compile else measure_compile(),
         "suites": measure_suites(),
         "planner": measure_planner(),
+        "dag": measure_dag(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -171,6 +251,11 @@ def main(argv: list[str]) -> int:
         json.dump(payload, handle, indent=2)
     print(f"wrote {args.output} in {payload['meta']['total_seconds']}s")
     print(json.dumps(payload["planner"], indent=2))
+    print(
+        "dag fusion speedup: "
+        f"wall {payload['dag']['wall_speedup']}×, "
+        f"simulated {payload['dag']['simulated_speedup']}×"
+    )
     return 0
 
 

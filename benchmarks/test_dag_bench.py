@@ -1,0 +1,131 @@
+"""Job-graph benchmarks: fused DAG execution vs per-fragment baselines.
+
+Two claims are exercised here:
+
+1. **Identity** — ``run_program`` (fused and unfused) matches the
+   chained reference-interpreter semantics on every multi-stage
+   benchmark, at benchmark sizes.
+2. **Fusion speedup** — stitched chains + concurrent branches beat the
+   unfused per-fragment execution by ≥1.3× wall-clock on the
+   multi-stage suites (skipped below 4 cores, like the planner's 2×
+   gate: on fewer cores concurrent branches cannot demonstrate parallel
+   gain).  Simulated time must improve unconditionally — the fused
+   chain pays one scan and one job startup where the per-fragment model
+   pays one per fragment, which no amount of host noise can hide.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import compiled
+from repro.engine.multiprocess import default_process_count
+from repro.workloads import get_benchmark
+from repro.workloads.runner import run_benchmark_graph
+
+#: Multi-stage programs: fusable chains and concurrent branches.
+MULTI_STAGE = [
+    "biglambda_select_sum",
+    "tpch_q1",
+    "tpch_q15",
+    "tpch_q17",
+    "iterative_pagerank",
+    "iterative_logistic_regression",
+]
+
+IDENTITY_SIZE = 2_000
+SPEEDUP_SIZE = 60_000
+
+STRICT = bool(os.environ.get("BENCH_STRICT"))
+MIN_FUSION_SPEEDUP = 1.3 if STRICT else 0.8
+
+
+@pytest.mark.parametrize("name", MULTI_STAGE, ids=lambda n: n)
+class TestGraphIdentityAtScale:
+    def test_fused_and_unfused_match_reference(self, name):
+        fused = run_benchmark_graph(
+            get_benchmark(name),
+            size=IDENTITY_SIZE,
+            plan="sequential",
+            compilation=compiled(name),
+        )
+        assert fused.outputs_match, f"{name}: fused outputs diverged"
+        unfused = run_benchmark_graph(
+            get_benchmark(name),
+            size=IDENTITY_SIZE,
+            plan="sequential",
+            fuse=False,
+            compilation=compiled(name),
+        )
+        assert unfused.outputs_match, f"{name}: unfused outputs diverged"
+
+    def test_fusion_never_worsens_simulated_time(self, name):
+        fused = run_benchmark_graph(
+            get_benchmark(name),
+            size=IDENTITY_SIZE,
+            plan="sequential",
+            compilation=compiled(name),
+        )
+        unfused = run_benchmark_graph(
+            get_benchmark(name),
+            size=IDENTITY_SIZE,
+            plan="sequential",
+            fuse=False,
+            compilation=compiled(name),
+        )
+        assert fused.simulated_seconds <= unfused.simulated_seconds * 1.001, (
+            f"{name}: fused simulated {fused.simulated_seconds:.3f}s worse "
+            f"than unfused {unfused.simulated_seconds:.3f}s"
+        )
+
+
+@pytest.mark.skipif(
+    default_process_count() < 4,
+    reason="fusion wall speedup needs ≥4 cores (concurrent branches and "
+    "the pool cannot demonstrate gain on fewer)",
+)
+class TestFusionSpeedup:
+    def test_fused_beats_unfused_1_3x(self, table_printer):
+        rows = []
+        fused_total = 0.0
+        unfused_total = 0.0
+        for name in MULTI_STAGE:
+            compilation = compiled(name)
+            benchmark = get_benchmark(name)
+            fused = run_benchmark_graph(
+                benchmark, size=SPEEDUP_SIZE, plan="auto", compilation=compilation
+            )
+            unfused = run_benchmark_graph(
+                benchmark,
+                size=SPEEDUP_SIZE,
+                plan="auto",
+                fuse=False,
+                compilation=compilation,
+            )
+            assert fused.outputs_match and unfused.outputs_match
+            fused_total += fused.wall_seconds
+            unfused_total += unfused.wall_seconds
+            rows.append(
+                [
+                    name,
+                    f"{unfused.wall_seconds:.3f}",
+                    f"{fused.wall_seconds:.3f}",
+                    f"{unfused.wall_seconds / max(fused.wall_seconds, 1e-9):.2f}×",
+                ]
+            )
+        speedup = unfused_total / max(fused_total, 1e-9)
+        rows.append(
+            ["TOTAL", f"{unfused_total:.3f}", f"{fused_total:.3f}", f"{speedup:.2f}×"]
+        )
+        table_printer(
+            f"Fused vs unfused DAG execution ({SPEEDUP_SIZE:,} records, "
+            f"{default_process_count()} cores)",
+            ["benchmark", "unfused_wall_s", "fused_wall_s", "speedup"],
+            rows,
+        )
+        assert speedup >= MIN_FUSION_SPEEDUP, (
+            f"fused execution only {speedup:.2f}× vs unfused "
+            f"(bound {MIN_FUSION_SPEEDUP}×, strict={STRICT})"
+        )

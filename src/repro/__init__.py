@@ -34,32 +34,48 @@ from .compiler import (
     CasperCompiler,
     CompilationResult,
     FragmentTranslation,
+    last_graph_report,
     last_plan_report,
+    run_program,
     run_translated,
     translate,
     translate_many,
 )
 from .engine.config import ClusterConfig, EngineConfig
+from .graph import GraphRunResult, JobGraph
 from .pipeline import PassPipeline, SummaryCache
-from .planner import ExecutionPlan, ExecutionPlanner, PlannerConfig, PlanReport
+from .planner import (
+    DagPlanner,
+    ExecutionPlan,
+    ExecutionPlanner,
+    GraphPlanReport,
+    PlannerConfig,
+    PlanReport,
+)
 from .synthesis.search import SearchConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CasperCompiler",
     "ClusterConfig",
     "CompilationResult",
+    "DagPlanner",
     "EngineConfig",
     "ExecutionPlan",
     "ExecutionPlanner",
     "FragmentTranslation",
+    "GraphPlanReport",
+    "GraphRunResult",
+    "JobGraph",
     "PassPipeline",
     "PlanReport",
     "PlannerConfig",
     "SearchConfig",
     "SummaryCache",
+    "last_graph_report",
     "last_plan_report",
+    "run_program",
     "run_translated",
     "translate",
     "translate_many",

@@ -174,6 +174,47 @@ class ReduceApplier:
         return eval_expr(self.body, {**self.globals_env, v1: a, v2: b})
 
 
+@dataclass
+class BagValueBridge:
+    """Per-record map→map bridge: a bag pair becomes the next record.
+
+    A map-only producer whose output binds as a ``bag`` emits pairs
+    whose *values* are exactly the elements a downstream ``foreach``
+    consumer iterates, so the handoff is a pure per-record map — the
+    intermediate list is never materialized.  Module-level and picklable
+    so fused chains still ship to the multiprocess pool.
+    """
+
+    def __call__(self, pair: tuple) -> list:
+        return [pair[1]]
+
+
+@dataclass
+class StitchBridge:
+    """Driver-side fused handoff: rebind pairs, re-view as records.
+
+    Runs the producer's glue (``bind_outputs``) and the consumer's scan
+    (``view_records``) back-to-back inside one engine invocation —
+    the partitioned intermediate moves straight to the downstream job
+    instead of being rebuilt between two separate jobs.  The
+    materialized intermediate values are kept in ``captured`` so the
+    graph executor can still report them as program outputs.
+    """
+
+    bindings: tuple[OutputBinding, ...]
+    globals_env: dict[str, Any]
+    output_sizes: dict[str, int]
+    view: DatasetView  # the downstream consumer's dataset view
+    captured: dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self, pairs: list) -> list:
+        outputs = bind_outputs(
+            self.bindings, pairs, self.globals_env, self.output_sizes
+        )
+        self.captured.update(outputs)
+        return view_records(self.view, outputs)
+
+
 def _emit_fn(
     emits: tuple[Emit, ...], globals_env: dict[str, Any], view: DatasetView
 ) -> RecordMapper:
@@ -266,11 +307,11 @@ class GeneratedProgram:
         """
         backend = backend or self.backend
         if backend == "spark":
-            return self._run_spark(inputs)
+            return self._run_spark(inputs, records=records)
         if backend == "hadoop":
-            return self._run_hadoop(inputs)
+            return self._run_hadoop(inputs, records=records)
         if backend == "flink":
-            return self._run_flink(inputs)
+            return self._run_flink(inputs, records=records)
         if backend in ("multiprocess", "sequential"):
             return self._run_local(
                 inputs, backend=backend, plan=plan, records=records
@@ -290,7 +331,9 @@ class GeneratedProgram:
             body=lam.body, params=lam.params, globals_env=globals_env
         )
 
-    def _run_spark(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+    def _run_spark(
+        self, inputs: dict[str, Any], records: Optional[list] = None
+    ) -> ExecutionOutcome:
         config = (
             self.engine_config
             if self.engine_config.framework.name == "spark"
@@ -298,7 +341,8 @@ class GeneratedProgram:
         )
         context = SimSparkContext(config)
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
-        records = view_records(self.analysis.view, inputs)
+        if records is None:
+            records = view_records(self.analysis.view, inputs)
         rdd = context.parallelize(records)
         stages = self.summary.pipeline.stages
         for index, stage in enumerate(stages):
@@ -323,10 +367,13 @@ class GeneratedProgram:
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=context.metrics)
 
-    def _run_hadoop(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+    def _run_hadoop(
+        self, inputs: dict[str, Any], records: Optional[list] = None
+    ) -> ExecutionOutcome:
         config = self.engine_config.with_framework("hadoop")
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
-        records = view_records(self.analysis.view, inputs)
+        if records is None:
+            records = view_records(self.analysis.view, inputs)
         stages = self.summary.pipeline.stages
 
         first = stages[0]
@@ -368,11 +415,14 @@ class GeneratedProgram:
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=job.metrics)
 
-    def _run_flink(self, inputs: dict[str, Any]) -> ExecutionOutcome:
+    def _run_flink(
+        self, inputs: dict[str, Any], records: Optional[list] = None
+    ) -> ExecutionOutcome:
         config = self.engine_config.with_framework("flink")
         env = SimFlinkEnv(config)
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
-        records = view_records(self.analysis.view, inputs)
+        if records is None:
+            records = view_records(self.analysis.view, inputs)
         dataset = env.from_collection(records)
         stages = self.summary.pipeline.stages
         for index, stage in enumerate(stages):
@@ -393,6 +443,41 @@ class GeneratedProgram:
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=env.metrics)
 
+    def local_steps(
+        self,
+        globals_env: dict[str, Any],
+        plan: Optional["ExecutionPlan"] = None,
+    ) -> list[Any]:
+        """The real-engine step list for this program's pipeline.
+
+        The job-graph executor composes several programs' step lists
+        (joined by bridge steps) into one fused engine invocation, so
+        this is the seam where a fragment's translation stops being a
+        whole job and becomes splice-able stages.
+        """
+        from ..engine.multiprocess import MapStep, ReduceStep
+
+        steps: list[Any] = []
+        for index, stage in enumerate(self.summary.pipeline.stages):
+            if isinstance(stage, MapStage):
+                if index == 0:
+                    fn: Any = _emit_fn(
+                        stage.lam.emits, globals_env, self.analysis.view
+                    )
+                else:
+                    fn = _pair_emit_fn(stage, globals_env)
+                steps.append(MapStep(fn, _stage_complexity(stage)))
+            elif isinstance(stage, ReduceStage):
+                combine = self._combiner_safe()
+                if plan is not None:
+                    combine = combine and plan.combiner_for(index)
+                steps.append(
+                    ReduceStep(self._reduce_fn(stage, globals_env), combine=combine)
+                )
+            elif isinstance(stage, JoinStage):
+                raise CodegenError("join stages are generated via JoinProgram")
+        return steps
+
     def _run_local(
         self,
         inputs: dict[str, Any],
@@ -406,7 +491,7 @@ class GeneratedProgram:
         with ``processes=0`` executes inline), so their results are
         byte-identical and their wall-clock times directly comparable.
         """
-        from ..engine.multiprocess import MapStep, MultiprocessEngine, ReduceStep
+        from ..engine.multiprocess import MultiprocessEngine
 
         config = (
             self.engine_config
@@ -416,24 +501,7 @@ class GeneratedProgram:
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
         if records is None:
             records = view_records(self.analysis.view, inputs)
-        steps: list[Any] = []
-        for index, stage in enumerate(self.summary.pipeline.stages):
-            if isinstance(stage, MapStage):
-                fn = (
-                    _emit_fn(stage.lam.emits, globals_env, self.analysis.view)
-                    if index == 0
-                    else _pair_emit_fn(stage, globals_env)
-                )
-                steps.append(MapStep(fn, _stage_complexity(stage)))
-            elif isinstance(stage, ReduceStage):
-                combine = self._combiner_safe()
-                if plan is not None:
-                    combine = combine and plan.combiner_for(index)
-                steps.append(
-                    ReduceStep(self._reduce_fn(stage, globals_env), combine=combine)
-                )
-            elif isinstance(stage, JoinStage):
-                raise CodegenError("join stages are generated via JoinProgram")
+        steps = self.local_steps(globals_env, plan=plan)
         if backend == "sequential":
             processes: Optional[int] = 0
         elif plan is not None:

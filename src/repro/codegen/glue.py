@@ -72,7 +72,10 @@ class AdaptiveProgram:
             program.engine_config = config
 
     def run(
-        self, inputs: dict[str, Any], plan: Optional[str] = None
+        self,
+        inputs: dict[str, Any],
+        plan: Optional[str] = None,
+        records: Optional[list] = None,
     ) -> dict[str, Any]:
         """Sample, select, execute; returns the fragment outputs.
 
@@ -82,19 +85,25 @@ class AdaptiveProgram:
         (``"sequential"``, ``"multiprocess"``, ``"spark"``,
         ``"hadoop"``, ``"flink"``) forces it.  Planned runs leave a
         :class:`PlanReport` in :attr:`last_plan_report`.
+
+        ``records`` lets a caller that already materialized
+        ``view_records(analysis.view, inputs)`` (the graph executor
+        caches them across fragments sharing a dataset) pass them in
+        instead of paying the transformation again.
         """
-        records = view_records(self.analysis.view, inputs)
-        sample = self._sample_elements(records)
+        if records is None:
+            records = view_records(self.analysis.view, inputs)
+        sample = self.sample_elements(records)
         globals_env = self._globals(inputs)
         chosen = self.monitor.choose(sample, globals_env)
         index = int(chosen.name.split("_")[1])
         program = self.programs[index]
         if plan is None:
-            outcome = program.run(inputs)
+            outcome = program.run(inputs, records=records)
             self.last_outcome = outcome
             return outcome.outputs
 
-        execution_plan, report = self._plan_execution(
+        execution_plan, report = self.plan_execution(
             plan, program, records, sample, globals_env
         )
         report.implementation = chosen.name
@@ -107,7 +116,9 @@ class AdaptiveProgram:
                 records=records,
             )
         else:
-            outcome = program.run(inputs, backend=execution_plan.backend)
+            outcome = program.run(
+                inputs, backend=execution_plan.backend, records=records
+            )
         report.wall_seconds = time.perf_counter() - started
         # A deliberately-sequential plan is not a "fallback" even though
         # the engine runs it in-process; only a planned pool that could
@@ -121,7 +132,7 @@ class AdaptiveProgram:
         self.last_plan_report = report
         return outcome.outputs
 
-    def _plan_execution(
+    def plan_execution(
         self,
         plan: str,
         program: GeneratedProgram,
@@ -147,7 +158,7 @@ class AdaptiveProgram:
 
     # ------------------------------------------------------------------
 
-    def _sample_elements(self, records: list) -> list[dict[str, Any]]:
+    def sample_elements(self, records: list) -> list[dict[str, Any]]:
         view = self.analysis.view
         return [record_env(view, r) for r in records[: self.sample_size]]
 

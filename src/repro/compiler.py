@@ -35,6 +35,8 @@ from .lang.analysis.fragments import CodeFragment, FragmentAnalysis
 from .codegen.glue import AdaptiveProgram
 from .codegen.render import render
 from .engine.config import EngineConfig
+from .graph.executor import GraphRunResult, run_graph
+from .graph.jobgraph import JobGraph, build_job_graph
 from .pipeline.cache import SummaryCache
 from .pipeline.context import CompilationContext
 from .pipeline.scheduler import PassPipeline
@@ -87,6 +89,12 @@ class CompilationResult:
     elapsed_seconds: float = 0.0
     #: Wall-clock seconds per pipeline pass, summed over fragments.
     pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: Whole-program job graph (built by the sixth, ``graph``, pass):
+    #: the dataflow DAG :func:`run_program` schedules and executes.
+    job_graph: Optional["JobGraph"] = None
+    #: Result of the most recent :func:`run_program` call on this
+    #: compilation (its :class:`~repro.graph.executor.GraphRunResult`).
+    last_graph_run: Optional["GraphRunResult"] = None
 
     @property
     def identified(self) -> int:
@@ -213,6 +221,7 @@ class CasperCompiler:
             )
         result.elapsed_seconds = elapsed
         result.pass_seconds = dict(ctx.pass_seconds)
+        result.job_graph = ctx.job_graph
         return result
 
 
@@ -276,6 +285,70 @@ def run_translated(
     return fragment.program.run(inputs, plan=plan)
 
 
+def run_program(
+    result: CompilationResult,
+    inputs: dict[str, Any],
+    plan: Optional[str] = None,
+    outputs: Optional[list[str]] = None,
+    fuse: bool = True,
+    max_workers: Optional[int] = None,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """Run a whole compiled program as one dataflow-scheduled job graph.
+
+    This supersedes per-fragment :func:`run_translated` for
+    multi-fragment programs: fragments execute in dependency order,
+    independent branches run concurrently, producer→consumer chains are
+    fused into single engine invocations (the intermediate dataset is
+    handed over partitioned instead of rebuilt), and shared input scans
+    are materialized once.  Results are identical to running each
+    fragment sequentially through the reference interpreter.
+
+    ``plan`` follows :func:`run_translated` (``None`` → compiled
+    backend; ``"auto"`` → execution planner; a backend name forces it —
+    fused chains always run on the real local engines).  ``outputs``
+    names the variables the caller needs, enabling dead-stage
+    elimination; the default returns every materialized fragment
+    output.  ``strict=False`` lets analyzed-but-untranslated fragments
+    fall back to the reference interpreter instead of failing.
+
+    After a run, :func:`last_graph_report` returns the
+    :class:`~repro.planner.dag.GraphPlanReport` evidence trail (waves,
+    concurrency, fusion decisions, per-unit plan reports).
+    """
+    graph = result.job_graph
+    if graph is None:
+        # Compiled by a custom pipeline without the graph pass — derive
+        # the graph on the fly so older flows keep working.
+        from .lang.analysis.dataflow import analyze_dataflow
+
+        analyses = [f.analysis for f in result.fragments]
+        func = None
+        if result.fragments:
+            func = result.fragments[0].fragment.function
+        dataflow = analyze_dataflow(analyses, func)
+        graph = build_job_graph(result.function, result.fragments, dataflow)
+        result.job_graph = graph
+    run = run_graph(
+        graph,
+        inputs,
+        plan=plan,
+        outputs=outputs,
+        fuse=fuse,
+        max_workers=max_workers,
+        strict=strict,
+    )
+    result.last_graph_run = run
+    return run.outputs
+
+
+def last_graph_report(result: CompilationResult):
+    """The ``GraphPlanReport`` left by the last :func:`run_program`."""
+    if result.last_graph_run is None:
+        return None
+    return result.last_graph_run.report
+
+
 def last_plan_report(
     result: CompilationResult, fragment_index: Optional[int] = None
 ):
@@ -305,8 +378,12 @@ def _pick_fragment(
         raise AnalysisError("compilation identified no fragments to run")
     if len(result.fragments) > 1:
         raise AnalysisError(
-            "result has multiple fragments; pass fragment_index to pick one: "
-            + "; ".join(_fragment_status(f) for f in result.fragments)
+            f"{result.function!r} has {len(result.fragments)} fragments — "
+            "use run_program(result, inputs) to execute the whole program "
+            "as a job graph, or pass fragment_index to run one of: "
+            + "; ".join(
+                _fragment_status(f, i) for i, f in enumerate(result.fragments)
+            )
         )
     only = result.fragments[0]
     if not only.translated:
@@ -317,10 +394,10 @@ def _pick_fragment(
     return only
 
 
-def _fragment_status(fragment: FragmentTranslation) -> str:
+def _fragment_status(fragment: FragmentTranslation, index: int) -> str:
     if fragment.translated:
-        return f"{fragment.fragment.id} (translated)"
+        return f"[{index}] {fragment.fragment.id} (translated)"
     return (
-        f"{fragment.fragment.id} (untranslated: "
+        f"[{index}] {fragment.fragment.id} (untranslated: "
         f"{fragment.failure_reason or 'unknown reason'})"
     )

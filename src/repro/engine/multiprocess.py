@@ -50,7 +50,25 @@ class ReduceStep:
     combine: bool = True
 
 
-PipelineStep = Union[MapStep, ReduceStep]
+@dataclass(frozen=True)
+class BridgeStep:
+    """A driver-side barrier between fused jobs: pairs in, records out.
+
+    ``fn(pairs) -> records`` re-binds one job's result pairs into the
+    next job's input records (the job-graph layer's stitched handoff).
+    The bridge runs on the driver — it needs the complete pair list, so
+    it cannot be parallelized — but it keeps a fused chain inside one
+    engine invocation: no second scan, no second job startup, and the
+    bridged records are re-partitioned in memory for the next stages.
+    Only the driver-collect network cost is charged, mirroring what the
+    unfused execution would pay to collect the first job's result.
+    """
+
+    fn: Callable[[list], list]
+    name: str = "bridge"
+
+
+PipelineStep = Union[MapStep, ReduceStep, BridgeStep]
 
 
 @dataclass
@@ -241,6 +259,12 @@ class MultiprocessEngine:
         index = 0
         stage_counter = 0
         while index < len(steps):
+            if isinstance(steps[index], BridgeStep):
+                step = steps[index]
+                index += 1
+                chunks = self._bridge_phase(chunks, step, result, stage_counter)
+                stage_counter += 1
+                continue
             map_fns: list[Callable] = []
             complexities: list[int] = []
             while index < len(steps) and isinstance(steps[index], MapStep):
@@ -249,12 +273,18 @@ class MultiprocessEngine:
                 index += 1
             reduce_step: Optional[ReduceStep] = None
             if index < len(steps):
-                step = steps[index]
-                assert isinstance(step, ReduceStep)
-                reduce_step = step
-                index += 1
+                nxt = steps[index]
+                if isinstance(nxt, ReduceStep):
+                    reduce_step = nxt
+                    index += 1
+                elif not isinstance(nxt, BridgeStep):
+                    # Fail loudly: an unrecognized step would otherwise
+                    # leave `index` unadvanced and spin forever.
+                    raise EngineError(
+                        f"unknown pipeline step type {type(nxt).__name__!r}"
+                    )
             if not map_fns and reduce_step is None:
-                break
+                continue  # a BridgeStep is next; handled at the loop top
             combiner = (
                 reduce_step.fn
                 if reduce_step is not None and reduce_step.combine
@@ -372,6 +402,36 @@ class MultiprocessEngine:
             bounds.append((lo, hi))
             lo = hi
         return bounds
+
+    def _bridge_phase(
+        self,
+        chunks: list[list],
+        step: BridgeStep,
+        result: MultiprocessResult,
+        stage_index: int,
+    ) -> list[list]:
+        """Collect pairs to the driver, re-bind, re-partition in memory."""
+        started = time.perf_counter()
+        pairs = [pair for chunk in chunks for pair in chunk]
+        records = step.fn(pairs)
+        elapsed = time.perf_counter() - started
+        metrics = result.metrics
+        stage = metrics.stage(f"{step.name}.{stage_index}")
+        stage.records_in = len(pairs)
+        stage.records_out = len(records)
+        stage.wall_seconds = elapsed
+        if self.account_bytes:
+            total = sum(sizeof(p) for p in pairs)
+            stage.bytes_in = total
+            # The handoff pays one driver-side collect over the network;
+            # the re-scan + job startup the unfused execution would pay
+            # for the downstream job is exactly what fusion saves.
+            seconds = (total * self.config.scale) / self.config.cluster.network_bw
+            stage.seconds += seconds
+            metrics.add_seconds(seconds)
+        return partition_data(
+            records, self.partitions or self.config.default_partitions
+        )
 
     def _reduce_phase(
         self,

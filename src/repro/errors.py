@@ -69,3 +69,8 @@ class CodegenError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload/data generators for invalid parameters."""
+
+
+class GraphError(ReproError):
+    """Raised by the whole-program job-graph layer (cycles, failed
+    producers, unsatisfiable dataflow)."""

@@ -1,0 +1,493 @@
+"""Whole-program DAG execution: waves, fused chains, shared intermediates.
+
+This is the runtime half of the job-graph layer.  Given a
+:class:`~repro.graph.jobgraph.JobGraph` and the program's inputs, the
+executor
+
+1. asks the fusion optimizer for the unit schedule (chains + singletons,
+   dead stages dropped),
+2. asks the DAG planner for dependency waves and a concurrency width,
+3. runs each wave — independent branches concurrently on worker
+   threads — caching dataset-view materializations shared between
+   branches (TPC-H Q1's two aggregates scan ``lineitem`` once, not
+   twice),
+4. executes fused chains as *one* engine invocation: the producer's
+   partitioned intermediate is handed to the consumer through a bridge
+   step instead of being rebuilt into source variables and re-scanned.
+
+Results are exactly the reference semantics: :func:`interpret_reference`
+runs the same graph through the sequential mini-Java interpreter, and
+the property tests assert fused-DAG == per-fragment == interpreter on
+every workload suite.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from threading import Lock
+from typing import Any, Optional
+
+from ..codegen.base import (
+    BagValueBridge,
+    StitchBridge,
+    bind_outputs,
+    prepare_globals,
+    view_records,
+)
+from ..engine.multiprocess import BridgeStep, MapStep, MultiprocessEngine
+from ..errors import GraphError
+from ..planner.dag import DagPlanner, GraphPlanReport
+from ..planner.plan import BACKENDS, PlanReport
+from ..planner.planner import ExecutionPlanner, PlannerConfig
+from .fuse import FusedChain, GraphSchedule, optimize_graph
+from .jobgraph import JobGraph, JobNode
+
+
+@dataclass
+class GraphRunResult:
+    """Everything one ``run_program`` execution produced."""
+
+    outputs: dict[str, Any]
+    report: GraphPlanReport
+    schedule: GraphSchedule
+    graph: JobGraph
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.report.simulated_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.wall_seconds
+
+
+@dataclass
+class _UnitOutcome:
+    """What one executed unit reports back to the wave driver."""
+
+    unit: FusedChain
+    outputs: dict[str, Any] = field(default_factory=dict)
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    report: Optional[PlanReport] = None
+    interpreted_nodes: list[str] = field(default_factory=list)
+
+
+class _RecordsCache:
+    """Shared dataset-view materializations, one per (kind, sources).
+
+    Two fragments iterating the same input dataset (independent
+    branches of the DAG) materialize the record list once.  Entries are
+    invalidated when a producer redefines one of their source
+    variables.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, list] = {}
+        self._key_locks: dict[tuple, Lock] = {}
+        self._lock = Lock()
+        self.hits = 0
+
+    def get(self, view, env: dict[str, Any]) -> list:
+        # Records depend only on the view kind and source values — the
+        # index/element variable *names* only matter when binding a
+        # record into a λm environment, so two loops spelling their
+        # counters differently still share one materialization.  Each
+        # key materializes under its own lock: branches racing on the
+        # *same* dataset serialize (the second gets a cache hit), while
+        # branches scanning different datasets proceed in parallel.
+        key = (view.kind, tuple(view.sources))
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+            key_lock = self._key_locks.setdefault(key, Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._entries:
+                    self.hits += 1
+                    return self._entries[key]
+            records = view_records(view, env)
+            with self._lock:
+                self._entries[key] = records
+            return records
+
+    def invalidate(self, names: set[str]) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if set(k[1]) & names]:
+                del self._entries[key]
+                self._key_locks.pop(key, None)
+
+
+def run_graph(
+    graph: JobGraph,
+    inputs: dict[str, Any],
+    plan: Optional[str] = None,
+    outputs: Optional[list[str]] = None,
+    fuse: bool = True,
+    max_workers: Optional[int] = None,
+    strict: bool = True,
+    planner_config: Optional[PlannerConfig] = None,
+) -> GraphRunResult:
+    """Execute a whole-program job graph over concrete inputs.
+
+    ``plan`` follows ``run_translated``: ``None`` keeps each fragment's
+    compiled backend (fused chains run on the real local engine, where
+    stitching exists), ``"auto"`` lets the execution planner decide per
+    unit, and a backend name forces it.  ``outputs`` names the variables
+    the caller needs — enabling dead-stage elimination of everything
+    that cannot reach them.  ``strict=False`` lets analyzed-but-
+    untranslated fragments fall back to the reference interpreter
+    (recorded in the report) instead of failing the run.
+    """
+    started = time.perf_counter()
+    if plan is not None and plan != "auto" and plan not in BACKENDS:
+        # Same contract as forced_plan: a typo must fail loudly, not
+        # silently degrade a fused chain to sequential.
+        raise ValueError(
+            f"unknown backend {plan!r}; expected one of {BACKENDS} or 'auto'"
+        )
+    required = set(outputs) if outputs is not None else None
+    schedule = optimize_graph(graph, required_vars=required, fuse=fuse)
+    kept_ids = {n for unit in schedule.units for n in unit.node_ids}
+    _check_runnable(graph, schedule, kept_ids, strict)
+
+    dag_planner = DagPlanner(config=planner_config or PlannerConfig())
+    dag_plan = dag_planner.plan(
+        graph,
+        schedule,
+        max_workers=max_workers,
+        pooled_units=plan in ("auto", "multiprocess"),
+    )
+
+    report = GraphPlanReport(
+        plan=dag_plan,
+        decisions=list(schedule.decisions),
+        fused_away=sorted(schedule.fused_away),
+        eliminated=dict(schedule.eliminated),
+    )
+    env = dict(inputs)
+    produced: dict[str, Any] = {}
+    cache = _RecordsCache()
+
+    for wave in dag_plan.waves:
+        units = [schedule.units[index] for index in wave]
+        if len(units) > 1 and dag_plan.concurrency > 1:
+            workers = min(dag_plan.concurrency, len(units))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda unit: _run_unit(
+                            graph, unit, env, plan, cache, planner_config
+                        ),
+                        units,
+                    )
+                )
+        else:
+            outcomes = [
+                _run_unit(graph, unit, env, plan, cache, planner_config)
+                for unit in units
+            ]
+        # Merge in unit order (= source order): a redefinition behaves
+        # exactly as sequential execution would.
+        wave_simulated = 0.0
+        for outcome in outcomes:
+            env.update(outcome.outputs)
+            produced.update(outcome.outputs)
+            cache.invalidate(set(outcome.outputs))
+            report.interpreted_nodes.extend(outcome.interpreted_nodes)
+            if outcome.report is not None:
+                report.unit_reports[outcome.unit.head] = outcome.report
+            report.simulated_seconds_serial += outcome.simulated_seconds
+            wave_simulated = max(wave_simulated, outcome.simulated_seconds)
+        report.simulated_seconds += wave_simulated
+
+    report.records_cache_hits = cache.hits
+    report.wall_seconds = time.perf_counter() - started
+
+    if outputs is not None:
+        missing = [name for name in outputs if name not in produced]
+        if missing:
+            raise GraphError(
+                f"requested output(s) {missing} were not produced by "
+                f"{graph.function!r}; available: {sorted(produced)}"
+            )
+        produced = {name: produced[name] for name in outputs}
+    return GraphRunResult(
+        outputs=produced, report=report, schedule=schedule, graph=graph
+    )
+
+
+def interpret_fragment(analysis, env: dict[str, Any]) -> dict[str, Any]:
+    """One fragment's reference semantics: interpret it over ``env``.
+
+    The single definition of how a fragment's inputs are filtered out of
+    an accumulated environment and run through the sequential
+    interpreter — shared by the whole-program reference below, the
+    executor's ``strict=False`` fallback, and the per-fragment baselines
+    in the identity tests, so the three can never silently diverge.
+    """
+    from ..verification.bounded import ProgramState, run_sequential_fragment
+
+    state = ProgramState(
+        {name: env[name] for name in analysis.input_vars if name in env}
+    )
+    return run_sequential_fragment(analysis, state).outputs
+
+
+def interpret_reference(graph: JobGraph, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Reference semantics: run every fragment with the interpreter.
+
+    Fragments execute in source order with outputs chained forward —
+    the behaviour ``run_program`` must reproduce exactly.  Fragments
+    whose analysis failed are skipped (they have no computable
+    semantics at this layer), matching the executor.
+    """
+    env = dict(inputs)
+    produced: dict[str, Any] = {}
+    for node in sorted(graph.nodes.values(), key=lambda n: n.index):
+        if node.analysis is None:
+            continue
+        outputs = interpret_fragment(node.analysis, env)
+        env.update(outputs)
+        produced.update(outputs)
+    return produced
+
+
+# ----------------------------------------------------------------------
+# Unit execution
+
+
+def _check_runnable(
+    graph: JobGraph, schedule: GraphSchedule, kept_ids: set[str], strict: bool
+) -> None:
+    """Fail fast (and informatively) on untranslated kept nodes."""
+    broken: list[str] = []
+    for node_id in sorted(kept_ids):
+        node = graph.nodes[node_id]
+        if node.translated:
+            continue
+        if node.analysis is None:
+            # No semantics to interpret from.  Strict mode fails loudly
+            # (the fragment's region may declare state later fragments
+            # assume, and skipping it would surface as an opaque prelude
+            # error downstream); non-strict drops it like the
+            # per-fragment runner does, and says so.
+            if strict:
+                broken.append(
+                    f"{node_id}: {node.failure_reason or 'analysis failed'}"
+                )
+                continue
+            schedule.eliminated[node_id] = (
+                f"skipped: analysis failed "
+                f"({node.failure_reason or 'unknown reason'})"
+            )
+            schedule.units = [
+                unit for unit in schedule.units if node_id not in unit.node_ids
+            ]
+            continue
+        if strict:
+            consumers = [e.consumer for e in graph.consumers_of(node_id)]
+            suffix = f" (consumed by {', '.join(consumers)})" if consumers else ""
+            broken.append(
+                f"{node_id}: {node.failure_reason or 'not translated'}{suffix}"
+            )
+    if broken:
+        raise GraphError(
+            f"cannot execute job graph for {graph.function!r} strictly — "
+            "untranslated fragment(s): "
+            + "; ".join(broken)
+            + ". Pass strict=False to run them on the reference interpreter."
+        )
+
+
+def _run_unit(
+    graph: JobGraph,
+    unit: FusedChain,
+    env: dict[str, Any],
+    plan: Optional[str],
+    cache: _RecordsCache,
+    planner_config: Optional[PlannerConfig],
+) -> _UnitOutcome:
+    outcome = _UnitOutcome(unit=unit)
+    node = graph.nodes[unit.head]
+    started = time.perf_counter()
+    if unit.fused:
+        _run_chain(graph, unit, env, plan, cache, outcome, planner_config)
+    elif node.translated:
+        _run_single(node, unit, env, plan, cache, outcome)
+    else:
+        _run_interpreted(node, env, outcome)
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _run_single(
+    node: JobNode,
+    unit: FusedChain,
+    env: dict[str, Any],
+    plan: Optional[str],
+    cache: _RecordsCache,
+    outcome: _UnitOutcome,
+) -> None:
+    program = node.program
+    records = cache.get(node.analysis.view, env)
+    outcome.outputs = program.run(env, plan=plan, records=records)
+    if plan is not None and program.last_plan_report is not None:
+        outcome.report = program.last_plan_report
+    metrics = program.last_metrics
+    if metrics is not None:
+        outcome.simulated_seconds = metrics.simulated_seconds
+
+
+def _run_interpreted(
+    node: JobNode, env: dict[str, Any], outcome: _UnitOutcome
+) -> None:
+    outcome.outputs = interpret_fragment(node.analysis, env)
+    outcome.interpreted_nodes.append(node.id)
+
+
+def _run_chain(
+    graph: JobGraph,
+    unit: FusedChain,
+    env: dict[str, Any],
+    plan: Optional[str],
+    cache: _RecordsCache,
+    outcome: _UnitOutcome,
+    planner_config: Optional[PlannerConfig],
+) -> None:
+    """Execute a fused chain as one engine invocation.
+
+    The chain's stages are spliced into a single step list — producer
+    stages, a bridge per link, consumer stages — so the intermediate
+    dataset flows through partitioned memory instead of the §6.3
+    rebuild-and-rescan glue.  Simulated accounting reflects that: one
+    scan, one job startup, driver-collect-priced bridges.
+    """
+    head = graph.nodes[unit.head]
+    chosen = head.program.programs[unit.impl_indexes[0]]
+    globals_env, output_sizes = prepare_globals(head.analysis, env)
+    records = cache.get(head.analysis.view, env)
+    execution_plan, report = _chain_plan(
+        unit, head, chosen, records, globals_env, plan, planner_config
+    )
+    # The plan's per-stage combiner decisions index the head program's
+    # stages, so only the head's steps honour them; downstream nodes
+    # keep the proof-gated default.
+    steps = list(chosen.local_steps(globals_env, plan=execution_plan))
+    bridges: list[StitchBridge] = []
+
+    prev = (head, chosen, globals_env, output_sizes)
+    for link, node_id in enumerate(unit.node_ids[1:]):
+        node = graph.nodes[node_id]
+        node_chosen = node.program.programs[unit.impl_indexes[link + 1]]
+        node_globals, node_sizes = prepare_globals(node.analysis, env)
+        if unit.bridges[link] == "map":
+            steps.append(MapStep(BagValueBridge(), complexity=1))
+        else:
+            _prev_node, prev_chosen, prev_globals, prev_sizes = prev
+            bridge = StitchBridge(
+                bindings=prev_chosen.summary.outputs,
+                globals_env=prev_globals,
+                output_sizes=prev_sizes,
+                view=node.analysis.view,
+            )
+            bridges.append(bridge)
+            steps.append(BridgeStep(bridge))
+        steps.extend(node_chosen.local_steps(node_globals))
+        prev = (node, node_chosen, node_globals, node_sizes)
+
+    tail_node, tail_chosen, tail_globals, tail_sizes = prev
+    processes = 0
+    if execution_plan is not None and execution_plan.backend == "multiprocess":
+        processes = execution_plan.processes
+    config = chosen.engine_config
+    if config.framework.name != "multiprocess":
+        config = config.with_framework("multiprocess")
+    engine = MultiprocessEngine(
+        config=config,
+        processes=processes,
+        partitions=(
+            execution_plan.partitions if execution_plan is not None else None
+        ),
+    )
+    result = engine.run_pipeline(records, steps)
+    outputs = bind_outputs(
+        tail_chosen.summary.outputs, result.pairs, tail_globals, tail_sizes
+    )
+    # Barrier bridges materialize their intermediates anyway; surface
+    # them so downstream consumers (and callers) still see the values.
+    for bridge in bridges:
+        outcome.outputs.update(bridge.captured)
+    outcome.outputs.update(outputs)
+    outcome.simulated_seconds = result.metrics.simulated_seconds
+    if report is not None:
+        # Mirror the per-fragment rule (codegen/glue.py): a deliberately
+        # sequential plan is not a "fallback" even though the engine
+        # runs it in-process; only a planned pool that could not run is.
+        if (
+            execution_plan.backend == "multiprocess"
+            and result.fallback_reason
+        ):
+            report.fallback_reason = result.fallback_reason
+            report.backend_used = "sequential"
+        else:
+            report.backend_used = execution_plan.backend
+        report.wall_seconds = result.metrics.wall_seconds
+        outcome.report = report
+
+
+def _chain_plan(
+    unit: FusedChain,
+    head: JobNode,
+    chosen,
+    records: list,
+    globals_env: dict[str, Any],
+    plan: Optional[str],
+    planner_config: Optional[PlannerConfig],
+):
+    """Resolve the execution plan for a fused chain.
+
+    Fused stitching only exists on the real local engines; a forced
+    simulated-cluster backend therefore degrades to sequential local
+    execution with the decision recorded, rather than silently
+    unfusing or failing.
+    """
+    if plan is None:
+        return None, None
+    extra_reasons: tuple[str, ...] = ()
+    effective = plan
+    if plan not in ("auto", "sequential", "multiprocess"):
+        # A simulated cluster backend cannot execute a stitched chain.
+        effective = "sequential"
+        extra_reasons += (
+            f"fused chains run locally; {plan!r} backend degraded to sequential",
+        )
+    if effective == "auto" and head.program.planner is None:
+        head.program.planner = ExecutionPlanner(
+            config=planner_config or PlannerConfig(),
+            cost_model=head.program.cost_model,
+        )
+        head.program.planner.precompute(head.program.programs)
+    sample = head.program.sample_elements(records)
+    execution_plan, report = head.program.plan_execution(
+        effective, chosen, records, sample, globals_env
+    )
+    if effective == "auto":
+        report.implementation = f"impl_{unit.impl_indexes[0]}"
+        # The planner's calibration/estimates cover the head fragment
+        # only; downstream stages of the chain are not costed, so a
+        # compute-heavy consumer can make this an underestimate.
+        # Recorded so the evidence trail stays honest.
+        extra_reasons += (
+            f"estimates cover head fragment {unit.head} only "
+            f"({len(unit.node_ids) - 1} fused downstream stage(s) uncosted)",
+        )
+    if extra_reasons:
+        execution_plan = replace(
+            execution_plan, reasons=execution_plan.reasons + extra_reasons
+        )
+        report.plan = execution_plan
+    return execution_plan, report

@@ -1,5 +1,6 @@
 """Program analyses over the mini-Java AST (Casper's program analyzer)."""
 
+from .dataflow import DataflowEdge, ProgramDataflow, analyze_dataflow
 from .fragments import (
     CodeFragment,
     FragmentAnalysis,
@@ -9,6 +10,7 @@ from .fragments import (
     analyze_function,
     fingerprint_fragment,
     identify_fragments,
+    live_after_fragment,
 )
 from .liveness import expr_defs, expr_uses, live_before, stmt_defs, stmt_uses
 from .loops import DatasetField, DatasetView, extract_dataset_view
@@ -25,14 +27,17 @@ from .typecheck import TypeEnv, TypeInferencer, build_type_env, infer_type
 
 __all__ = [
     "CodeFragment",
+    "DataflowEdge",
     "DatasetField",
     "DatasetView",
     "FragmentAnalysis",
     "FragmentFeatures",
     "FragmentFingerprint",
+    "ProgramDataflow",
     "ScanResult",
     "TypeEnv",
     "TypeInferencer",
+    "analyze_dataflow",
     "analyze_fragment",
     "analyze_function",
     "build_type_env",
@@ -45,6 +50,7 @@ __all__ = [
     "fingerprint_fragment",
     "identify_fragments",
     "infer_type",
+    "live_after_fragment",
     "live_before",
     "loop_bound_expr",
     "normalize_loop",

@@ -189,7 +189,7 @@ def analyze_fragment(
     # Variables observable after the fragment: live in the remainder of the
     # function.  The fragment's own declarations can still be outputs (an
     # accumulator declared in the prelude and returned later).
-    after = _live_after_fragment(func, fragment)
+    after = live_after_fragment(func, fragment)
 
     input_vars: dict[str, JType] = {}
     for name in sorted(uses):
@@ -234,8 +234,14 @@ def analyze_fragment(
     )
 
 
-def _live_after_fragment(func: ast.FuncDecl, fragment: CodeFragment) -> set[str]:
-    """Variables live immediately after the fragment's loop."""
+def live_after_fragment(func: ast.FuncDecl, fragment: CodeFragment) -> set[str]:
+    """Variables live immediately after the fragment's loop.
+
+    Public because the inter-fragment dataflow analysis
+    (:mod:`repro.lang.analysis.dataflow`) uses the last fragment's
+    live-after set to decide which fragment outputs the rest of the
+    function actually observes.
+    """
     body = func.body.stmts
     container = _enclosing_list(body, fragment.loop)
     if container is None:

@@ -18,9 +18,12 @@ from .passes import (
     AnalyzePass,
     CodegenPass,
     CompilerPass,
+    ContextPass,
+    GraphPass,
     PlanPass,
     SynthesizePass,
     VerifyAttachPass,
+    default_context_passes,
     default_passes,
     run_passes,
 )
@@ -33,12 +36,15 @@ __all__ = [
     "CodegenPass",
     "CompilationContext",
     "CompilerPass",
+    "ContextPass",
     "FragmentState",
+    "GraphPass",
     "PassPipeline",
     "PlanPass",
     "SummaryCache",
     "SynthesizePass",
     "VerifyAttachPass",
+    "default_context_passes",
     "default_passes",
     "default_worker_count",
     "run_passes",

@@ -27,6 +27,7 @@ from ..synthesis.search import SearchConfig, SearchResult
 
 if TYPE_CHECKING:
     from ..codegen.glue import AdaptiveProgram
+    from ..graph.jobgraph import JobGraph
     from ..planner.planner import PlannerConfig
     from .cache import SummaryCache
 
@@ -69,6 +70,9 @@ class CompilationContext:
     #: Execution-planner knobs used by the ``plan`` pass; None → defaults.
     planner_config: Optional["PlannerConfig"] = None
     fragments: list[FragmentState] = field(default_factory=list)
+    #: Whole-program job graph, attached by the ``graph`` pass after
+    #: every fragment's chain completes (it needs all of them).
+    job_graph: Optional["JobGraph"] = None
     #: Wall-clock seconds spent in each pass, summed over fragments.
     pass_seconds: dict[str, float] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)

@@ -1,11 +1,17 @@
-"""The staged compiler passes: analyze → synthesize → verify-attach → codegen → plan.
+"""The staged compiler passes:
+analyze → synthesize → verify-attach → codegen → plan → graph.
 
-Each pass is a small, stateless object transforming one fragment's
-:class:`~repro.pipeline.context.FragmentState`.  Keeping the stages as
-explicit passes (instead of one monolithic ``translate`` body) gives the
-pipeline its seams: the scheduler can run fragments concurrently, the
-synthesize pass can consult the summary cache, and instrumentation gets
-per-stage timings for free.
+Each of the first five passes is a small, stateless object transforming
+one fragment's :class:`~repro.pipeline.context.FragmentState`.  Keeping
+the stages as explicit passes (instead of one monolithic ``translate``
+body) gives the pipeline its seams: the scheduler can run fragments
+concurrently, the synthesize pass can consult the summary cache, and
+instrumentation gets per-stage timings for free.
+
+The sixth, ``graph``, is a *context* pass: it runs once per function
+after every fragment's chain has finished (it needs all of them) and
+stitches the per-fragment liveness sets into the whole-program job
+graph that ``run_program`` executes.
 """
 
 from __future__ import annotations
@@ -139,8 +145,40 @@ class PlanPass(CompilerPass):
         state.program.planner = planner
 
 
+class ContextPass:
+    """A pass over a whole compilation context (all fragments at once)."""
+
+    name = "context-pass"
+
+    def run(self, ctx: CompilationContext) -> None:
+        raise NotImplementedError
+
+
+class GraphPass(ContextPass):
+    """Build the whole-program job graph from the compiled fragments.
+
+    Runs the inter-fragment dataflow analysis (liveness in/out sets →
+    producer→consumer edges) and attaches the resulting
+    :class:`~repro.graph.jobgraph.JobGraph` to the context, so
+    ``run_program`` can schedule fused chains and concurrent branches
+    without re-deriving the dataflow per run.
+    """
+
+    name = "graph"
+
+    def run(self, ctx: CompilationContext) -> None:
+        from ..graph.jobgraph import build_job_graph
+        from ..lang.analysis.dataflow import analyze_dataflow
+
+        func = ctx.program.function(ctx.function)
+        dataflow = analyze_dataflow(
+            [state.analysis for state in ctx.fragments], func
+        )
+        ctx.job_graph = build_job_graph(ctx.function, ctx.fragments, dataflow)
+
+
 def default_passes() -> Sequence[CompilerPass]:
-    """The standard five-stage pipeline, in execution order."""
+    """The standard per-fragment pipeline, in execution order."""
     return (
         AnalyzePass(),
         SynthesizePass(),
@@ -148,6 +186,11 @@ def default_passes() -> Sequence[CompilerPass]:
         CodegenPass(),
         PlanPass(),
     )
+
+
+def default_context_passes() -> Sequence[ContextPass]:
+    """Whole-context passes run after every fragment chain completes."""
+    return (GraphPass(),)
 
 
 def run_passes(

@@ -12,12 +12,19 @@ fingerprint populates the entry the rest hit.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from ..lang.analysis.fragments import identify_fragments
 from .context import CompilationContext, FragmentState
-from .passes import CompilerPass, default_passes, run_passes
+from .passes import (
+    CompilerPass,
+    ContextPass,
+    default_context_passes,
+    default_passes,
+    run_passes,
+)
 
 
 def default_worker_count() -> int:
@@ -32,9 +39,15 @@ class PassPipeline:
         self,
         passes: Optional[Sequence[CompilerPass]] = None,
         max_workers: Optional[int] = None,
+        context_passes: Optional[Sequence[ContextPass]] = None,
     ):
         self.passes: Sequence[CompilerPass] = (
             tuple(passes) if passes is not None else tuple(default_passes())
+        )
+        self.context_passes: Sequence[ContextPass] = (
+            tuple(context_passes)
+            if context_passes is not None
+            else tuple(default_context_passes())
         )
         self.max_workers = (
             max_workers if max_workers is not None else default_worker_count()
@@ -46,6 +59,7 @@ class PassPipeline:
         """Compile one context: identify fragments, run every pass chain."""
         self._populate(ctx)
         self._execute([(ctx, state) for state in ctx.fragments])
+        self._finish_context(ctx)
         return ctx
 
     def run_many(
@@ -55,16 +69,26 @@ class PassPipeline:
 
         All fragments of all contexts are scheduled together, so a batch
         of small programs saturates the pool instead of serializing on
-        per-program barriers.
+        per-program barriers.  Context passes (the job-graph builder)
+        need a whole function's fragments, so they run per context after
+        the shared pool drains.
         """
         work: list[tuple[CompilationContext, FragmentState]] = []
         for ctx in contexts:
             self._populate(ctx)
             work.extend((ctx, state) for state in ctx.fragments)
         self._execute(work)
+        for ctx in contexts:
+            self._finish_context(ctx)
         return contexts
 
     # ------------------------------------------------------------------
+
+    def _finish_context(self, ctx: CompilationContext) -> None:
+        for context_pass in self.context_passes:
+            started = time.monotonic()
+            context_pass.run(ctx)
+            ctx.record_pass_time(context_pass.name, time.monotonic() - started)
 
     def _populate(self, ctx: CompilationContext) -> None:
         if ctx.fragments:

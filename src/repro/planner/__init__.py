@@ -6,8 +6,15 @@ program; running with ``plan="auto"`` lets it choose between in-process
 sequential execution, the real multiprocess backend, and the simulated
 cluster frameworks, and surfaces the decision (plus measured reality) as
 a :class:`~repro.planner.plan.PlanReport`.
+
+:mod:`repro.planner.dag` lifts planning to whole-program job graphs:
+the :class:`~repro.planner.dag.DagPlanner` schedules fused units into
+dependency waves, decides how many independent branches run
+concurrently, and reports the whole execution as a
+:class:`~repro.planner.dag.GraphPlanReport`.
 """
 
+from .dag import DagPlanner, GraphExecutionPlan, GraphPlanReport
 from .plan import (
     BACKENDS,
     CLUSTER_BACKENDS,
@@ -21,8 +28,11 @@ from .planner import ExecutionPlanner, PlannerConfig
 __all__ = [
     "BACKENDS",
     "CLUSTER_BACKENDS",
+    "DagPlanner",
     "ExecutionPlan",
     "ExecutionPlanner",
+    "GraphExecutionPlan",
+    "GraphPlanReport",
     "PlanReport",
     "PlannerConfig",
     "StagePlan",

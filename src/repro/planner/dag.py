@@ -1,0 +1,183 @@
+"""DAG-aware execution planning over whole-program job graphs.
+
+:class:`ExecutionPlanner` decides how one fragment's job runs; this
+module lifts those decisions to a whole job graph.  The
+:class:`DagPlanner` turns the fusion optimizer's unit list into
+*waves* — sets of units whose dependencies are all satisfied — and
+decides how many of them may execute concurrently, reusing the same
+CPU-budget reasoning the per-job planner applies to partition counts.
+Independent branches of a program (TPC-H Q1's parallel aggregates, the
+logistic-regression gradient/loss/accuracy scans) land in one wave and
+run side by side; chains serialize across waves.
+
+The :class:`GraphPlanReport` is the whole-program analogue of
+:class:`~repro.planner.plan.PlanReport`: per-unit plan reports plus the
+graph-level evidence (waves, concurrency, fusion decisions, cache
+reuse), so a planned ``run_program`` leaves the same kind of audit
+trail a planned ``run_translated`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..engine.multiprocess import default_process_count
+from .plan import PlanReport
+from .planner import PlannerConfig
+
+if TYPE_CHECKING:
+    from ..graph.fuse import GraphSchedule
+    from ..graph.jobgraph import JobGraph
+
+
+@dataclass
+class GraphExecutionPlan:
+    """Wave schedule for one job graph: who runs when, how wide."""
+
+    #: Unit indexes (into the schedule's unit list) per wave, in order.
+    waves: list[tuple[int, ...]] = field(default_factory=list)
+    #: Worker threads driving concurrent units within a wave.
+    concurrency: int = 1
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def max_wave_width(self) -> int:
+        return max((len(w) for w in self.waves), default=0)
+
+
+@dataclass
+class GraphPlanReport:
+    """Evidence and outcome of one whole-program graph execution."""
+
+    plan: GraphExecutionPlan
+    #: Per-unit plan reports, keyed by the unit's head node id (only
+    #: populated for planned runs; compiled-backend runs leave it empty).
+    unit_reports: dict[str, PlanReport] = field(default_factory=dict)
+    #: Fusion / elimination decisions from the optimizer.
+    decisions: list[str] = field(default_factory=list)
+    #: Node ids executed by the reference interpreter (non-strict runs).
+    interpreted_nodes: list[str] = field(default_factory=list)
+    #: Intermediate variables fused away (never materialized).
+    fused_away: list[str] = field(default_factory=list)
+    #: Dead stages dropped by the optimizer, with reasons.
+    eliminated: dict[str, str] = field(default_factory=dict)
+    #: Dataset-view materializations served from the shared records cache.
+    records_cache_hits: int = 0
+    #: Sum of per-unit simulated seconds (serialized execution).
+    simulated_seconds_serial: float = 0.0
+    #: Critical-path simulated seconds (per-wave maxima summed) — what a
+    #: cluster actually running branches concurrently would take.
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> dict:
+        """Compact dict form, convenient for logs and benchmark JSON."""
+        return {
+            "waves": [list(w) for w in self.plan.waves],
+            "concurrency": self.plan.concurrency,
+            "decisions": list(self.decisions),
+            "interpreted_nodes": list(self.interpreted_nodes),
+            "fused_away": sorted(self.fused_away),
+            "eliminated": dict(self.eliminated),
+            "records_cache_hits": self.records_cache_hits,
+            "simulated_seconds_serial": round(self.simulated_seconds_serial, 6),
+            "simulated_seconds": round(self.simulated_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "unit_reports": {
+                head: report.summary()
+                for head, report in sorted(self.unit_reports.items())
+            },
+            "reasons": list(self.plan.reasons),
+        }
+
+
+@dataclass
+class DagPlanner:
+    """Plans wave order and branch concurrency for a job graph."""
+
+    config: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def plan(
+        self,
+        graph: "JobGraph",
+        schedule: "GraphSchedule",
+        max_workers: Optional[int] = None,
+        pooled_units: bool = False,
+    ) -> GraphExecutionPlan:
+        """Compute dependency waves and the concurrency width.
+
+        A unit is ready once every unit producing one of its external
+        inputs has completed; ready units form a wave and may run
+        concurrently.  Width is capped by the CPU budget: running more
+        branches than cores side by side only adds scheduling noise
+        (and would distort the per-job planner's measured calibration).
+
+        ``pooled_units`` marks runs whose units may each engage the
+        multiprocess pool (``plan="auto"``/``"multiprocess"``): stacking
+        branch threads on top of per-unit pools would oversubscribe the
+        cores and invalidate every unit's own cost estimates, so the
+        CPU budget goes to the pools and branches serialize — unless
+        the caller explicitly sets ``max_workers``.
+        """
+        plan = GraphExecutionPlan()
+        unit_of_node: dict[str, int] = {}
+        for index, unit in enumerate(schedule.units):
+            for node_id in unit.node_ids:
+                unit_of_node[node_id] = index
+
+        deps: dict[int, set[int]] = {i: set() for i in range(len(schedule.units))}
+        for edge in graph.edges:
+            producer_unit = unit_of_node.get(edge.producer)
+            consumer_unit = unit_of_node.get(edge.consumer)
+            if (
+                producer_unit is None
+                or consumer_unit is None
+                or producer_unit == consumer_unit
+            ):
+                continue
+            deps[consumer_unit].add(producer_unit)
+
+        remaining = set(deps)
+        done: set[int] = set()
+        while remaining:
+            wave = tuple(sorted(i for i in remaining if deps[i] <= done))
+            if not wave:
+                # A cycle among units: surface it via the graph's own
+                # cycle reporting (names the nodes, not unit indexes).
+                graph.topological_order(
+                    [n for i in remaining for n in schedule.units[i].node_ids]
+                )
+                raise AssertionError("unreachable: cycle not detected")
+            plan.waves.append(wave)
+            done.update(wave)
+            remaining -= set(wave)
+
+        processes = (
+            self.config.processes
+            if self.config.processes is not None
+            else default_process_count()
+        )
+        width = plan.max_wave_width
+        if max_workers is not None:
+            concurrency = max(1, min(width, max_workers))
+            plan.reasons.append(
+                f"concurrency={concurrency} (caller capped at {max_workers})"
+            )
+        elif width <= 1:
+            concurrency = 1
+            plan.reasons.append("concurrency=1 (graph is a chain)")
+        elif pooled_units:
+            concurrency = 1
+            plan.reasons.append(
+                "concurrency=1 (units may engage the multiprocess pool — "
+                "the CPU budget goes to per-unit workers, not branch threads)"
+            )
+        else:
+            concurrency = max(1, min(width, processes))
+            plan.reasons.append(
+                f"concurrency={concurrency} ({width} independent branch(es), "
+                f"{processes} CPU(s))"
+            )
+        plan.concurrency = concurrency
+        return plan

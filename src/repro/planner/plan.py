@@ -86,6 +86,9 @@ class PlanReport:
     backend_used: str = ""
     wall_seconds: float = 0.0
     fallback_reason: Optional[str] = None
+    #: Why the measured λm/pickling probe did not run (single-CPU hosts
+    #: skip it — the pool cannot win, so there is nothing to calibrate).
+    calibration_skipped: Optional[str] = None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -103,6 +106,7 @@ class PlanReport:
             "implementation": self.implementation,
             "wall_seconds": round(self.wall_seconds, 6),
             "fallback_reason": self.fallback_reason,
+            "calibration_skipped": self.calibration_skipped,
             "reasons": list(self.plan.reasons),
         }
 

@@ -121,20 +121,32 @@ class ExecutionPlanner:
         estimates = estimate_from_sample(program.summary, sample, globals_env)
         stages = self._stage_plans(program, estimates, reasons)
 
-        per_record_s = self._calibrate(program, records, globals_env)
-        pickle_s = self._pickle_seconds(records)
-        seq_s = per_record_s * n
-        mp_s = (
-            seq_s / max(1, processes)
-            + self.config.pool_startup_s * processes
-            + pickle_s
-        )
-        estimated = {"sequential": seq_s, "multiprocess": mp_s}
+        calibration_skipped: Optional[str] = None
+        if processes < 2:
+            # On a single-CPU host the pool can never win, so timing the
+            # job's own λm on a calibration prefix (and pickling a record
+            # sample) would be pure overhead for a foregone conclusion.
+            calibration_skipped = (
+                f"λm calibration skipped: {processes} CPU(s) available, "
+                "the multiprocess pool cannot win"
+            )
+            estimated: dict[str, float] = {}
+        else:
+            per_record_s = self._calibrate(program, records, globals_env)
+            pickle_s = self._pickle_seconds(records)
+            seq_s = per_record_s * n
+            mp_s = (
+                seq_s / max(1, processes)
+                + self.config.pool_startup_s * processes
+                + pickle_s
+            )
+            estimated = {"sequential": seq_s, "multiprocess": mp_s}
 
         backend = "multiprocess"
         if processes < 2:
             backend = "sequential"
             reasons.append(f"only {processes} CPU(s) available")
+            reasons.append(calibration_skipped)
         elif n < self.config.min_parallel_records:
             backend = "sequential"
             reasons.append(
@@ -174,6 +186,7 @@ class ExecutionPlanner:
             cluster_recommendation=(
                 min(cluster, key=cluster.get) if cluster else None
             ),
+            calibration_skipped=calibration_skipped,
         )
         return plan, report
 

@@ -9,7 +9,12 @@ from .registry import (
     suite_benchmarks,
     suites,
 )
-from .runner import compile_benchmark, compile_suite, run_benchmark
+from .runner import (
+    compile_benchmark,
+    compile_suite,
+    run_benchmark,
+    run_benchmark_graph,
+)
 
 __all__ = [
     "Benchmark",
@@ -20,6 +25,7 @@ __all__ = [
     "get_benchmark",
     "register",
     "run_benchmark",
+    "run_benchmark_graph",
     "suite_benchmarks",
     "suites",
 ]

@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..compiler import CasperCompiler, CompilationResult
+from ..compiler import CasperCompiler, CompilationResult, run_program
 from ..engine.config import EngineConfig
 from ..engine.sequential import run_sequential
 from ..engine.sizes import sizeof
+from ..graph.executor import GraphRunResult, interpret_reference
+from ..lang.values import values_equal
 from ..planner.plan import PlanReport
 from ..synthesis.search import SearchConfig
 from .registry import Benchmark
@@ -209,6 +211,75 @@ def run_benchmark(
     run.distributed_seconds = total_seconds
     run.outputs_match = outputs_ok
     return run
+
+
+@dataclass
+class GraphBenchmarkRun:
+    """Results of running one benchmark as a whole-program job graph."""
+
+    benchmark: Benchmark
+    compilation: CompilationResult
+    outputs: dict[str, Any]
+    run: GraphRunResult
+    #: Graph outputs equal the chained reference-interpreter outputs
+    #: (compared over the variables both sides materialize).
+    outputs_match: bool = True
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.run.wall_seconds
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.run.simulated_seconds
+
+
+def run_benchmark_graph(
+    benchmark: Benchmark,
+    size: int = 20_000,
+    seed: int = 7,
+    plan: Optional[str] = None,
+    fuse: bool = True,
+    strict: bool = False,
+    max_workers: Optional[int] = None,
+    compilation: Optional[CompilationResult] = None,
+) -> GraphBenchmarkRun:
+    """Compile (optionally reusing a compilation) and run via the job graph.
+
+    This is the whole-program counterpart of :func:`run_benchmark`: one
+    ``run_program`` execution instead of a per-fragment loop, verified
+    against the chained reference-interpreter semantics.  ``fuse=False``
+    keeps the DAG scheduling but disables chain stitching — the unfused
+    baseline the fusion benchmarks compare against.
+    """
+    if compilation is None:
+        compilation = compile_benchmark(benchmark)
+    inputs = benchmark.make_inputs(size, seed)
+    outputs = run_program(
+        compilation,
+        dict(inputs),
+        plan=plan,
+        fuse=fuse,
+        strict=strict,
+        max_workers=max_workers,
+    )
+    run = compilation.last_graph_run
+    assert run is not None
+    expected = interpret_reference(compilation.job_graph, dict(inputs))
+    # A silently-dropped output must fail the comparison, not shrink it:
+    # every final variable the reference produced has to be delivered.
+    required = set(compilation.job_graph.final_vars) & set(expected)
+    matched = required <= set(outputs) and all(
+        values_equal(outputs[name], expected[name])
+        for name in set(outputs) & set(expected)
+    )
+    return GraphBenchmarkRun(
+        benchmark=benchmark,
+        compilation=compilation,
+        outputs=outputs,
+        run=run,
+        outputs_match=matched,
+    )
 
 
 def _check_outputs(

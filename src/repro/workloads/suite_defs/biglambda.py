@@ -6,10 +6,12 @@ synthesizes from input-output examples, the paper had graduate students
 implement the tasks from textual descriptions — these are our own
 implementations of the same task descriptions.
 
-8 benchmarks, 6 translatable by design: ``biglambda_cross_pairs`` and
+9 benchmarks, 7 translatable by design: ``biglambda_cross_pairs`` and
 ``biglambda_top_k`` need a per-element loop in the mapper / sorting,
 which the IR cannot express (the paper reports the same two failure
-causes).
+causes).  ``biglambda_select_sum`` chains selection into aggregation —
+the two-fragment pipeline shape whose intermediate the job-graph layer
+fuses away entirely (map→map fusion with a hoisted combiner).
 """
 
 from __future__ import annotations
@@ -61,6 +63,40 @@ List<Row> selectRows(List<Row> rows, int threshold) {
     if (r.val > threshold) out.add(r);
   }
   return out;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="biglambda_select_sum",
+        suite="biglambda",
+        function="selectSum",
+        description=(
+            "Selection piped into aggregation: two fragments whose "
+            "bag-valued intermediate is a map→map fusion candidate."
+        ),
+        make_inputs=lambda size, seed: {
+            "rows": [
+                Instance("Row", {"id": i, "val": v})
+                for i, v in enumerate(datagen.int_array(size, seed, low=0, high=100))
+            ],
+            "threshold": 50,
+        },
+        data_args=["rows"],
+        source="""
+class Row { int id; int val; }
+double selectSum(List<Row> rows, int threshold) {
+  List<int> kept = new ArrayList<int>();
+  for (Row r : rows) {
+    if (r.val > threshold) kept.add(r.val);
+  }
+  double total = 0;
+  for (int v : kept) {
+    total += v;
+  }
+  return total;
 }
 """,
     )

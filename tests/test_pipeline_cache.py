@@ -293,6 +293,7 @@ class TestPassPipeline:
             "verify-attach",
             "codegen",
             "plan",
+            "graph",
         }
         assert result.pass_seconds["synthesize"] > 0
 

@@ -1,0 +1,218 @@
+"""Whole-program property tests: run_program across every suite.
+
+The acceptance property of the job-graph layer: for every benchmark of
+all seven suites,
+
+    fused DAG execution == unfused DAG execution
+                        == per-fragment sequential execution
+                        == the reference interpreter,
+
+including loop-carried datasets (PageRank ranks fed across iterations)
+and the planner's single-CPU calibration skip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import run_program, run_translated
+from repro.errors import AnalysisError
+from repro.graph import interpret_reference
+from repro.lang.interpreter import Interpreter
+from repro.lang.values import values_equal
+from repro.planner import PlannerConfig
+from repro.planner.planner import ExecutionPlanner
+from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads.runner import compile_benchmark, run_benchmark_graph
+
+RUN_SIZE = 250
+
+_COMPILED: dict[str, object] = {}
+
+
+def compiled(name: str):
+    if name not in _COMPILED:
+        _COMPILED[name] = compile_benchmark(get_benchmark(name))
+    return _COMPILED[name]
+
+
+def _match(lhs: dict, rhs: dict) -> bool:
+    common = set(lhs) & set(rhs)
+    return all(values_equal(lhs[k], rhs[k]) for k in common)
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_benchmarks()], ids=lambda n: n)
+class TestGraphIdentity:
+    """run_program == per-fragment sequential == interpreter, per benchmark."""
+
+    def test_fused_dag_matches_all_references(self, name):
+        benchmark = get_benchmark(name)
+        compilation = compiled(name)
+        inputs = benchmark.make_inputs(RUN_SIZE, 7)
+
+        fused = run_program(compilation, dict(inputs), strict=False)
+        report = compilation.last_graph_run.report
+        unfused = run_program(compilation, dict(inputs), strict=False, fuse=False)
+        interpreted = interpret_reference(compilation.job_graph, dict(inputs))
+
+        # Per-fragment sequential chaining: each translated fragment
+        # runs as its own job (run_benchmark's model); untranslated
+        # fragments with an analysis are interpreted so their outputs
+        # still chain forward (what strict=False does graph-side).
+        from repro.graph.executor import interpret_fragment
+
+        sequential: dict = {}
+        env = dict(inputs)
+        for fragment in compilation.fragments:
+            if fragment.translated:
+                outputs = fragment.program.run(dict(env))
+            elif fragment.analysis is not None:
+                outputs = interpret_fragment(fragment.analysis, env)
+            else:
+                continue
+            env.update(outputs)
+            sequential.update(outputs)
+
+        assert _match(fused, interpreted), f"{name}: fused != interpreter"
+        assert _match(unfused, interpreted), f"{name}: unfused != interpreter"
+        assert _match(fused, unfused), f"{name}: fused != unfused"
+        assert _match(sequential, interpreted), f"{name}: per-fragment != interpreter"
+        assert _match(fused, sequential), f"{name}: fused != per-fragment"
+
+        # Every observable (final) variable a translated-or-interpreted
+        # node produces must actually be delivered.
+        produced_final = {
+            var
+            for node in compilation.job_graph.nodes.values()
+            if node.analysis is not None
+            for var in node.output_vars
+            if var in compilation.job_graph.final_vars
+        }
+        missing = [v for v in produced_final if v not in fused]
+        assert not missing, f"{name}: final outputs missing {missing}"
+        assert report is not None
+
+
+class TestMultiStagePrograms:
+    def test_select_sum_exercises_map_map_fusion(self):
+        compilation = compiled("biglambda_select_sum")
+        benchmark = get_benchmark("biglambda_select_sum")
+        run_program(compilation, benchmark.make_inputs(RUN_SIZE, 7))
+        report = compilation.last_graph_run.report
+        assert any("map→map fused" in d for d in report.decisions)
+        assert any("combiner hoisted" in d for d in report.decisions)
+        assert report.fused_away == ["kept"]
+
+    def test_q1_exercises_concurrent_branches(self):
+        compilation = compiled("tpch_q1")
+        benchmark = get_benchmark("tpch_q1")
+        run_program(compilation, benchmark.make_inputs(RUN_SIZE, 7), max_workers=2)
+        report = compilation.last_graph_run.report
+        assert report.plan.waves == [(0, 1)]
+        assert report.plan.concurrency == 2
+        # Both aggregates scan lineitem: one materialization, one reuse.
+        assert report.records_cache_hits >= 1
+
+    def test_pagerank_chain_stage_fuses(self):
+        compilation = compiled("iterative_pagerank")
+        benchmark = get_benchmark("iterative_pagerank")
+        run_program(compilation, benchmark.make_inputs(RUN_SIZE, 7))
+        run = compilation.last_graph_run
+        assert any(unit.fused for unit in run.schedule.units)
+        assert any("stage-fused" in d for d in run.report.decisions)
+
+    def test_loop_carried_pagerank_iterations(self):
+        benchmark = get_benchmark("iterative_pagerank")
+        compilation = compiled("iterative_pagerank")
+        inputs = benchmark.make_inputs(RUN_SIZE, 7)
+        interp = Interpreter(benchmark.parse())
+        graph_rank = list(inputs["rank"])
+        interp_rank = list(inputs["rank"])
+        for _iteration in range(3):
+            outputs = run_program(
+                compilation,
+                {
+                    "edges": inputs["edges"],
+                    "rank": graph_rank,
+                    "nodes": inputs["nodes"],
+                },
+            )
+            graph_rank = outputs["next"]
+            interp_rank = interp.call_function(
+                "pagerankIter", [inputs["edges"], interp_rank, inputs["nodes"]]
+            )
+            assert values_equal(graph_rank, interp_rank)
+
+    def test_run_benchmark_graph_round_trip(self):
+        run = run_benchmark_graph(
+            get_benchmark("tpch_q15"),
+            size=RUN_SIZE,
+            plan="sequential",
+            compilation=compiled("tpch_q15"),
+        )
+        assert run.outputs_match
+        assert run.simulated_seconds > 0
+        assert run.run.report.unit_reports
+
+
+class TestRunTranslatedErrors:
+    def test_multi_fragment_error_enumerates_and_names_run_program(self):
+        compilation = compiled("tpch_q1")
+        benchmark = get_benchmark("tpch_q1")
+        inputs = benchmark.make_inputs(20, 7)
+        with pytest.raises(AnalysisError) as excinfo:
+            run_translated(compilation, inputs)
+        message = str(excinfo.value)
+        assert "run_program" in message
+        assert "[0] query1#0 (translated)" in message
+        assert "[1] query1#1 (translated)" in message
+        assert "fragment_index" in message
+
+    def test_untranslated_fragment_error_keeps_reason(self):
+        compilation = compiled("biglambda_cross_pairs")
+        with pytest.raises(AnalysisError, match="was not translated"):
+            run_translated(compilation, {}, fragment_index=0)
+
+
+class TestSingleCpuCalibrationSkip:
+    def test_planner_skips_measured_probe_on_one_cpu(self, monkeypatch):
+        compilation = compiled("biglambda_sentiment")
+        fragment = next(f for f in compilation.fragments if f.translated)
+        program = fragment.program
+        benchmark = get_benchmark("biglambda_sentiment")
+        inputs = benchmark.make_inputs(200, 7)
+
+        def _fail_calibrate(self, *args, **kwargs):
+            raise AssertionError("measured probe must not run on 1 CPU")
+
+        monkeypatch.setattr(ExecutionPlanner, "_calibrate", _fail_calibrate)
+        monkeypatch.setattr(ExecutionPlanner, "_pickle_seconds", _fail_calibrate)
+        program.planner = ExecutionPlanner(
+            config=PlannerConfig(processes=1),
+            cost_model=program.cost_model,
+        )
+        program.planner.precompute(program.programs)
+        program.run(dict(inputs), plan="auto")
+        report = program.last_plan_report
+        assert report.plan.backend == "sequential"
+        assert report.calibration_skipped is not None
+        assert "λm calibration skipped" in report.calibration_skipped
+        assert any("calibration skipped" in r for r in report.plan.reasons)
+        assert report.estimated_seconds == {}
+        assert report.summary()["calibration_skipped"] == report.calibration_skipped
+
+    def test_multi_cpu_still_calibrates(self):
+        compilation = compiled("biglambda_sentiment")
+        fragment = next(f for f in compilation.fragments if f.translated)
+        program = fragment.program
+        benchmark = get_benchmark("biglambda_sentiment")
+        inputs = benchmark.make_inputs(200, 7)
+        program.planner = ExecutionPlanner(
+            config=PlannerConfig(processes=4),
+            cost_model=program.cost_model,
+        )
+        program.planner.precompute(program.programs)
+        program.run(dict(inputs), plan="auto")
+        report = program.last_plan_report
+        assert report.calibration_skipped is None
+        assert set(report.estimated_seconds) == {"sequential", "multiprocess"}

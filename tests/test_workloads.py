@@ -67,7 +67,7 @@ class TestRegistry:
     def test_suite_counts(self):
         assert len(suite_benchmarks("ariths")) == 11
         assert len(suite_benchmarks("stats")) == 19
-        assert len(suite_benchmarks("biglambda")) == 8
+        assert len(suite_benchmarks("biglambda")) == 9
         assert len(suite_benchmarks("tpch")) == 4
 
     def test_lookup_by_name(self):
