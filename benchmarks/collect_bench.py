@@ -13,7 +13,12 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
 * **dag** — fused whole-program (``run_program``) vs unfused
   per-fragment execution on the multi-stage benchmarks: wall and
   simulated seconds per benchmark, the fusion decisions taken, and the
-  aggregate fusion speedups.
+  aggregate fusion speedups;
+* **spill** — out-of-core vs in-memory execution: wall clock for both
+  paths, the engine's peak-resident proxy against the memory budget,
+  spill-run counts, and whether results stayed byte-identical (they
+  must — the identity flag is recorded so a regression is visible in
+  the trajectory, and gated hard in benchmarks/test_spill_bench.py).
 
 The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
 recording the perf trajectory PR over PR.
@@ -29,9 +34,9 @@ import subprocess
 import sys
 import time
 
-from repro import SummaryCache, translate_many
+from repro import SummaryCache, last_graph_report, run_program, translate_many
 from repro.engine.multiprocess import default_process_count
-from repro.workloads import get_benchmark, suite_benchmarks, suites
+from repro.workloads import datagen, get_benchmark, suite_benchmarks, suites
 from repro.workloads.runner import (
     compile_benchmark,
     run_benchmark,
@@ -64,6 +69,13 @@ DAG_BENCHMARKS = [
     "iterative_logistic_regression",
 ]
 DAG_SIZE = 40_000
+
+#: Spill-vs-in-memory measurement: wordcount over a large_scale stream
+#: ≥10× the budget (mirrors benchmarks/test_spill_bench.py, which gates
+#: identity always and bounds the slowdown on ≥4 cores).
+SPILL_BENCHMARK = "phoenix_wordcount"
+SPILL_RECORDS = 60_000
+SPILL_BUDGET = 65_536
 
 
 def measure_compile() -> dict:
@@ -207,6 +219,59 @@ def measure_dag() -> dict:
     }
 
 
+def measure_spill() -> dict:
+    """Out-of-core vs in-memory execution, measured for real.
+
+    The peak-resident number is the engine's own sizeof-model proxy
+    (bytes held in shuffle buffers + merge groups), the same quantity
+    test_spill_bench bounds at 2× the budget.
+    """
+    benchmark = get_benchmark(SPILL_BENCHMARK)
+    compilation = compile_benchmark(benchmark)
+    source = datagen.large_scale(SPILL_RECORDS, seed=11, kind="words")
+    dataset_bytes = source.estimated_bytes()
+    records = source.materialize()
+    data_arg = benchmark.data_args[0]
+
+    started = time.perf_counter()
+    base = run_program(compilation, {data_arg: records}, plan="sequential")
+    base_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    spilled = run_program(
+        compilation,
+        {data_arg: source},
+        plan="auto",
+        memory_budget=SPILL_BUDGET,
+    )
+    spill_wall = time.perf_counter() - started
+
+    report = last_graph_report(compilation)
+    unit = next(iter(report.unit_reports.values()), None)
+    stats = (unit.spill_stats if unit is not None else None) or {}
+    return {
+        "benchmark": SPILL_BENCHMARK,
+        "records": SPILL_RECORDS,
+        "dataset_bytes": dataset_bytes,
+        "memory_budget": SPILL_BUDGET,
+        "results_identical": spilled == base,
+        "in_memory_wall_seconds": round(base_wall, 4),
+        "spill_wall_seconds": round(spill_wall, 4),
+        "spill_slowdown": (
+            round(spill_wall / base_wall, 2) if base_wall else None
+        ),
+        "peak_resident_bytes": stats.get("peak_resident_bytes"),
+        "peak_over_budget": (
+            round(stats["peak_resident_bytes"] / SPILL_BUDGET, 3)
+            if stats.get("peak_resident_bytes") is not None
+            else None
+        ),
+        "spill_runs": stats.get("spill_runs"),
+        "spilled_bytes": stats.get("spilled_bytes"),
+        "plan_reasons": list(unit.plan.reasons) if unit is not None else [],
+    }
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -244,6 +309,7 @@ def main(argv: list[str]) -> int:
         "suites": measure_suites(),
         "planner": measure_planner(),
         "dag": measure_dag(),
+        "spill": measure_spill(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -255,6 +321,13 @@ def main(argv: list[str]) -> int:
         "dag fusion speedup: "
         f"wall {payload['dag']['wall_speedup']}×, "
         f"simulated {payload['dag']['simulated_speedup']}×"
+    )
+    spill = payload["spill"]
+    print(
+        "spill: identical="
+        f"{spill['results_identical']}, slowdown "
+        f"{spill['spill_slowdown']}×, peak/budget "
+        f"{spill['peak_over_budget']}"
     )
     return 0
 

@@ -42,6 +42,13 @@ from .compiler import (
     translate_many,
 )
 from .engine.config import ClusterConfig, EngineConfig
+from .engine.source import (
+    Dataset,
+    GeneratorSource,
+    JsonlSource,
+    ListSource,
+    TextSource,
+)
 from .graph import GraphRunResult, JobGraph
 from .pipeline import PassPipeline, SummaryCache
 from .planner import (
@@ -54,25 +61,30 @@ from .planner import (
 )
 from .synthesis.search import SearchConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CasperCompiler",
     "ClusterConfig",
     "CompilationResult",
     "DagPlanner",
+    "Dataset",
     "EngineConfig",
     "ExecutionPlan",
     "ExecutionPlanner",
     "FragmentTranslation",
+    "GeneratorSource",
     "GraphPlanReport",
     "GraphRunResult",
     "JobGraph",
+    "JsonlSource",
+    "ListSource",
     "PassPipeline",
     "PlanReport",
     "PlannerConfig",
     "SearchConfig",
     "SummaryCache",
+    "TextSource",
     "last_graph_report",
     "last_plan_report",
     "run_program",

@@ -56,6 +56,9 @@ class ExecutionOutcome:
     wall_seconds: float = 0.0
     fallback_reason: Optional[str] = None
     processes_used: int = 1
+    #: Spill accounting from an out-of-core run; None when in-memory.
+    spill_stats: Optional[dict] = None
+    peak_resident_bytes: int = 0
 
 
 def prepare_globals(
@@ -83,14 +86,27 @@ def prepare_globals(
     return globals_env, output_sizes
 
 
-def view_records(view: DatasetView, inputs: dict[str, Any]) -> list[Any]:
+def view_records(view: DatasetView, inputs: dict[str, Any]) -> Any:
     """Raw records handed to the framework (sizes must be realistic).
 
     foreach → the item itself; array1d → (i, v...); array2d → (i, j, v).
+    A ``foreach`` input may be a :class:`~repro.engine.source.Dataset`
+    (streamed, never materialized here); the array views need random
+    access and reject streaming sources.
     """
+    from ..engine.source import Dataset
+
     if view.kind == "foreach":
         collection = inputs[view.sources[0]]
+        if isinstance(collection, Dataset):
+            return collection
         return sorted(collection) if isinstance(collection, set) else list(collection)
+    if any(isinstance(inputs.get(name), Dataset) for name in view.sources):
+        raise CodegenError(
+            f"streaming Dataset inputs require a foreach view; "
+            f"{view.kind!r} views need random access — materialize the "
+            "source to a list first"
+        )
     if view.kind == "array1d":
         arrays = [inputs[name] for name in view.sources]
         length = min(len(a) for a in arrays)
@@ -512,6 +528,8 @@ class GeneratedProgram:
             config=config,
             processes=processes,
             partitions=plan.partitions if plan is not None else None,
+            memory_budget=plan.memory_budget if plan is not None else None,
+            spill_dir=plan.spill_dir if plan is not None else None,
         )
         result = engine.run_pipeline(records, steps)
         outputs = bind_outputs(
@@ -523,6 +541,8 @@ class GeneratedProgram:
             wall_seconds=result.metrics.wall_seconds,
             fallback_reason=result.fallback_reason,
             processes_used=result.processes_used,
+            spill_stats=result.spill_stats,
+            peak_resident_bytes=result.peak_resident_bytes,
         )
 
 

@@ -23,6 +23,15 @@ from ..synthesis.search import VerifiedSummary
 from .base import ExecutionOutcome, GeneratedProgram, record_env, view_records
 
 
+def _record_count(records: Any) -> int:
+    """Record count for reporting; 0 when a stream's length is unknown."""
+    from ..engine.source import Dataset
+
+    if isinstance(records, Dataset):
+        return records.known_length or 0
+    return len(records)
+
+
 @dataclass
 class AdaptiveProgram:
     """The generated program with its monitor and implementations.
@@ -75,7 +84,8 @@ class AdaptiveProgram:
         self,
         inputs: dict[str, Any],
         plan: Optional[str] = None,
-        records: Optional[list] = None,
+        records: Optional[Any] = None,
+        memory_budget: Optional[int] = None,
     ) -> dict[str, Any]:
         """Sample, select, execute; returns the fragment outputs.
 
@@ -89,8 +99,17 @@ class AdaptiveProgram:
         ``records`` lets a caller that already materialized
         ``view_records(analysis.view, inputs)`` (the graph executor
         caches them across fragments sharing a dataset) pass them in
-        instead of paying the transformation again.
+        instead of paying the transformation again; it may also be a
+        :class:`~repro.engine.source.Dataset` streamed out of core.
+
+        ``memory_budget`` (bytes) engages memory-aware planning: the
+        planner weighs the input-size estimate against the budget and
+        the local engines spill the shuffle to disk when it cannot fit.
+        A budget with ``plan=None`` implies ``plan="auto"`` — the budget
+        only binds on the real local backends.
         """
+        if plan is None and memory_budget is not None:
+            plan = "auto"
         if records is None:
             records = view_records(self.analysis.view, inputs)
         sample = self.sample_elements(records)
@@ -104,7 +123,8 @@ class AdaptiveProgram:
             return outcome.outputs
 
         execution_plan, report = self.plan_execution(
-            plan, program, records, sample, globals_env
+            plan, program, records, sample, globals_env,
+            memory_budget=memory_budget,
         )
         report.implementation = chosen.name
         started = time.perf_counter()
@@ -128,6 +148,7 @@ class AdaptiveProgram:
             report.backend_used = "sequential"
         else:
             report.backend_used = execution_plan.backend
+        report.spill_stats = outcome.spill_stats
         self.last_outcome = outcome
         self.last_plan_report = report
         return outcome.outputs
@@ -136,17 +157,22 @@ class AdaptiveProgram:
         self,
         plan: str,
         program: GeneratedProgram,
-        records: list,
+        records: Any,
         sample: list[dict[str, Any]],
         globals_env: dict[str, Any],
+        memory_budget: Optional[int] = None,
     ) -> tuple[ExecutionPlan, PlanReport]:
         if plan != "auto":
-            forced = forced_plan(plan)
-            return forced, PlanReport(plan=forced, input_records=len(records))
+            forced = forced_plan(plan, memory_budget=memory_budget)
+            return forced, PlanReport(
+                plan=forced, input_records=_record_count(records)
+            )
         if self.planner is None:
             self.planner = ExecutionPlanner(cost_model=self.cost_model)
             self.planner.precompute(self.programs)
-        return self.planner.plan(program, records, sample, globals_env)
+        return self.planner.plan(
+            program, records, sample, globals_env, memory_budget=memory_budget
+        )
 
     @property
     def chosen_implementation(self) -> Optional[str]:
@@ -158,9 +184,16 @@ class AdaptiveProgram:
 
     # ------------------------------------------------------------------
 
-    def sample_elements(self, records: list) -> list[dict[str, Any]]:
+    def sample_elements(self, records: Any) -> list[dict[str, Any]]:
+        from ..engine.source import Dataset
+
         view = self.analysis.view
-        return [record_env(view, r) for r in records[: self.sample_size]]
+        head = (
+            records.head(self.sample_size)
+            if isinstance(records, Dataset)
+            else records[: self.sample_size]
+        )
+        return [record_env(view, r) for r in head]
 
     def _globals(self, inputs: dict[str, Any]) -> dict[str, Any]:
         from .base import prepare_globals

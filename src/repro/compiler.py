@@ -267,6 +267,7 @@ def run_translated(
     inputs: dict[str, Any],
     fragment_index: Optional[int] = None,
     plan: Optional[str] = None,
+    memory_budget: Optional[int] = None,
 ) -> dict[str, Any]:
     """Run one translated fragment of a compilation result.
 
@@ -280,9 +281,16 @@ def run_translated(
     (sequential vs the real multiprocess backend), and a backend name
     forces one.  After a planned run, :func:`last_plan_report` returns
     the planner's :class:`~repro.planner.plan.PlanReport`.
+
+    ``memory_budget`` (bytes) engages out-of-core execution on the real
+    local backends: when the planner's size estimate exceeds the budget
+    (or an input is a streaming :class:`~repro.engine.source.Dataset` of
+    unknown length), the engine scans in bounded chunks and spills the
+    shuffle to disk, keeping peak residency near the budget.  A budget
+    with ``plan=None`` implies ``plan="auto"``.
     """
     fragment = _pick_fragment(result, fragment_index)
-    return fragment.program.run(inputs, plan=plan)
+    return fragment.program.run(inputs, plan=plan, memory_budget=memory_budget)
 
 
 def run_program(
@@ -293,6 +301,7 @@ def run_program(
     fuse: bool = True,
     max_workers: Optional[int] = None,
     strict: bool = True,
+    memory_budget: Optional[int] = None,
 ) -> dict[str, Any]:
     """Run a whole compiled program as one dataflow-scheduled job graph.
 
@@ -311,6 +320,13 @@ def run_program(
     elimination; the default returns every materialized fragment
     output.  ``strict=False`` lets analyzed-but-untranslated fragments
     fall back to the reference interpreter instead of failing.
+
+    ``memory_budget`` (bytes) runs each unit out of core when its input
+    cannot fit: chunked scans, spill-to-disk shuffles, per-partition
+    merge-reduce — including the stage handoffs inside fused chains.
+    Inputs may be streaming :class:`~repro.engine.source.Dataset`
+    sources (``foreach`` views); a budget with ``plan=None`` implies
+    ``plan="auto"``.
 
     After a run, :func:`last_graph_report` returns the
     :class:`~repro.planner.dag.GraphPlanReport` evidence trail (waves,
@@ -337,6 +353,7 @@ def run_program(
         fuse=fuse,
         max_workers=max_workers,
         strict=strict,
+        memory_budget=memory_budget,
     )
     result.last_graph_run = run
     return run.outputs

@@ -1,0 +1,23 @@
+"""CPU availability detection honoring cgroup and affinity limits.
+
+``os.cpu_count()`` reports the *machine's* core count, which
+over-subscribes worker pools inside containers and CI runners that pin
+the process to a subset of cores.  ``os.sched_getaffinity(0)`` reflects
+the scheduler mask actually granted to this process, so every pool-size
+decision in the package (the multiprocess backend, the compilation
+scheduler, the planners) goes through :func:`available_cpu_count`.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def available_cpu_count() -> int:
+    """CPUs this process may actually run on (never less than 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        # Platforms without affinity masks (macOS, Windows) fall back to
+        # the machine-wide count.
+        return os.cpu_count() or 1

@@ -29,17 +29,30 @@ from .multiprocess import (
 )
 from .sequential import SequentialResult, run_sequential
 from .sizes import dataset_bytes, sizeof, sizeof_kind, sizeof_pair
+from .source import (
+    Dataset,
+    GeneratorSource,
+    JsonlSource,
+    ListSource,
+    TextSource,
+    as_dataset,
+)
+from .spill import SpillStats, SpillWriter, merge_partition, partition_of
 from .spark import Broadcast, SimRDD, SimSparkContext
 
 __all__ = [
     "Broadcast",
     "ClusterConfig",
+    "Dataset",
     "EngineConfig",
     "Executor",
     "FLINK",
     "FrameworkProfile",
+    "GeneratorSource",
     "HADOOP",
     "JobMetrics",
+    "JsonlSource",
+    "ListSource",
     "MULTIPROCESS",
     "MapStep",
     "MultiprocessEngine",
@@ -54,11 +67,17 @@ __all__ = [
     "SimHadoopPipeline",
     "SimRDD",
     "SimSparkContext",
+    "SpillStats",
+    "SpillWriter",
     "StageMetrics",
+    "TextSource",
+    "as_dataset",
     "dataset_bytes",
     "default_process_count",
     "lambda_cpu_ns",
+    "merge_partition",
     "partition_data",
+    "partition_of",
     "run_sequential",
     "sizeof",
     "sizeof_kind",

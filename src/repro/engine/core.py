@@ -22,9 +22,20 @@ from .sizes import sizeof, sizeof_pair
 
 
 def partition_data(data: list, partitions: int) -> list[list]:
-    """Split records into roughly equal partitions (block partitioning)."""
+    """Split records into roughly equal partitions (block partitioning).
+
+    Accepts a :class:`~repro.engine.source.Dataset` too (materialized
+    here): the simulated engines model a cluster whose aggregate memory
+    holds the data, so in-driver materialization is the faithful
+    semantics for them — only the real local engine streams
+    (``MultiprocessEngine`` with a ``memory_budget``).
+    """
+    from .source import Dataset
+
     if partitions <= 0:
         raise EngineError("partition count must be positive")
+    if isinstance(data, Dataset):
+        data = data.materialize()
     n = len(data)
     size = max(1, math.ceil(n / partitions)) if n else 1
     chunks = [data[i : i + size] for i in range(0, n, size)]

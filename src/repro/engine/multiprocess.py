@@ -14,24 +14,57 @@ reproduced exactly — only the work moves to other processes.  Closures
 are shipped to workers with plain :mod:`pickle`; payloads that cannot be
 pickled (e.g. a locally-defined lambda) trigger a transparent fallback
 to in-process execution, recorded as ``fallback_reason`` so callers (the
-planner's ``PlanReport``) can surface it.
+planner's ``PlanReport``) can surface it.  Only genuine pickling errors
+fall back — an exception raised *inside* a map or reduce callable in a
+worker always propagates to the caller.
+
+With a ``memory_budget`` the engine runs **out of core**: input arrives
+as bounded chunk streams (:mod:`repro.engine.source`), map output is
+hash-partitioned into budgeted spill buffers that flush to disk runs
+(:mod:`repro.engine.spill`; pool workers spill locally), and reduces
+merge one partition at a time — peak resident memory is O(budget +
+one partition) rather than O(input), while results stay byte-identical
+to the in-memory path.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
-from ..errors import EngineError
+from ..cpu import available_cpu_count
+from ..errors import EngineError, SpillError
 from .config import EngineConfig
 from .core import lambda_cpu_ns, partition_data
 from .metrics import JobMetrics
 from .sizes import sizeof, sizeof_pair
+from .source import Dataset, ListSource, as_dataset, chunk_records_for
+from .spill import (
+    SpillMapOut,
+    SpillStats,
+    SpillWriter,
+    cleanup_runs,
+    merge_partition,
+)
+
+#: Errors ``pickle.dumps`` itself raises for unpicklable payloads
+#: (RecursionError: a structure too deep to serialize).  Only these
+#: trigger the transparent in-process fallback — any other exception is
+#: a genuine bug in user code (or ours) and must propagate, never be
+#: silently swallowed as "unpicklable".
+_PICKLE_ERRORS = (
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    RecursionError,
+)
 
 
 @dataclass(frozen=True)
@@ -82,6 +115,13 @@ class MultiprocessResult:
     #: Why the engine executed in-process instead of across workers
     #: (``None`` when the pool actually ran).
     fallback_reason: Optional[str] = None
+    #: Whether the out-of-core streaming path executed this job.
+    spilled: bool = False
+    #: High-water mark of estimated resident bytes (streaming runs only).
+    peak_resident_bytes: int = 0
+    #: Spill accounting (:meth:`repro.engine.spill.SpillStats.as_dict`);
+    #: None for in-memory runs.
+    spill_stats: Optional[dict] = None
 
     @property
     def executed_parallel(self) -> bool:
@@ -175,12 +215,72 @@ def _reduce_task(payload: bytes) -> list[tuple]:
     return _fold_groups(fn, groups)
 
 
+def _run_spill_map(
+    map_fns: Sequence[Callable],
+    combiner: Optional[Callable[[Any, Any], Any]],
+    chunks: Iterable[list],
+    writer: SpillWriter,
+    account_bytes: bool,
+) -> SpillMapOut:
+    """Apply fused map stages chunkwise, spilling output through ``writer``.
+
+    The per-chunk work (map stages, then the optional combine) is the
+    same :func:`_run_map_chunks` the in-memory engine uses — per-chunk
+    combining groups records identically, so spilled results stay
+    byte-identical.  Emitted pairs go straight into the spill writer's
+    hash-partitioned, budget-bounded buffers instead of accumulating.
+    """
+    out = SpillMapOut(stage_counts=[[0, 0, 0] for _ in map_fns])
+    for chunk in chunks:
+        out.chunks += 1
+        out.input_records += len(chunk)
+        chunk_bytes = 0
+        if account_bytes:
+            chunk_bytes = sum(sizeof(r) for r in chunk)
+            out.input_bytes += chunk_bytes
+        mapped = _run_map_chunks(map_fns, combiner, [chunk], False, account_bytes)
+        out.merge_counts(mapped.stage_counts)
+        for key, value in mapped.chunk_pairs[0]:
+            writer.add(key, value)
+        # The in-flight chunk is resident alongside the shuffle buffers.
+        writer.stats.note_resident(writer.resident_bytes + chunk_bytes)
+    writer.finish()
+    out.run_files = writer.run_files
+    out.key_order = writer.key_order
+    out.outgoing_records = writer.pairs_in
+    out.shuffled_bytes = writer.bytes_in
+    out.stats = writer.stats
+    return out
+
+
+def _spill_map_task(payload: bytes) -> SpillMapOut:
+    """Pool entry point: one map task spilling locally to shared disk."""
+    (
+        map_fns,
+        combiner,
+        chunks,
+        spill_dir,
+        partitions,
+        budget,
+        task_id,
+        account_bytes,
+    ) = pickle.loads(payload)
+    writer = SpillWriter(spill_dir, partitions, budget, task_id=task_id)
+    return _run_spill_map(map_fns, combiner, chunks, writer, account_bytes)
+
+
+def _spill_reduce_task(payload: bytes) -> tuple[list[tuple], int]:
+    """Pool entry point: merge-reduce one partition's spill runs."""
+    fn, run_files = pickle.loads(payload)
+    stats = SpillStats()
+    pairs = merge_partition(run_files, fn, stats)
+    return pairs, stats.peak_resident_bytes
+
+
 def default_process_count() -> int:
-    """Worker processes available to the multiprocess backend."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # platforms without CPU affinity
-        return os.cpu_count() or 1
+    """Worker processes available to the multiprocess backend
+    (cgroup/affinity aware — see :func:`repro.cpu.available_cpu_count`)."""
+    return available_cpu_count()
 
 
 @dataclass
@@ -202,13 +302,32 @@ class MultiprocessEngine:
     min_parallel_records: int = 2048
     #: Compute byte volumes (sizeof per record) for simulated accounting.
     account_bytes: bool = True
+    #: Estimated bytes the shuffle may hold resident before spilling to
+    #: disk; None disables the out-of-core streaming path entirely.
+    memory_budget: Optional[int] = None
+    #: Where spill runs are written; None → a private temp directory,
+    #: removed when the job finishes.
+    spill_dir: Optional[str] = None
 
     def run_pipeline(
-        self, records: list, steps: Sequence[PipelineStep]
+        self, records: Union[list, Dataset], steps: Sequence[PipelineStep]
     ) -> MultiprocessResult:
-        """Run the stage list over the records; returns final pairs."""
+        """Run the stage list over the records; returns final pairs.
+
+        ``records`` may be a plain list or a
+        :class:`~repro.engine.source.Dataset`.  With a ``memory_budget``
+        the out-of-core streaming path executes: input is consumed in
+        bounded chunks and the shuffle spills to disk once the budget is
+        exceeded, so peak resident memory is O(budget) instead of O(n).
+        Without a budget, Dataset inputs are materialized and the
+        in-memory path runs unchanged.
+        """
         if not steps:
             raise EngineError("multiprocess pipeline needs at least one step")
+        if self.memory_budget is not None:
+            return self._run_streaming(as_dataset(records), list(steps))
+        if isinstance(records, Dataset):
+            records = records.materialize()
         metrics = JobMetrics()
         processes = (
             self.processes if self.processes is not None else default_process_count()
@@ -379,7 +498,10 @@ class MultiprocessEngine:
                 )
                 for lo, hi in bounds
             ]
-        except Exception as exc:  # PicklingError, TypeError, RecursionError…
+        except _PICKLE_ERRORS as exc:
+            # Only pickling failures fall back in-process; anything else
+            # raised while serializing (a buggy __reduce__/__getstate__
+            # in user code) is a real error and propagates.
             self._record_fallback(result, f"payload not picklable: {exc!r}")
             return None
 
@@ -464,7 +586,7 @@ class MultiprocessEngine:
                     pickle.dumps((reduce_step.fn, groups[lo:hi]))
                     for lo, hi in bounds
                 ]
-            except Exception:  # unpicklable reducer — fold in-process
+            except _PICKLE_ERRORS:  # unpicklable reducer — fold in-process
                 payloads = None
             if payloads is not None:
                 try:
@@ -497,18 +619,8 @@ class MultiprocessEngine:
 
     def _charge_scan(self, metrics: JobMetrics, records: list) -> None:
         stage = metrics.stage("scan")
-        stage.records_in = len(records)
-        stage.records_out = len(records)
-        if self.account_bytes:
-            total = sum(sizeof(r) for r in records)
-            stage.bytes_in = total
-            stage.bytes_out = total
-            cluster = self.config.cluster
-            seconds = (total * self.config.scale) / (
-                cluster.worker_disk_bw * cluster.workers
-            )
-            stage.seconds += seconds
-            metrics.add_seconds(seconds + self.config.framework.startup_s)
+        total = sum(sizeof(r) for r in records) if self.account_bytes else 0
+        self._charge_scan_totals(metrics, stage, len(records), total)
 
     def _charge_map_stages(
         self,
@@ -569,3 +681,522 @@ class MultiprocessEngine:
         metrics.add_seconds(
             (total * self.config.scale) / self.config.cluster.network_bw
         )
+
+    # ------------------------------------------------------------------
+    # Out-of-core streaming execution (spill-to-disk shuffle)
+
+    def _run_streaming(
+        self, dataset: Dataset, steps: list[PipelineStep]
+    ) -> MultiprocessResult:
+        """Execute the pipeline over bounded chunks with an external shuffle.
+
+        Input is consumed chunk by chunk (never fully materialized), map
+        output is hash-partitioned into budgeted spill buffers that
+        flush to disk runs, and each reduce merges one partition at a
+        time — peak resident memory is O(memory_budget + one partition)
+        instead of O(input).  Results are byte-identical to the
+        in-memory path: chunk layout reproduces ``partition_data``, runs
+        preserve arrival order, and the final pairs are restored to
+        global first-seen key order.
+        """
+        if self.memory_budget is None or self.memory_budget <= 0:
+            raise SpillError(
+                f"memory budget must be a positive byte count, "
+                f"got {self.memory_budget!r}"
+            )
+        metrics = JobMetrics()
+        processes = (
+            self.processes if self.processes is not None else default_process_count()
+        )
+        partitions = self.partitions or self.config.default_partitions
+        result = MultiprocessResult(pairs=[], metrics=metrics, spilled=True)
+        known = dataset.known_length
+        pool: Optional[ProcessPoolExecutor] = None
+        if processes <= 1:
+            result.fallback_reason = "single process requested"
+        elif known is not None and known < self.min_parallel_records:
+            result.fallback_reason = (
+                f"tiny input ({known} records < "
+                f"{self.min_parallel_records}): pool startup would dominate"
+            )
+        else:
+            pool = self._open_pool(processes)
+            if pool is None:
+                self._record_fallback(
+                    result, "worker pool could not start (process/semaphore limits)"
+                )
+        result.processes_used = processes if pool is not None else 1
+
+        spill_root = self._ensure_spill_dir()
+        stats = SpillStats(partitions=partitions)
+        started = time.perf_counter()
+        scan_stage = metrics.stage("scan")
+        try:
+            pairs = self._execute_stream(
+                dataset,
+                steps,
+                pool,
+                result,
+                stats,
+                spill_root,
+                partitions,
+                scan_stage,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            # The per-job run directory is always swept — on success,
+            # on a mid-job failure, and for broken-pool orphans alike.
+            shutil.rmtree(spill_root, ignore_errors=True)
+        metrics.add_wall_seconds(time.perf_counter() - started)
+        if self.account_bytes:
+            self._charge_collect(metrics, pairs)
+        result.pairs = pairs
+        result.peak_resident_bytes = stats.peak_resident_bytes
+        result.spill_stats = stats.as_dict()
+        return result
+
+    def _ensure_spill_dir(self) -> str:
+        """A private per-job run directory, removed when the job ends.
+
+        Even with a caller-provided ``spill_dir``, runs go into a fresh
+        subdirectory: concurrent jobs sharing the directory cannot
+        collide on run-file names, and sweeping the subdirectory cleans
+        up orphans from failed or broken-pool jobs without touching
+        anything else the caller keeps there.
+        """
+        if self.spill_dir is None:
+            try:
+                return tempfile.mkdtemp(prefix="repro-spill-")
+            except OSError as exc:
+                raise SpillError(
+                    f"cannot create a temporary spill directory: {exc}"
+                ) from exc
+        try:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            return tempfile.mkdtemp(prefix="job-", dir=self.spill_dir)
+        except OSError as exc:
+            raise SpillError(
+                f"spill directory {self.spill_dir!r} is not writable: {exc}"
+            ) from exc
+
+    def _execute_stream(
+        self,
+        dataset: Dataset,
+        steps: list[PipelineStep],
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stats: SpillStats,
+        spill_root: str,
+        partitions: int,
+        scan_stage,
+    ) -> list:
+        index = 0
+        stage_counter = 0
+        current: Dataset = dataset
+        pairs: list = []
+        scan_done = False
+        scan_records = 0
+        scan_bytes = 0
+        while index < len(steps):
+            step = steps[index]
+            if isinstance(step, BridgeStep):
+                index += 1
+                if not scan_done:
+                    # A chain starting with a bridge consumes the raw
+                    # input on the driver, like the in-memory path.
+                    pairs = current.materialize()
+                    scan_records = len(pairs)
+                    if self.account_bytes:
+                        scan_bytes = sum(sizeof(p) for p in pairs)
+                    scan_done = True
+                pairs = self._stream_bridge(pairs, step, result, stage_counter, stats)
+                current = ListSource(pairs)
+                stage_counter += 1
+                continue
+            map_fns: list[Callable] = []
+            complexities: list[int] = []
+            while index < len(steps) and isinstance(steps[index], MapStep):
+                map_fns.append(steps[index].fn)
+                complexities.append(steps[index].complexity)
+                index += 1
+            reduce_step: Optional[ReduceStep] = None
+            if index < len(steps):
+                nxt = steps[index]
+                if isinstance(nxt, ReduceStep):
+                    reduce_step = nxt
+                    index += 1
+                elif not isinstance(nxt, BridgeStep):
+                    raise EngineError(
+                        f"unknown pipeline step type {type(nxt).__name__!r}"
+                    )
+            if not map_fns and reduce_step is None:
+                continue  # a BridgeStep is next; handled at the loop top
+            pairs, segment = self._stream_segment(
+                current,
+                map_fns,
+                reduce_step,
+                pool,
+                result,
+                stats,
+                spill_root,
+                partitions,
+                stage_counter,
+                complexities,
+            )
+            if not scan_done:
+                scan_records = segment.input_records
+                scan_bytes = segment.input_bytes
+                scan_done = True
+            stage_counter += len(map_fns) + (1 if reduce_step is not None else 0)
+            current = ListSource(pairs)
+        self._charge_scan_totals(result.metrics, scan_stage, scan_records, scan_bytes)
+        return pairs
+
+    def _stream_segment(
+        self,
+        dataset: Dataset,
+        map_fns: list[Callable],
+        reduce_step: Optional[ReduceStep],
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stats: SpillStats,
+        spill_root: str,
+        partitions: int,
+        stage_offset: int,
+        complexities: list[int],
+    ) -> tuple[list, SpillMapOut]:
+        """One map*…reduce? segment of the pipeline, streamed."""
+        chunk_size = chunk_records_for(
+            dataset, partitions, budget_bytes=self.memory_budget
+        )
+        if reduce_step is None:
+            return self._stream_map_collect(
+                dataset,
+                map_fns,
+                chunk_size,
+                result.metrics,
+                stage_offset,
+                complexities,
+                stats,
+            )
+        combiner = reduce_step.fn if reduce_step.combine else None
+        started = time.perf_counter()
+        agg = self._stream_map_spill(
+            dataset,
+            map_fns,
+            combiner,
+            chunk_size,
+            pool,
+            result,
+            stats,
+            spill_root,
+            partitions,
+        )
+        map_elapsed = time.perf_counter() - started
+        self._charge_map_stages(
+            result.metrics,
+            agg,
+            max(1, agg.chunks),
+            stage_offset,
+            complexities,
+            map_elapsed,
+        )
+        started = time.perf_counter()
+        pairs = self._spill_reduce_phase(agg, reduce_step, pool, result, stats)
+        reduce_elapsed = time.perf_counter() - started
+        self._charge_spill_reduce(
+            result.metrics,
+            agg,
+            len(pairs),
+            stage_offset + len(map_fns),
+            reduce_elapsed,
+        )
+        return pairs, agg
+
+    def _stream_map_spill(
+        self,
+        dataset: Dataset,
+        map_fns: list[Callable],
+        combiner: Optional[Callable],
+        chunk_size: int,
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stats: SpillStats,
+        spill_root: str,
+        partitions: int,
+    ) -> SpillMapOut:
+        """Map + combine + hash-partitioned spill over the chunk stream.
+
+        With a pool, chunks are read in bounded rounds and each round's
+        task batches spill *locally in the workers* — only run-file
+        metadata returns to the driver.  Without one (or after a
+        fallback), one driver-side writer consumes the rest of the
+        stream.  Either way the per-partition run order equals chunk
+        order, which is what keeps reductions byte-identical.
+        """
+        budget = self.memory_budget or 0
+        agg = SpillMapOut(
+            stage_counts=[[0, 0, 0] for _ in map_fns],
+            run_files=[[] for _ in range(partitions)],
+        )
+        seen: set = set()
+
+        def absorb(out: SpillMapOut) -> None:
+            agg.merge_counts(out.stage_counts)
+            for partition, files in enumerate(out.run_files):
+                agg.run_files[partition].extend(files)
+            for key in out.key_order:
+                if key not in seen:
+                    seen.add(key)
+                    agg.key_order.append(key)
+            agg.outgoing_records += out.outgoing_records
+            agg.shuffled_bytes += out.shuffled_bytes
+            agg.chunks += out.chunks
+            agg.input_records += out.input_records
+            agg.input_bytes += out.input_bytes
+            agg.stats.merge(out.stats)
+            stats.merge(out.stats)
+
+        chunks: Iterator[list] = dataset.iter_chunks(chunk_size)
+        task_id = 0
+        if pool is not None:
+            probe_reason = self._probe_picklable((map_fns, combiner))
+            if probe_reason is not None:
+                self._record_fallback(result, probe_reason)
+                pool = None
+        if pool is not None:
+            tasks_per_round = max(1, result.processes_used) * 2
+            chunks_per_task = 2
+            pooled_ok = True
+            for round_chunks in _batched(chunks, chunks_per_task * tasks_per_round):
+                batches = [
+                    round_chunks[i : i + chunks_per_task]
+                    for i in range(0, len(round_chunks), chunks_per_task)
+                ]
+                payloads: Optional[list[bytes]] = None
+                try:
+                    payloads = [
+                        pickle.dumps(
+                            (
+                                map_fns,
+                                combiner,
+                                batch,
+                                spill_root,
+                                partitions,
+                                budget,
+                                task_id + offset,
+                                self.account_bytes,
+                            )
+                        )
+                        for offset, batch in enumerate(batches)
+                    ]
+                except _PICKLE_ERRORS as exc:
+                    self._record_fallback(
+                        result, f"payload not picklable: {exc!r}"
+                    )
+                outs: Optional[list[SpillMapOut]] = None
+                if payloads is not None:
+                    try:
+                        outs = list(pool.map(_spill_map_task, payloads))
+                    except BrokenProcessPool:
+                        self._record_fallback(result, "worker pool broke mid-job")
+                task_id += len(batches)  # ids consumed even when lost
+                if outs is None:
+                    # Re-run this round inline (fresh task id keeps its
+                    # run files distinct from any the lost tasks wrote —
+                    # unregistered orphans are ignored and swept with
+                    # the spill dir), then finish the stream inline.
+                    writer = SpillWriter(
+                        spill_root, partitions, budget, task_id=task_id
+                    )
+                    task_id += 1
+                    absorb(
+                        _run_spill_map(
+                            map_fns,
+                            combiner,
+                            round_chunks,
+                            writer,
+                            self.account_bytes,
+                        )
+                    )
+                    pooled_ok = False
+                    break
+                for out in outs:
+                    absorb(out)
+                # The whole round's chunks sat on the driver while its
+                # tasks ran — the pooled path's resident contribution.
+                stats.note_resident(sum(out.input_bytes for out in outs))
+                result.map_tasks += len(batches)
+            if pooled_ok:
+                return agg
+        writer = SpillWriter(spill_root, partitions, budget, task_id=task_id)
+        absorb(_run_spill_map(map_fns, combiner, chunks, writer, self.account_bytes))
+        return agg
+
+    def _spill_reduce_phase(
+        self,
+        agg: SpillMapOut,
+        reduce_step: ReduceStep,
+        pool: Optional[ProcessPoolExecutor],
+        result: MultiprocessResult,
+        stats: SpillStats,
+    ) -> list[tuple]:
+        """Merge-reduce partition by partition; restore global key order."""
+        parts = [(p, files) for p, files in enumerate(agg.run_files) if files]
+        folded: Optional[list[list[tuple]]] = None
+        if pool is not None and len(parts) > 1:
+            payloads: Optional[list[bytes]] = None
+            try:
+                payloads = [
+                    pickle.dumps((reduce_step.fn, files)) for _p, files in parts
+                ]
+            except _PICKLE_ERRORS:  # unpicklable reducer — merge inline
+                payloads = None
+            if payloads is not None:
+                try:
+                    outs = list(pool.map(_spill_reduce_task, payloads))
+                except BrokenProcessPool:
+                    self._record_fallback(result, "worker pool broke during reduce")
+                else:
+                    folded = []
+                    for bucket, peak in outs:
+                        stats.note_resident(peak)
+                        folded.append(bucket)
+        if folded is None:
+            folded = [
+                merge_partition(files, reduce_step.fn, stats)
+                for _p, files in parts
+            ]
+        cleanup_runs(agg.run_files)
+        rank = {key: order for order, key in enumerate(agg.key_order)}
+        pairs = [pair for bucket in folded for pair in bucket]
+        pairs.sort(key=lambda pair: rank[pair[0]])
+        if self.account_bytes:
+            stats.note_resident(sum(sizeof_pair(k, v) for k, v in pairs))
+        return pairs
+
+    def _stream_map_collect(
+        self,
+        dataset: Dataset,
+        map_fns: list[Callable],
+        chunk_size: int,
+        metrics: JobMetrics,
+        stage_offset: int,
+        complexities: list[int],
+        stats: SpillStats,
+    ) -> tuple[list, SpillMapOut]:
+        """A map-only tail segment: stream chunks, collect emitted pairs.
+
+        The output is the job's result, so it is materialized by
+        contract; peak memory is the output plus one chunk.
+        """
+        started = time.perf_counter()
+        agg = SpillMapOut(stage_counts=[[0, 0, 0] for _ in map_fns])
+        pairs: list = []
+        resident = 0
+        for chunk in dataset.iter_chunks(chunk_size):
+            agg.chunks += 1
+            agg.input_records += len(chunk)
+            chunk_bytes = 0
+            if self.account_bytes:
+                chunk_bytes = sum(sizeof(r) for r in chunk)
+                agg.input_bytes += chunk_bytes
+            mapped = _run_map_chunks(map_fns, None, [chunk], False, self.account_bytes)
+            agg.merge_counts(mapped.stage_counts)
+            out_chunk = mapped.chunk_pairs[0]
+            pairs.extend(out_chunk)
+            if self.account_bytes:
+                resident += sum(sizeof(p) for p in out_chunk)
+                stats.note_resident(resident + chunk_bytes)
+        agg.outgoing_records = len(pairs)
+        elapsed = time.perf_counter() - started
+        self._charge_map_stages(
+            metrics, agg, max(1, agg.chunks), stage_offset, complexities, elapsed
+        )
+        return pairs, agg
+
+    def _stream_bridge(
+        self,
+        pairs: list,
+        step: BridgeStep,
+        result: MultiprocessResult,
+        stage_index: int,
+        stats: SpillStats,
+    ) -> list:
+        """Driver-side fused handoff between streamed jobs."""
+        started = time.perf_counter()
+        records = step.fn(pairs)
+        elapsed = time.perf_counter() - started
+        metrics = result.metrics
+        stage = metrics.stage(f"{step.name}.{stage_index}")
+        stage.records_in = len(pairs)
+        stage.records_out = len(records)
+        stage.wall_seconds = elapsed
+        if self.account_bytes:
+            total = sum(sizeof(p) for p in pairs)
+            stage.bytes_in = total
+            seconds = (total * self.config.scale) / self.config.cluster.network_bw
+            stage.seconds += seconds
+            metrics.add_seconds(seconds)
+            stats.note_resident(total + sum(sizeof(r) for r in records))
+        return records
+
+    @staticmethod
+    def _probe_picklable(payload: Any) -> Optional[str]:
+        """None when ``payload`` pickles; else the fallback reason."""
+        try:
+            pickle.dumps(payload)
+        except _PICKLE_ERRORS as exc:
+            return f"payload not picklable: {exc!r}"
+        return None
+
+    def _charge_scan_totals(
+        self, metrics: JobMetrics, stage, records: int, total_bytes: int
+    ) -> None:
+        stage.records_in = records
+        stage.records_out = records
+        if self.account_bytes:
+            stage.bytes_in = total_bytes
+            stage.bytes_out = total_bytes
+            cluster = self.config.cluster
+            seconds = (total_bytes * self.config.scale) / (
+                cluster.worker_disk_bw * cluster.workers
+            )
+            stage.seconds += seconds
+            metrics.add_seconds(seconds + self.config.framework.startup_s)
+
+    def _charge_spill_reduce(
+        self,
+        metrics: JobMetrics,
+        agg: SpillMapOut,
+        records_out: int,
+        stage_index: int,
+        wall_elapsed: float,
+    ) -> None:
+        cluster = self.config.cluster
+        stage = metrics.stage(f"shuffle.reduce.{stage_index}")
+        stage.records_in = agg.outgoing_records
+        stage.records_out = records_out
+        stage.bytes_shuffled = agg.shuffled_bytes
+        stage.wall_seconds = wall_elapsed
+        scaled = agg.shuffled_bytes * self.config.scale
+        seconds = scaled / cluster.network_bw + cluster.shuffle_latency_s
+        seconds += 2 * scaled / (cluster.worker_disk_bw * cluster.workers)
+        # Spilled runs pay one extra write + read-back on local disk.
+        spilled_scaled = agg.stats.spilled_bytes * self.config.scale
+        seconds += 2 * spilled_scaled / (cluster.worker_disk_bw * cluster.workers)
+        stage.seconds += seconds
+        metrics.add_seconds(seconds)
+
+
+def _batched(iterator: Iterator[list], count: int) -> Iterator[list[list]]:
+    """Group an iterator's items into lists of at most ``count``."""
+    batch: list[list] = []
+    for item in iterator:
+        batch.append(item)
+        if len(batch) >= count:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -39,9 +39,13 @@ def sizeof(value: Any) -> int:
     if isinstance(value, Instance):
         return OBJECT_HEADER + sum(sizeof(v) for v in value.fields.values())
     if isinstance(value, (list, set)):
-        return TUPLE_HEADER + sum(sizeof(item) for item in value)
+        # Collections are full objects (like Instance), not bare tuples:
+        # charging them the 8-byte tuple header understated shuffle-byte
+        # accounting and the spill-trigger estimate relative to
+        # sizeof_kind, which already uses OBJECT_HEADER.
+        return OBJECT_HEADER + sum(sizeof(item) for item in value)
     if isinstance(value, dict):
-        return TUPLE_HEADER + sum(
+        return OBJECT_HEADER + sum(
             sizeof(k) + sizeof(v) for k, v in value.items()
         )
     return OBJECT_HEADER

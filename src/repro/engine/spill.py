@@ -1,0 +1,274 @@
+"""External (spill-to-disk) shuffle: bounded-memory grouping.
+
+Classic MapReduce runtimes scale past RAM by writing hash-partitioned
+map output to local disk and merge-reducing it partition by partition;
+this module gives the real local engine the same capability.
+
+A :class:`SpillWriter` (one per map task — "workers spill locally")
+buffers emitted ``(key, value)`` pairs per hash partition, estimating
+resident bytes with :func:`repro.engine.sizes.sizeof_pair`; the moment
+the buffer exceeds the configured memory budget, every non-empty
+partition buffer is flushed as one pickled *run* file.  Runs preserve
+arrival order, so a later per-partition merge (:func:`merge_partition`)
+that reads runs chronologically sees each key's values in exactly the
+order the in-memory engines would have grouped them — the ordered fold
+then produces identical results while peak memory stays O(budget) on
+the map side and O(partition) on the reduce side.
+
+Keys are routed with a *stable* hash (:func:`partition_of`): Python's
+builtin ``hash`` is salted per process for strings, which would scatter
+the same key to different partitions across pool workers.
+
+All failure modes raise the typed :class:`repro.errors.SpillError` —
+an unwritable spill directory, a corrupt run file discovered mid-merge,
+or a budget too small to buffer even one pair.  Partial results are
+never returned.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import SpillError
+from ..lang.values import Instance
+from .sizes import sizeof_pair
+
+
+def _stable_bytes(key: Any) -> bytes:
+    """A deterministic byte encoding of a shuffle key.
+
+    Covers every key type the emit grammar can produce (ints, floats,
+    bools, strings, tuples, model Instances); the encoding only needs to
+    be stable across processes, not canonical.
+    """
+    if isinstance(key, tuple):
+        return b"(" + b",".join(_stable_bytes(item) for item in key) + b")"
+    if isinstance(key, Instance):
+        inner = ",".join(
+            f"{name}:{_stable_bytes(value).decode('utf-8', 'replace')}"
+            for name, value in sorted(key.fields.items())
+        )
+        return f"I{key.class_name}{{{inner}}}".encode("utf-8")
+    if isinstance(key, bool):
+        return b"b1" if key else b"b0"
+    if isinstance(key, (int, float, str)) or key is None:
+        return f"{type(key).__name__}:{key!r}".encode("utf-8")
+    return repr(key).encode("utf-8")
+
+
+def partition_of(key: Any, partitions: int) -> int:
+    """Stable hash partition of a key (same in every worker process)."""
+    return zlib.crc32(_stable_bytes(key)) % max(1, partitions)
+
+
+@dataclass
+class SpillStats:
+    """Spill accounting, merged across tasks into the run's report."""
+
+    partitions: int = 0
+    spill_runs: int = 0
+    spilled_pairs: int = 0
+    #: Estimated (sizeof-model) bytes written to spill files.
+    spilled_bytes: int = 0
+    #: High-water mark of estimated resident bytes in shuffle buffers.
+    peak_resident_bytes: int = 0
+
+    def merge(self, other: "SpillStats") -> None:
+        self.partitions = max(self.partitions, other.partitions)
+        self.spill_runs += other.spill_runs
+        self.spilled_pairs += other.spilled_pairs
+        self.spilled_bytes += other.spilled_bytes
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, other.peak_resident_bytes
+        )
+
+    def note_resident(self, resident_bytes: int) -> None:
+        if resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = resident_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "partitions": self.partitions,
+            "spill_runs": self.spill_runs,
+            "spilled_pairs": self.spilled_pairs,
+            "spilled_bytes": self.spilled_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+        }
+
+
+class SpillWriter:
+    """Hash-partitions one map task's output into budgeted spill runs."""
+
+    def __init__(
+        self,
+        spill_dir: str,
+        partitions: int,
+        budget_bytes: int,
+        task_id: int = 0,
+    ):
+        if budget_bytes <= 0:
+            raise SpillError(
+                f"memory budget must be positive, got {budget_bytes}"
+            )
+        self.spill_dir = spill_dir
+        self.partitions = max(1, partitions)
+        self.budget_bytes = budget_bytes
+        self.task_id = task_id
+        self._buffers: list[list] = [[] for _ in range(self.partitions)]
+        #: Estimated bytes currently buffered per partition (accumulated
+        #: in :meth:`add`, where each pair's size is already in hand).
+        self._buffer_bytes: list[int] = [0] * self.partitions
+        self._resident = 0
+        self._run_index = 0
+        #: Per partition, run-file paths in chronological (spill) order.
+        self.run_files: list[list[str]] = [[] for _ in range(self.partitions)]
+        #: Keys in first-seen order within this task's input slice.
+        self.key_order: list = []
+        self._seen: set = set()
+        self.pairs_in = 0
+        self.bytes_in = 0
+        self.stats = SpillStats(partitions=self.partitions)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Estimated bytes currently buffered (pre-spill high water)."""
+        return self._resident
+
+    def add(self, key: Any, value: Any) -> None:
+        size = sizeof_pair(key, value)
+        if size > self.budget_bytes:
+            raise SpillError(
+                f"memory budget {self.budget_bytes} B is smaller than a "
+                f"single record ({size} B estimated) — cannot buffer even "
+                "one pair; raise the budget"
+            )
+        if key not in self._seen:
+            self._seen.add(key)
+            self.key_order.append(key)
+        partition = partition_of(key, self.partitions)
+        self._buffers[partition].append((key, value))
+        self._buffer_bytes[partition] += size
+        self._resident += size
+        self.pairs_in += 1
+        self.bytes_in += size
+        self.stats.note_resident(self._resident)
+        if self._resident > self.budget_bytes:
+            self.spill()
+
+    def spill(self) -> None:
+        """Flush every non-empty partition buffer as one run file each."""
+        wrote = False
+        for partition, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            path = os.path.join(
+                self.spill_dir,
+                f"p{partition:04d}-t{self.task_id:04d}-r{self._run_index:04d}.spill",
+            )
+            try:
+                with open(path, "wb") as handle:
+                    pickle.dump(buffer, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            except OSError as exc:
+                raise SpillError(
+                    f"cannot write spill run {path!r}: {exc}"
+                ) from exc
+            self.run_files[partition].append(path)
+            self.stats.spill_runs += 1
+            self.stats.spilled_pairs += len(buffer)
+            self.stats.spilled_bytes += self._buffer_bytes[partition]
+            self._buffers[partition] = []
+            self._buffer_bytes[partition] = 0
+            wrote = True
+        if wrote:
+            self._run_index += 1
+        self._resident = 0
+
+    def finish(self) -> None:
+        """Flush the residue so the merge phase reads files only."""
+        self.spill()
+
+
+def read_run(path: str) -> list[tuple]:
+    """Load one spill run; corruption raises the typed error."""
+    try:
+        with open(path, "rb") as handle:
+            pairs = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError) as exc:
+        raise SpillError(f"corrupt spill run {path!r}: {exc}") from exc
+    if not isinstance(pairs, list):
+        raise SpillError(
+            f"corrupt spill run {path!r}: expected a pair list, "
+            f"got {type(pairs).__name__}"
+        )
+    return pairs
+
+
+def merge_partition(
+    run_files: list[str],
+    reduce_fn: Callable[[Any, Any], Any],
+    stats: Optional[SpillStats] = None,
+) -> list[tuple]:
+    """Merge-reduce one partition: group runs in order, fold per key.
+
+    Reads this partition's runs chronologically, so each key's value
+    sequence matches the in-memory engines' grouping; the ordered fold
+    then yields identical reductions.  Output pairs come back in the
+    partition-local first-seen key order (the caller restores the global
+    order).  Peak memory is this one partition's grouped values.
+    """
+    grouped: dict[Any, list] = {}
+    resident = 0
+    for path in run_files:
+        for key, value in read_run(path):
+            grouped.setdefault(key, []).append(value)
+            resident += sizeof_pair(key, value)
+    if stats is not None:
+        stats.note_resident(resident)
+    out: list[tuple] = []
+    for key, values in grouped.items():
+        acc = values[0]
+        for value in values[1:]:
+            acc = reduce_fn(acc, value)
+        out.append((key, acc))
+    return out
+
+
+def cleanup_runs(run_files_per_partition: list[list[str]]) -> None:
+    """Best-effort removal of consumed run files."""
+    for paths in run_files_per_partition:
+        for path in paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
+@dataclass
+class SpillMapOut:
+    """What one spill-mode map task reports back to the driver.
+
+    The pairs themselves stay on disk; only metadata (run-file paths in
+    order, the task-local key order, and counters) crosses the process
+    boundary.
+    """
+
+    #: Per fused map stage: [records_in, records_out, bytes_out].
+    stage_counts: list[list[int]]
+    run_files: list[list[str]] = field(default_factory=list)
+    key_order: list = field(default_factory=list)
+    outgoing_records: int = 0
+    shuffled_bytes: int = 0
+    chunks: int = 0
+    input_records: int = 0
+    input_bytes: int = 0
+    stats: SpillStats = field(default_factory=SpillStats)
+
+    def merge_counts(self, stage_counts: list[list[int]]) -> None:
+        """Accumulate another task's per-stage [in, out, bytes] counters."""
+        for mine, theirs in zip(self.stage_counts, stage_counts):
+            for i in range(3):
+                mine[i] += theirs[i]

@@ -63,6 +63,12 @@ class EngineError(ReproError):
     """Raised by the simulated MapReduce execution engine."""
 
 
+class SpillError(EngineError):
+    """Raised by the out-of-core spill layer: unwritable spill
+    directories, corrupt spill files discovered mid-merge, or memory
+    budgets too small to buffer even a single record."""
+
+
 class CodegenError(ReproError):
     """Raised when code generation from a summary fails."""
 

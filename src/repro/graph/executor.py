@@ -130,6 +130,7 @@ def run_graph(
     max_workers: Optional[int] = None,
     strict: bool = True,
     planner_config: Optional[PlannerConfig] = None,
+    memory_budget: Optional[int] = None,
 ) -> GraphRunResult:
     """Execute a whole-program job graph over concrete inputs.
 
@@ -141,8 +142,18 @@ def run_graph(
     that cannot reach them.  ``strict=False`` lets analyzed-but-
     untranslated fragments fall back to the reference interpreter
     (recorded in the report) instead of failing the run.
+
+    ``memory_budget`` (bytes) engages memory-aware planning per unit:
+    inputs whose size estimate exceeds the budget (and streaming
+    ``Dataset`` inputs of unknown length) run out of core — chunked
+    scans, spill-to-disk shuffle, per-partition merge-reduce — with
+    stage handoffs inside fused chains streamed the same way.  Since the
+    budget only binds on the real local engines, a budget with
+    ``plan=None`` implies ``plan="auto"``.
     """
     started = time.perf_counter()
+    if plan is None and memory_budget is not None:
+        plan = "auto"
     if plan is not None and plan != "auto" and plan not in BACKENDS:
         # Same contract as forced_plan: a typo must fail loudly, not
         # silently degrade a fused chain to sequential.
@@ -180,14 +191,22 @@ def run_graph(
                 outcomes = list(
                     pool.map(
                         lambda unit: _run_unit(
-                            graph, unit, env, plan, cache, planner_config
+                            graph,
+                            unit,
+                            env,
+                            plan,
+                            cache,
+                            planner_config,
+                            memory_budget,
                         ),
                         units,
                     )
                 )
         else:
             outcomes = [
-                _run_unit(graph, unit, env, plan, cache, planner_config)
+                _run_unit(
+                    graph, unit, env, plan, cache, planner_config, memory_budget
+                )
                 for unit in units
             ]
         # Merge in unit order (= source order): a redefinition behaves
@@ -310,14 +329,24 @@ def _run_unit(
     plan: Optional[str],
     cache: _RecordsCache,
     planner_config: Optional[PlannerConfig],
+    memory_budget: Optional[int] = None,
 ) -> _UnitOutcome:
     outcome = _UnitOutcome(unit=unit)
     node = graph.nodes[unit.head]
     started = time.perf_counter()
     if unit.fused:
-        _run_chain(graph, unit, env, plan, cache, outcome, planner_config)
+        _run_chain(
+            graph,
+            unit,
+            env,
+            plan,
+            cache,
+            outcome,
+            planner_config,
+            memory_budget,
+        )
     elif node.translated:
-        _run_single(node, unit, env, plan, cache, outcome)
+        _run_single(node, unit, env, plan, cache, outcome, memory_budget)
     else:
         _run_interpreted(node, env, outcome)
     outcome.wall_seconds = time.perf_counter() - started
@@ -331,10 +360,13 @@ def _run_single(
     plan: Optional[str],
     cache: _RecordsCache,
     outcome: _UnitOutcome,
+    memory_budget: Optional[int] = None,
 ) -> None:
     program = node.program
     records = cache.get(node.analysis.view, env)
-    outcome.outputs = program.run(env, plan=plan, records=records)
+    outcome.outputs = program.run(
+        env, plan=plan, records=records, memory_budget=memory_budget
+    )
     if plan is not None and program.last_plan_report is not None:
         outcome.report = program.last_plan_report
     metrics = program.last_metrics
@@ -357,6 +389,7 @@ def _run_chain(
     cache: _RecordsCache,
     outcome: _UnitOutcome,
     planner_config: Optional[PlannerConfig],
+    memory_budget: Optional[int] = None,
 ) -> None:
     """Execute a fused chain as one engine invocation.
 
@@ -364,14 +397,24 @@ def _run_chain(
     stages, a bridge per link, consumer stages — so the intermediate
     dataset flows through partitioned memory instead of the §6.3
     rebuild-and-rescan glue.  Simulated accounting reflects that: one
-    scan, one job startup, driver-collect-priced bridges.
+    scan, one job startup, driver-collect-priced bridges.  Under a
+    memory budget the whole spliced pipeline streams: chunked scan,
+    spilled shuffles, and bridge handoffs re-chunked into the next
+    stage instead of re-materialized record lists.
     """
     head = graph.nodes[unit.head]
     chosen = head.program.programs[unit.impl_indexes[0]]
     globals_env, output_sizes = prepare_globals(head.analysis, env)
     records = cache.get(head.analysis.view, env)
     execution_plan, report = _chain_plan(
-        unit, head, chosen, records, globals_env, plan, planner_config
+        unit,
+        head,
+        chosen,
+        records,
+        globals_env,
+        plan,
+        planner_config,
+        memory_budget,
     )
     # The plan's per-stage combiner decisions index the head program's
     # stages, so only the head's steps honour them; downstream nodes
@@ -412,6 +455,12 @@ def _run_chain(
         partitions=(
             execution_plan.partitions if execution_plan is not None else None
         ),
+        memory_budget=(
+            execution_plan.memory_budget if execution_plan is not None else None
+        ),
+        spill_dir=(
+            execution_plan.spill_dir if execution_plan is not None else None
+        ),
     )
     result = engine.run_pipeline(records, steps)
     outputs = bind_outputs(
@@ -436,6 +485,7 @@ def _run_chain(
         else:
             report.backend_used = execution_plan.backend
         report.wall_seconds = result.metrics.wall_seconds
+        report.spill_stats = result.spill_stats
         outcome.report = report
 
 
@@ -443,10 +493,11 @@ def _chain_plan(
     unit: FusedChain,
     head: JobNode,
     chosen,
-    records: list,
+    records: Any,
     globals_env: dict[str, Any],
     plan: Optional[str],
     planner_config: Optional[PlannerConfig],
+    memory_budget: Optional[int] = None,
 ):
     """Resolve the execution plan for a fused chain.
 
@@ -473,7 +524,12 @@ def _chain_plan(
         head.program.planner.precompute(head.program.programs)
     sample = head.program.sample_elements(records)
     execution_plan, report = head.program.plan_execution(
-        effective, chosen, records, sample, globals_env
+        effective,
+        chosen,
+        records,
+        sample,
+        globals_env,
+        memory_budget=memory_budget,
     )
     if effective == "auto":
         report.implementation = f"impl_{unit.impl_indexes[0]}"

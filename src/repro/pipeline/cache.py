@@ -39,6 +39,21 @@ from ..verification.prover import proof_from_data, proof_to_data
 _DISK_FORMAT = 1
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a running process we must not race with."""
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except (OverflowError, OSError):
+        return False
+    return True
+
+
 def search_config_key(config: SearchConfig) -> str:
     """The part of the cache key contributed by search configuration.
 
@@ -110,6 +125,29 @@ class SummaryCache:
         default_factory=OrderedDict, repr=False
     )
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        # A crash between writing `{path}.tmp.{pid}` and the os.replace
+        # leaks the tmp file; left alone they accumulate forever in a
+        # long-lived cache dir, so each cache open sweeps the orphans.
+        if self.cache_dir is not None:
+            self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return  # directory not created yet — nothing to sweep
+        for name in names:
+            if ".tmp." not in name:
+                continue
+            pid_text = name.rsplit(".", 1)[-1]
+            if pid_text.isdigit() and _pid_alive(int(pid_text)):
+                continue  # a live writer may still be mid-write
+            try:
+                os.remove(os.path.join(self.cache_dir, name))
+            except OSError:
+                pass  # the disk tier stays best-effort
 
     # ------------------------------------------------------------------
 

@@ -11,11 +11,11 @@ fingerprint populates the entry the rest hit.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
+from ..cpu import available_cpu_count
 from ..lang.analysis.fragments import identify_fragments
 from .context import CompilationContext, FragmentState
 from .passes import (
@@ -28,8 +28,10 @@ from .passes import (
 
 
 def default_worker_count() -> int:
-    """Worker pool size: one per core, capped — synthesis is CPU-bound."""
-    return min(8, os.cpu_count() or 1)
+    """Worker pool size: one per *available* core (cgroup/affinity
+    aware — ``os.cpu_count()`` over-subscribes containers), capped —
+    synthesis is CPU-bound."""
+    return min(8, available_cpu_count())
 
 
 class PassPipeline:

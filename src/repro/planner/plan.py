@@ -42,6 +42,13 @@ class ExecutionPlan:
     #: Logical partitions; None → the engine's configured default.
     partitions: Optional[int] = None
     stages: tuple[StagePlan, ...] = ()
+    #: Shuffle memory budget in bytes for the out-of-core engine path;
+    #: None → fully in-memory execution.
+    memory_budget: Optional[int] = None
+    #: Whether the planner chose the external (spill-to-disk) shuffle.
+    spill: bool = False
+    #: Where spill runs go; None → a private temp directory per job.
+    spill_dir: Optional[str] = None
     #: Human-readable decision trail, in the order decisions were made.
     reasons: tuple[str, ...] = ()
 
@@ -58,6 +65,8 @@ class ExecutionPlan:
             parts.append(f"processes={self.processes}")
         if self.partitions is not None:
             parts.append(f"partitions={self.partitions}")
+        if self.spill:
+            parts.append(f"spill=on(budget={self.memory_budget})")
         for stage in self.stages:
             if stage.kind == "reduce":
                 parts.append(
@@ -89,6 +98,12 @@ class PlanReport:
     #: Why the measured λm/pickling probe did not run (single-CPU hosts
     #: skip it — the pool cannot win, so there is nothing to calibrate).
     calibration_skipped: Optional[str] = None
+    #: Estimated input bytes behind the spill decision (None when the
+    #: planner had no budget to weigh, or the source length is unknown).
+    estimated_input_bytes: Optional[int] = None
+    #: Post-run spill accounting (runs, spilled bytes, peak resident
+    #: estimate) from the engine; None for in-memory executions.
+    spill_stats: Optional[dict] = None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -97,6 +112,10 @@ class PlanReport:
             "backend_used": self.backend_used or self.plan.backend,
             "processes": self.plan.processes,
             "partitions": self.plan.partitions,
+            "memory_budget": self.plan.memory_budget,
+            "spill": self.plan.spill,
+            "estimated_input_bytes": self.estimated_input_bytes,
+            "spill_stats": self.spill_stats,
             "input_records": self.input_records,
             "estimated_seconds": {
                 name: round(value, 6)
@@ -111,15 +130,45 @@ class PlanReport:
         }
 
 
-def forced_plan(backend: str, stages: tuple[StagePlan, ...] = ()) -> ExecutionPlan:
-    """A plan that pins the backend because the caller asked for it."""
+def forced_plan(
+    backend: str,
+    stages: tuple[StagePlan, ...] = (),
+    memory_budget: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+) -> ExecutionPlan:
+    """A plan that pins the backend because the caller asked for it.
+
+    A ``memory_budget`` forces the out-of-core path on the real local
+    backends: the engine streams the input and spills the shuffle once
+    the budget is exceeded, regardless of the planner's size estimates.
+    """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS} or 'auto'"
         )
+    reasons = [f"backend {backend!r} forced by caller"]
+    # The budget only binds on the real local engines: a simulated
+    # cluster backend materializes everything in-memory, so claiming
+    # spill=True for it would put a spill that never happened into the
+    # report.
+    local = backend in ("sequential", "multiprocess")
+    if memory_budget is not None:
+        if local:
+            reasons.append(
+                f"spill on (memory budget {memory_budget} B forced by caller)"
+            )
+        else:
+            reasons.append(
+                f"memory budget {memory_budget} B ignored: simulated "
+                f"{backend!r} backend materializes in-memory"
+            )
+    spill = local and memory_budget is not None
     return ExecutionPlan(
         backend=backend,
         processes=0 if backend == "sequential" else None,
         stages=stages,
-        reasons=(f"backend {backend!r} forced by caller",),
+        memory_budget=memory_budget if spill else None,
+        spill=spill,
+        spill_dir=spill_dir,
+        reasons=tuple(reasons),
     )

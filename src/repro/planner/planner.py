@@ -43,6 +43,15 @@ if TYPE_CHECKING:
     from .plan import ExecutionPlan, PlanReport
 
 
+def _record_prefix(records: Any, k: int) -> list:
+    """The first ``k`` records of a list or Dataset, as a list."""
+    from ..engine.source import Dataset
+
+    if isinstance(records, Dataset):
+        return records.head(k)
+    return list(records[:k])
+
+
 @dataclass
 class PlannerConfig:
     """Knobs of the execution planner."""
@@ -59,6 +68,12 @@ class PlannerConfig:
     pool_startup_s: float = 0.04
     #: Distinct-key ratio above which map-side combining is pointless.
     combiner_key_ratio_cutoff: float = 0.95
+    #: Shuffle memory budget in bytes; when the size estimate exceeds it
+    #: (or the source length is unknown) the planner chooses the
+    #: external spill shuffle.  None → always in-memory.
+    memory_budget: Optional[int] = None
+    #: Spill-run directory; None → a private temp directory per job.
+    spill_dir: Optional[str] = None
 
 
 @dataclass
@@ -104,15 +119,29 @@ class ExecutionPlanner:
     def plan(
         self,
         program: "GeneratedProgram",
-        records: list,
+        records: Any,
         sample: list[dict[str, Any]],
         globals_env: dict[str, Any],
+        memory_budget: Optional[int] = None,
     ) -> tuple["ExecutionPlan", "PlanReport"]:
-        """Decide how to execute ``program`` over ``records``."""
+        """Decide how to execute ``program`` over ``records``.
+
+        ``records`` is a list or a :class:`~repro.engine.source.Dataset`
+        (whose length may be unknown — streaming sources are planned as
+        "assume large").  ``memory_budget`` overrides the configured one
+        for this run; with a budget in play the planner weighs the cost
+        model's input-size estimate against it and chooses the external
+        spill shuffle when the data cannot fit.
+        """
+        from ..engine.source import Dataset
         from .plan import ExecutionPlan, PlanReport
 
         reasons: list[str] = []
-        n = len(records)
+        n: Optional[int] = (
+            records.known_length
+            if isinstance(records, Dataset)
+            else len(records)
+        )
         processes = (
             self.config.processes
             if self.config.processes is not None
@@ -122,6 +151,7 @@ class ExecutionPlanner:
         stages = self._stage_plans(program, estimates, reasons)
 
         calibration_skipped: Optional[str] = None
+        seq_s = mp_s = 0.0
         if processes < 2:
             # On a single-CPU host the pool can never win, so timing the
             # job's own λm on a calibration prefix (and pickling a record
@@ -131,9 +161,17 @@ class ExecutionPlanner:
                 "the multiprocess pool cannot win"
             )
             estimated: dict[str, float] = {}
+        elif n is None:
+            # Without a record count there is nothing to extrapolate the
+            # per-record measurement over.
+            calibration_skipped = (
+                "λm calibration skipped: source length unknown "
+                "(streaming input)"
+            )
+            estimated = {}
         else:
             per_record_s = self._calibrate(program, records, globals_env)
-            pickle_s = self._pickle_seconds(records)
+            pickle_s = self._pickle_seconds(records, n)
             seq_s = per_record_s * n
             mp_s = (
                 seq_s / max(1, processes)
@@ -147,14 +185,20 @@ class ExecutionPlanner:
             backend = "sequential"
             reasons.append(f"only {processes} CPU(s) available")
             reasons.append(calibration_skipped)
+        elif self.static_unpicklable is not None:
+            backend = "sequential"
+            reasons.append(self.static_unpicklable)
+        elif n is None:
+            reasons.append(
+                "unknown-length streaming source: assuming large input, "
+                "pool engaged"
+            )
+            reasons.append(calibration_skipped)
         elif n < self.config.min_parallel_records:
             backend = "sequential"
             reasons.append(
                 f"tiny input ({n} < {self.config.min_parallel_records} records)"
             )
-        elif self.static_unpicklable is not None:
-            backend = "sequential"
-            reasons.append(self.static_unpicklable)
         elif seq_s < mp_s * self.config.parallel_margin:
             backend = "sequential"
             reasons.append(
@@ -167,28 +211,81 @@ class ExecutionPlanner:
                 f"across {processes} processes"
             )
 
+        budget = (
+            memory_budget
+            if memory_budget is not None
+            else self.config.memory_budget
+        )
+        spill, est_bytes = self._spill_decision(records, n, budget, reasons)
         partitions = self._partitions(program, stages, processes, reasons)
         plan = ExecutionPlan(
             backend=backend,
             processes=0 if backend == "sequential" else processes,
             partitions=partitions,
             stages=tuple(stages),
+            memory_budget=budget if spill else None,
+            spill=spill,
+            spill_dir=self.config.spill_dir,
             reasons=tuple(reasons),
         )
         cluster = self._cluster_ranking(
-            program, estimates.as_dict(), n, program.engine_config
+            program, estimates.as_dict(), n or 0, program.engine_config
         )
         report = PlanReport(
             plan=plan,
-            input_records=n,
+            input_records=n or 0,
             estimated_seconds=estimated,
             cluster_seconds=cluster,
             cluster_recommendation=(
                 min(cluster, key=cluster.get) if cluster else None
             ),
             calibration_skipped=calibration_skipped,
+            estimated_input_bytes=est_bytes,
         )
         return plan, report
+
+    def _spill_decision(
+        self,
+        records: Any,
+        n: Optional[int],
+        budget: Optional[int],
+        reasons: list[str],
+    ) -> tuple[bool, Optional[int]]:
+        """Spill vs in-memory, from the size estimates (§5 byte counts)."""
+        if budget is None:
+            return False, None
+        est_bytes = self._estimate_input_bytes(records, n)
+        if est_bytes is None:
+            reasons.append(
+                f"unknown-length source with memory budget {budget} B — "
+                "streaming with the external spill shuffle"
+            )
+            return True, None
+        if est_bytes > budget:
+            reasons.append(
+                f"estimated input {est_bytes} B exceeds memory budget "
+                f"{budget} B — external spill shuffle keeps residency "
+                "O(budget)"
+            )
+            return True, est_bytes
+        reasons.append(
+            f"estimated input {est_bytes} B fits memory budget {budget} B "
+            "— in-memory shuffle"
+        )
+        return False, est_bytes
+
+    @staticmethod
+    def _estimate_input_bytes(records: Any, n: Optional[int]) -> Optional[int]:
+        from ..engine.sizes import sizeof
+        from ..engine.source import Dataset
+
+        if isinstance(records, Dataset):
+            return records.estimated_bytes()
+        if n is None or n == 0:
+            return 0 if n == 0 else None
+        sample = records[:64]
+        per_record = sum(sizeof(r) for r in sample) / len(sample)
+        return int(per_record * n)
 
     # ------------------------------------------------------------------
 
@@ -241,32 +338,32 @@ class ExecutionPlanner:
         )
         return partitions
 
-    def _calibrate(self, program, records: list, globals_env: dict) -> float:
+    def _calibrate(self, program, records: Any, globals_env: dict) -> float:
         """Measure the job's own first map stage on a record prefix."""
         from ..codegen.base import _emit_fn
 
         stages = program.summary.pipeline.stages
         first = stages[0] if stages else None
-        if not isinstance(first, MapStage) or not records:
+        prefix = _record_prefix(records, self.config.calibration_records)
+        if not isinstance(first, MapStage) or not prefix:
             return 0.0
         fn = _emit_fn(first.lam.emits, globals_env, program.analysis.view)
-        k = min(len(records), self.config.calibration_records)
         started = time.perf_counter()
-        for record in records[:k]:
+        for record in prefix:
             fn(record)
-        return (time.perf_counter() - started) / k
+        return (time.perf_counter() - started) / len(prefix)
 
-    def _pickle_seconds(self, records: list) -> float:
+    def _pickle_seconds(self, records: Any, n: int) -> float:
         """Estimate driver-side serialization cost for the whole input."""
-        k = min(len(records), self.config.calibration_records)
-        if k == 0:
+        prefix = _record_prefix(records, self.config.calibration_records)
+        if not prefix:
             return 0.0
         started = time.perf_counter()
         try:
-            pickle.dumps(records[:k])
+            pickle.dumps(prefix)
         except Exception:
             return float("inf")  # unpicklable records → pool impossible
-        return (time.perf_counter() - started) * (len(records) / k)
+        return (time.perf_counter() - started) * (n / len(prefix))
 
     def _cluster_ranking(
         self,

@@ -266,3 +266,71 @@ def zipf_sample(n: int, alpha: float, universe: int, seed: int = 0) -> list[int]
     total = sum(weights)
     weights = [w / total for w in weights]
     return rng.choices(range(universe), weights=weights, k=n)
+
+
+# ----------------------------------------------------------------------
+# Large-scale mode: streaming datasets for out-of-core execution
+
+#: Record kinds :func:`large_scale` can stream.
+LARGE_SCALE_KINDS = ("words", "ints", "pageviews")
+
+
+def large_scale(
+    n: int,
+    seed: int = 0,
+    kind: str = "words",
+    known_length: bool = True,
+    batch: int = 4096,
+):
+    """A bounded-memory streaming dataset standing in for huge inputs.
+
+    Unlike the list generators above, this returns a
+    :class:`~repro.engine.source.GeneratorSource` that produces its ``n``
+    records lazily (in ``batch``-sized draws from a seeded RNG) and can
+    replay the identical sequence on every pass — so a dataset many
+    times larger than the engine's memory budget can flow through the
+    spill-to-disk shuffle without ever being materialized.
+    ``known_length=False`` hides the length, exercising the planner's
+    unknown-size ("assume large") path.
+    """
+    from ..engine.source import GeneratorSource
+
+    if n < 0:
+        raise WorkloadError("record count must be non-negative")
+    if kind not in LARGE_SCALE_KINDS:
+        raise WorkloadError(
+            f"unknown large_scale kind {kind!r}; expected one of "
+            f"{LARGE_SCALE_KINDS}"
+        )
+
+    def stream():
+        rng = rng_for(seed)
+        if kind == "words":
+            weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(WORD_POOL))]
+            total = sum(weights)
+            weights = [w / total for w in weights]
+            remaining = n
+            while remaining > 0:
+                k = min(batch, remaining)
+                yield from rng.choices(WORD_POOL, weights=weights, k=k)
+                remaining -= k
+        elif kind == "ints":
+            for _ in range(n):
+                yield rng.randint(0, 255)
+        else:  # pageviews
+            titles = [f"Page_{i}" for i in range(40)]
+            weights = [1.0 / (i + 1) for i in range(40)]
+            total = sum(weights)
+            weights = [w / total for w in weights]
+            remaining = n
+            while remaining > 0:
+                k = min(batch, remaining)
+                chosen = rng.choices(titles, weights=weights, k=k)
+                for title in chosen:
+                    yield Instance(
+                        "LogEntry",
+                        {"title": title, "views": rng.randint(1, 500)},
+                    )
+                remaining -= k
+
+    return GeneratorSource(stream, length=n if known_length else None)

@@ -1,0 +1,50 @@
+"""Affinity-aware CPU detection (containers/CI pin processes to cores)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.cpu import available_cpu_count
+from repro.engine.multiprocess import default_process_count
+from repro.pipeline.scheduler import default_worker_count
+
+
+class TestAvailableCpuCount:
+    def test_positive_on_this_host(self):
+        assert available_cpu_count() >= 1
+
+    def test_honors_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        assert available_cpu_count() == 3
+
+    def test_affinity_narrower_than_cpu_count_wins(self, monkeypatch):
+        # The cgroup/affinity mask must take precedence over the
+        # machine-wide count — this is the container over-subscription
+        # bug: os.cpu_count() says 64, the runner granted 2.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpu_count() == 2
+
+    def test_falls_back_without_affinity_support(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity")
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert available_cpu_count() == 6
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpu_count() == 1
+
+
+class TestConsumers:
+    def test_engine_process_count_uses_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2, 3})
+        monkeypatch.setattr(os, "cpu_count", lambda: 128)
+        assert default_process_count() == 4
+
+    def test_scheduler_worker_count_uses_affinity_and_cap(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        monkeypatch.setattr(os, "cpu_count", lambda: 128)
+        assert default_worker_count() == 2
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(32)))
+        assert default_worker_count() == 8  # synthesis cap stays

@@ -35,6 +35,19 @@ class TestSizes:
         p = Instance("P", {"x": 1, "y": 2.0})
         assert sizeof(p) == 16 + 4 + 8
 
+    def test_collections_use_object_header(self):
+        # Collections are objects like Instance (16 B header), not bare
+        # tuples (8 B) — charging them the tuple header understated the
+        # shuffle-byte accounting and the spill-trigger estimate.
+        from repro.engine.sizes import OBJECT_HEADER
+
+        assert OBJECT_HEADER == 16
+        assert sizeof([True, False]) == OBJECT_HEADER + 20 == 36
+        assert sizeof({1, 2}) == OBJECT_HEADER + 8 == 24
+        assert sizeof({"k": 1}) == OBJECT_HEADER + 40 + 4 == 60
+        # Tuples keep the paper's 8-byte header (§7.4: (bool, bool) = 28).
+        assert sizeof((True, False)) == 28
+
 
 class TestPartitioning:
     def test_even_partitioning(self):

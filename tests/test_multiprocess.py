@@ -156,6 +156,48 @@ class TestFallbacks:
                 list(range(10)), [MapStep(Boom())]
             )
 
+    def test_pooled_worker_exception_propagates(self):
+        """Regression: a bug inside a kernel running in a pool worker must
+        reach the caller — never be mistaken for an unpicklable payload
+        and silently retried in-process."""
+
+        class Boom:  # picklable, so it genuinely ships to a worker
+            def __call__(self, record):
+                raise ValueError("boom in worker")
+
+        engine = MultiprocessEngine(processes=2, min_parallel_records=100)
+        with pytest.raises(ValueError, match="boom in worker"):
+            engine.run_pipeline(list(range(4000)), [MapStep(Boom())])
+
+    def test_pooled_reducer_exception_propagates(self):
+        class BoomReduce:
+            def __call__(self, a, b):
+                raise RuntimeError("boom in reducer")
+
+        engine = MultiprocessEngine(processes=2, min_parallel_records=100)
+        with pytest.raises(RuntimeError, match="boom in reducer"):
+            engine.run_pipeline(
+                list(range(4000)),
+                [MapStep(KeyedEmit(8)), ReduceStep(BoomReduce(), combine=False)],
+            )
+
+    def test_buggy_serialization_hook_propagates(self):
+        """Regression: pickle.dumps used to be wrapped in a blanket
+        ``except Exception`` — a __reduce__ raising a *real* error was
+        swallowed as "payload not picklable" and the job silently fell
+        back in-process.  Only pickling errors may trigger the fallback."""
+
+        class EvilPickle:
+            def __call__(self, record):
+                return [(record % 2, record)]
+
+            def __reduce__(self):
+                raise ValueError("buggy serialization hook")
+
+        engine = MultiprocessEngine(processes=2, min_parallel_records=100)
+        with pytest.raises(ValueError, match="buggy serialization hook"):
+            engine.run_pipeline(list(range(4000)), [MapStep(EvilPickle())])
+
 
 class TestMetrics:
     def test_wall_and_simulated_seconds_recorded(self):

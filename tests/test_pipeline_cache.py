@@ -257,6 +257,39 @@ class TestSummaryCache:
         assert result.translated == 1  # falls back to a clean search
         assert result.cache_hits == 0
 
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        # A crash between writing {path}.tmp.{pid} and os.replace leaks
+        # the tmp file; opening a cache over the directory must sweep
+        # orphans whose writer process is gone.
+        import subprocess
+        import sys
+
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()  # a pid guaranteed dead (and reaped)
+        orphan = tmp_path / f"entry.json.tmp.{probe.pid}"
+        orphan.write_text("{partial", encoding="utf-8")
+        unparsable = tmp_path / "entry.json.tmp.garbage"
+        unparsable.write_text("{partial", encoding="utf-8")
+        keeper = tmp_path / "entry.json"
+        keeper.write_text("{}", encoding="utf-8")
+        SummaryCache(cache_dir=str(tmp_path))
+        assert not orphan.exists()
+        assert not unparsable.exists()
+        assert keeper.exists()
+
+    def test_live_writer_tmp_file_not_swept(self, tmp_path):
+        import os as _os
+
+        mine = tmp_path / f"entry.json.tmp.{_os.getpid()}"
+        mine.write_text("{mid-write", encoding="utf-8")
+        SummaryCache(cache_dir=str(tmp_path))
+        assert mine.exists()  # this process may still be mid-write
+        mine.unlink()
+
+    def test_open_on_missing_cache_dir_is_fine(self, tmp_path):
+        cache = SummaryCache(cache_dir=str(tmp_path / "not-created-yet"))
+        assert len(cache) == 0
+
     def test_untranslatable_fragment_not_cached(self):
         cache = SummaryCache()
         source = """

@@ -187,6 +187,132 @@ class TestForcedPlans:
             assert report.backend_used == "multiprocess"
 
 
+FAULTY_KERNEL_SOURCE = """
+int sumInverse(int[] data, int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) total += 1000 / data[i];
+  return total;
+}
+"""
+
+
+class TestWorkerExceptionPropagation:
+    def test_translated_kernel_fault_propagates_from_pool(self):
+        """Regression: an exception raised inside a translated kernel on a
+        pool worker must reach the caller — the engine used to be able to
+        mistake submission-time failures for unpicklable payloads and
+        quietly re-run in-process."""
+        from repro.errors import IRError
+        from repro.planner.plan import ExecutionPlan
+
+        result = translate(FAULTY_KERNEL_SOURCE)
+        fragment = result.fragments[0]
+        assert fragment.translated
+        data = [1] * 4000
+        data[1234] = 0  # the kernel divides by this record
+        program = fragment.program.programs[0]
+        plan = ExecutionPlan(backend="multiprocess", processes=2)
+        with pytest.raises(IRError, match="division by zero"):
+            program.run(
+                {"data": data, "n": len(data)},
+                backend="multiprocess",
+                plan=plan,
+            )
+
+    def test_translated_kernel_fault_propagates_via_run_translated(self):
+        result = translate(FAULTY_KERNEL_SOURCE)
+        from repro.errors import IRError
+
+        data = [1] * 3000
+        data[7] = 0
+        with pytest.raises(IRError, match="division by zero"):
+            run_translated(
+                result,
+                {"data": data, "n": len(data)},
+                plan="multiprocess",
+            )
+
+
+class TestMemoryAwarePlanning:
+    def test_budget_forces_spill_when_input_exceeds_it(self, wc_result):
+        outputs = run_translated(
+            wc_result, {"words": list(WORDS)}, plan="sequential"
+        )
+        spilled = run_translated(
+            wc_result,
+            {"words": list(WORDS)},
+            plan="sequential",
+            memory_budget=2048,
+        )
+        assert spilled == outputs
+        report = last_plan_report(wc_result)
+        assert report.plan.spill
+        assert report.plan.memory_budget == 2048
+        assert report.spill_stats is not None
+        assert report.spill_stats["spill_runs"] > 0
+        summary = report.summary()
+        assert summary["spill"] is True
+        assert summary["memory_budget"] == 2048
+
+    def test_budget_alone_implies_auto_plan(self, wc_result):
+        baseline = run_translated(
+            wc_result, {"words": list(WORDS)}, plan="sequential"
+        )
+        outputs = run_translated(
+            wc_result, {"words": list(WORDS)}, memory_budget=2048
+        )
+        assert outputs == baseline
+        report = last_plan_report(wc_result)
+        assert report.plan.spill
+        assert any("spill" in r for r in report.plan.reasons)
+        assert report.estimated_input_bytes is not None
+        assert report.estimated_input_bytes > 2048
+
+    def test_ample_budget_stays_in_memory(self, wc_result):
+        run_translated(
+            wc_result,
+            {"words": list(WORDS)},
+            memory_budget=1 << 30,
+        )
+        report = last_plan_report(wc_result)
+        assert not report.plan.spill
+        assert report.plan.memory_budget is None
+        assert report.spill_stats is None
+        assert any("fits memory budget" in r for r in report.plan.reasons)
+
+    def test_simulated_backend_ignores_budget_honestly(self, wc_result):
+        # A forced simulated backend materializes in-memory; the plan
+        # must not claim a spill that never happened.
+        baseline = run_translated(
+            wc_result, {"words": list(WORDS)}, plan="sequential"
+        )
+        outputs = run_translated(
+            wc_result, {"words": list(WORDS)}, plan="spark", memory_budget=1024
+        )
+        assert outputs == baseline
+        report = last_plan_report(wc_result)
+        assert not report.plan.spill
+        assert report.plan.memory_budget is None
+        assert any("ignored" in r for r in report.plan.reasons)
+
+    def test_streaming_dataset_input_plans_spill(self, wc_result):
+        from repro.engine.source import GeneratorSource
+
+        words = list(WORDS)
+        baseline = run_translated(
+            wc_result, {"words": list(WORDS)}, plan="sequential"
+        )
+        outputs = run_translated(
+            wc_result,
+            {"words": GeneratorSource(lambda: iter(words))},
+            memory_budget=2048,
+        )
+        assert outputs == baseline
+        report = last_plan_report(wc_result)
+        assert report.plan.spill
+        assert any("unknown-length" in r for r in report.plan.reasons)
+
+
 class TestRunnerIntegration:
     def test_run_benchmark_surfaces_plan_reports(self):
         from repro.workloads import get_benchmark
