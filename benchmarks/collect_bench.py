@@ -51,6 +51,7 @@ RUN_SIZE_BY_SUITE = {
     "biglambda": 3000,
     "fiji": 3000,
     "iterative": 2500,
+    "joins": 800,
     "phoenix": 4000,
     "stats": 5000,
     "tpch": 2500,
@@ -76,6 +77,21 @@ DAG_SIZE = 40_000
 SPILL_BENCHMARK = "phoenix_wordcount"
 SPILL_RECORDS = 60_000
 SPILL_BUDGET = 65_536
+
+#: Translated-join measurement (mirrors tests/test_joins.py): each
+#: benchmark runs broadcast and reduce-side (budget pinned below the
+#: small side) and the ordering decision is captured for the star joins.
+JOIN_BENCHMARKS = (
+    "joins_partsupp_cost",
+    "joins_q3_revenue",
+    "joins_three_way_cost",
+)
+JOIN_SIZE = 20_000
+#: Interpreter-verification size: the reference interpreter walks the
+#: whole nest (O(n·√n)+), so correctness is checked at a smaller size
+#: and the two physical strategies cross-check each other at JOIN_SIZE.
+JOIN_VERIFY_SIZE = 2_000
+JOIN_REDUCE_BUDGET = 512
 
 
 def measure_compile() -> dict:
@@ -272,6 +288,77 @@ def measure_spill() -> dict:
     }
 
 
+def measure_join() -> dict:
+    """Translated joins: reduce-side vs broadcast, ordering decisions.
+
+    For each join benchmark: wall time of a broadcast run and a
+    reduce-side-forced run (budget pinned below the small side) at
+    JOIN_SIZE, results verified against the reference interpreter at
+    JOIN_VERIFY_SIZE (the interpreter's nested scans are super-linear)
+    with the two strategies cross-checked at full size, and — for the
+    multi-ordering star joins — the §7.4 cardinality-based ordering the
+    planner recorded.
+    """
+    from repro.lang.interpreter import Interpreter
+    from repro.lang.values import values_equal
+    from repro.planner.joins import summary_relations
+
+    out: dict[str, dict] = {}
+    for name in JOIN_BENCHMARKS:
+        benchmark = get_benchmark(name)
+        try:
+            compilation = compile_benchmark(benchmark)
+            fragment = compilation.fragments[0]
+            if not fragment.translated:
+                out[name] = {"error": fragment.failure_reason}
+                continue
+            inputs = benchmark.make_inputs(JOIN_SIZE, 7)
+            out_var = list(fragment.analysis.output_vars)[0]
+            small = benchmark.make_inputs(JOIN_VERIFY_SIZE, 7)
+            interp = Interpreter(benchmark.parse())
+            expected_small = interp.call_function(
+                benchmark.function, benchmark.args_for(small)
+            )
+            verified = values_equal(
+                fragment.program.run(dict(small), plan="sequential")[out_var],
+                expected_small,
+            )
+
+            broadcast = fragment.program.run(dict(inputs), plan="auto")
+            b_report = fragment.program.last_plan_report
+            reduce_side = fragment.program.run(
+                dict(inputs), plan="auto", memory_budget=JOIN_REDUCE_BUDGET
+            )
+            r_report = fragment.program.last_plan_report
+            out[name] = {
+                "records": JOIN_SIZE,
+                "orderings_verified": len(
+                    {
+                        tuple(summary_relations(p.summary))
+                        for p in fragment.program.programs
+                    }
+                ),
+                "matches_interpreter_at_verify_size": verified,
+                "strategies_agree": values_equal(
+                    broadcast[out_var], reduce_side[out_var]
+                ),
+                "broadcast": {
+                    "strategies": list(b_report.plan.join_strategies),
+                    "wall_seconds": round(b_report.wall_seconds, 4),
+                },
+                "reduce_side": {
+                    "strategies": list(r_report.plan.join_strategies),
+                    "spill": r_report.plan.spill,
+                    "wall_seconds": round(r_report.wall_seconds, 4),
+                },
+                "ordering": (b_report.join or {}).get("ordering"),
+                "join_levels": (b_report.join or {}).get("levels"),
+            }
+        except Exception as exc:
+            out[name] = {"error": str(exc)}
+    return out
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -310,6 +397,7 @@ def main(argv: list[str]) -> int:
         "planner": measure_planner(),
         "dag": measure_dag(),
         "spill": measure_spill(),
+        "join": measure_join(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -322,6 +410,16 @@ def main(argv: list[str]) -> int:
         f"wall {payload['dag']['wall_speedup']}×, "
         f"simulated {payload['dag']['simulated_speedup']}×"
     )
+    for name, row in payload["join"].items():
+        if "error" in row:
+            print(f"join {name}: ERROR {row['error']}")
+            continue
+        print(
+            f"join {name}: broadcast {row['broadcast']['wall_seconds']}s / "
+            f"reduce-side {row['reduce_side']['wall_seconds']}s, "
+            f"orderings={row['orderings_verified']}, "
+            f"order={row['ordering'] and row['ordering']['order']}"
+        )
     spill = payload["spill"]
     print(
         "spill: identical="

@@ -22,6 +22,7 @@ import pytest
 
 from conftest import compiled
 from repro.engine.multiprocess import default_process_count
+from repro.lang.values import values_equal
 from repro.planner.plan import ExecutionPlan
 from repro.workloads import all_benchmarks, get_benchmark
 
@@ -59,10 +60,23 @@ class TestMultiprocessIdentity:
         checked = 0
         for fragment, snapshot, expected in _chained_runs(benchmark, IDENTITY_SIZE):
             actual = fragment.program.run(snapshot, plan="multiprocess")
-            assert actual == expected, (
-                f"{name}: multiprocess outputs diverge for fragment "
-                f"{fragment.fragment.id}"
-            )
+            if fragment.analysis is not None and fragment.analysis.join is not None:
+                # Physical join strategies (simulated-spark shuffle join
+                # vs local broadcast) legitimately re-associate float
+                # accumulation, so join fragments compare with the
+                # structural float-tolerant equality; everything else
+                # stays byte-exact.
+                assert set(actual) == set(expected) and all(
+                    values_equal(actual[k], expected[k]) for k in expected
+                ), (
+                    f"{name}: multiprocess outputs diverge for fragment "
+                    f"{fragment.fragment.id}"
+                )
+            else:
+                assert actual == expected, (
+                    f"{name}: multiprocess outputs diverge for fragment "
+                    f"{fragment.fragment.id}"
+                )
             checked += 1
         _IDENTITY_CHECKED[name] = checked
 
@@ -78,7 +92,7 @@ class TestMultiprocessIdentity:
                 per_suite.get(benchmark.suite, 0)
                 + _IDENTITY_CHECKED[benchmark.name]
             )
-        assert len(per_suite) == 7, sorted(per_suite)
+        assert len(per_suite) == 8, sorted(per_suite)
         assert all(count > 0 for count in per_suite.values()), per_suite
 
     @pytest.mark.parametrize("name", ["phoenix_wordcount", "tpch_q6"])

@@ -3,7 +3,7 @@
 Three claims:
 
 1. **Identity** — with a memory budget small enough to force the
-   external spill shuffle, every translated fragment of all seven
+   external spill shuffle, every translated fragment of all eight
    workload suites produces results identical to the in-memory
    sequential engine.  Gated unconditionally: a spilled result that
    diverges is a correctness bug, not a perf regression.
@@ -92,7 +92,7 @@ class TestSpillIdentity:
                 per_suite.get(benchmark.suite, 0)
                 + _IDENTITY_CHECKED[benchmark.name]
             )
-        assert len(per_suite) == 7, sorted(per_suite)
+        assert len(per_suite) == 8, sorted(per_suite)
         assert all(count > 0 for count in per_suite.values()), per_suite
 
 

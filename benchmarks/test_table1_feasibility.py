@@ -25,6 +25,7 @@ _SIZE_BY_SUITE = {
     "biglambda": 3000,
     "fiji": 3000,
     "iterative": 2500,
+    "joins": 600,
     "phoenix": 4000,
     "stats": 5000,
     "tpch": 2500,

@@ -38,7 +38,21 @@ def _total_cost(
 def estimate_join_order(
     parts: int, suppliers: int, partsupps: int, selectivity: float = 0.001
 ) -> str:
-    """Pick the cheaper ordering from relation cardinalities."""
+    """Pick the cheaper ordering from relation cardinalities.
+
+    This hand-written §7.4 oracle is what the compiler-driven ordering
+    (:func:`repro.planner.joins.choose_join_ordering`) is tested
+    against: both apply Eqn 4 to the two left-deep chains.
+
+    Degenerate inputs — any cardinality ≤ 0 — make both chains cost
+    0.0, so the comparison alone would return whichever side the float
+    tie lands on.  The tie-break is explicit and documented instead:
+    ``supplier_first`` (the paper's demo default, and the first ordering
+    the compiler enumerates), applied both when a cardinality is
+    degenerate and when the two costs are exactly equal.
+    """
+    if min(parts, suppliers, partsupps) <= 0:
+        return "supplier_first"
     cost_ps_first = _total_cost(partsupps, suppliers, selectivity, parts)
     cost_pp_first = _total_cost(partsupps, parts, selectivity, suppliers)
     return "supplier_first" if cost_ps_first <= cost_pp_first else "part_first"

@@ -96,6 +96,10 @@ def view_records(view: DatasetView, inputs: dict[str, Any]) -> Any:
     """
     from ..engine.source import Dataset
 
+    if view.kind == "join":
+        # The engine scans the base (left) relation; the other sides are
+        # materialized by the join step builder through their own views.
+        return view_records(view.sides[0], inputs)
     if view.kind == "foreach":
         collection = inputs[view.sources[0]]
         if isinstance(collection, Dataset):
@@ -123,6 +127,10 @@ def view_records(view: DatasetView, inputs: dict[str, Any]) -> Any:
 
 def record_env(view: DatasetView, record: Any) -> dict[str, Any]:
     """Bind one raw record to the λm parameter environment."""
+    if view.kind == "join":
+        # Records of a join view are the base relation's elements (the
+        # first map stage's λm binds the base fields).
+        return record_env(view.sides[0], record)
     if view.kind == "foreach":
         return view._element_of(record)
     if view.kind == "array1d":
@@ -336,6 +344,11 @@ class GeneratedProgram:
 
     # ------------------------------------------------------------------
 
+    @property
+    def has_join(self) -> bool:
+        """Whether the summary's pipeline contains a join stage."""
+        return any(isinstance(s, JoinStage) for s in self.summary.pipeline.stages)
+
     def _combiner_safe(self) -> bool:
         return self.proof.is_commutative and self.proof.is_associative
 
@@ -359,12 +372,17 @@ class GeneratedProgram:
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
         if records is None:
             records = view_records(self.analysis.view, inputs)
+        first_view = (
+            self.analysis.view.sides[0]
+            if self.analysis.view.kind == "join"
+            else self.analysis.view
+        )
         rdd = context.parallelize(records)
         stages = self.summary.pipeline.stages
         for index, stage in enumerate(stages):
             if isinstance(stage, MapStage):
                 if index == 0:
-                    fn = _emit_fn(stage.lam.emits, globals_env, self.analysis.view)
+                    fn = _emit_fn(stage.lam.emits, globals_env, first_view)
                     rdd = rdd.flat_map_to_pair(fn, _stage_complexity(stage))
                 else:
                     fn = _pair_emit_fn(stage, globals_env)
@@ -378,14 +396,34 @@ class GeneratedProgram:
                         lambda values, _fn=reducer: _ordered_fold(values, _fn)
                     )
             elif isinstance(stage, JoinStage):
-                raise CodegenError("join stages are generated via JoinProgram")
+                rdd = rdd.join(self._spark_right_rdd(context, stage, globals_env, inputs))
         pairs = rdd.collect()
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=context.metrics)
 
+    def _spark_right_rdd(
+        self, context: SimSparkContext, stage: JoinStage, globals_env, inputs
+    ):
+        """The right pipeline of a join stage as a simulated-Spark RDD."""
+        join = self.analysis.join
+        if join is None:
+            raise CodegenError("join stage on a fragment without join analysis")
+        side = join.side_for(stage.right.source)
+        right_map = stage.right.stages[0]
+        assert isinstance(right_map, MapStage)
+        fn = _emit_fn(right_map.lam.emits, globals_env, side.view)
+        return context.parallelize(view_records(side.view, inputs)).flat_map_to_pair(
+            fn, _stage_complexity(right_map)
+        )
+
     def _run_hadoop(
         self, inputs: dict[str, Any], records: Optional[list] = None
     ) -> ExecutionOutcome:
+        if self.has_join:
+            raise CodegenError(
+                "join pipelines are generated for the spark and real local "
+                "backends; the simulated hadoop backend has no join operator"
+            )
         config = self.engine_config.with_framework("hadoop")
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
         if records is None:
@@ -434,6 +472,11 @@ class GeneratedProgram:
     def _run_flink(
         self, inputs: dict[str, Any], records: Optional[list] = None
     ) -> ExecutionOutcome:
+        if self.has_join:
+            raise CodegenError(
+                "join pipelines are generated for the spark and real local "
+                "backends; the simulated flink backend has no join operator"
+            )
         config = self.engine_config.with_framework("flink")
         env = SimFlinkEnv(config)
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
@@ -454,7 +497,7 @@ class GeneratedProgram:
                     reducer, use_combiner=self._combiner_safe()
                 )
             elif isinstance(stage, JoinStage):
-                raise CodegenError("join stages are generated via JoinProgram")
+                raise CodegenError("simulated flink backend has no join operator")
         pairs = dataset.collect()
         outputs = bind_outputs(self.summary.outputs, pairs, globals_env, output_sizes)
         return ExecutionOutcome(outputs=outputs, metrics=env.metrics)
@@ -491,7 +534,11 @@ class GeneratedProgram:
                     ReduceStep(self._reduce_fn(stage, globals_env), combine=combine)
                 )
             elif isinstance(stage, JoinStage):
-                raise CodegenError("join stages are generated via JoinProgram")
+                raise CodegenError(
+                    "join pipelines need their input datasets to build "
+                    "steps — use codegen.joins.build_join_steps (joins "
+                    "also never splice into fused chains)"
+                )
         return steps
 
     def _run_local(
@@ -515,9 +562,20 @@ class GeneratedProgram:
             else self.engine_config.with_framework("multiprocess")
         )
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
-        if records is None:
-            records = view_records(self.analysis.view, inputs)
-        steps = self.local_steps(globals_env, plan=plan)
+        if self.has_join:
+            from .joins import build_join_steps
+
+            records, steps, _decisions = build_join_steps(
+                self,
+                globals_env,
+                inputs,
+                plan=plan,
+                left_records=records if isinstance(records, list) else None,
+            )
+        else:
+            if records is None:
+                records = view_records(self.analysis.view, inputs)
+            steps = self.local_steps(globals_env, plan=plan)
         if backend == "sequential":
             processes: Optional[int] = 0
         elif plan is not None:

@@ -51,6 +51,9 @@ class AdaptiveProgram:
     #: programs built outside the pipeline.
     planner: Optional[ExecutionPlanner] = None
     last_plan_report: Optional[PlanReport] = None
+    #: §7.4 ordering choice of the last run, when the implementations
+    #: were join pipelines with different orderings (None otherwise).
+    last_join_decision: Optional[object] = None
 
     def __post_init__(self) -> None:
         implementations = []
@@ -116,6 +119,21 @@ class AdaptiveProgram:
         globals_env = self._globals(inputs)
         chosen = self.monitor.choose(sample, globals_env)
         index = int(chosen.name.split("_")[1])
+        # §7.4: when the verified implementations are join pipelines with
+        # different orderings, the ordering decision comes from the
+        # observed relation cardinalities (Eqn 4 over the join chain) —
+        # the sampled-cost monitor cannot see the inner relations' sizes.
+        self.last_join_decision = None
+        if len(self.programs) > 1:
+            from ..planner.joins import choose_join_ordering
+
+            decision = choose_join_ordering(
+                [p.summary for p in self.programs], inputs
+            )
+            if decision is not None:
+                index = decision.index
+                self.last_join_decision = decision
+                self.monitor.last_choice = f"impl_{index}"
         program = self.programs[index]
         if plan is None:
             outcome = program.run(inputs, records=records)
@@ -125,8 +143,14 @@ class AdaptiveProgram:
         execution_plan, report = self.plan_execution(
             plan, program, records, sample, globals_env,
             memory_budget=memory_budget,
+            inputs=inputs,
         )
-        report.implementation = chosen.name
+        report.implementation = f"impl_{index}"
+        if self.last_join_decision is not None:
+            report.join = {
+                **(report.join or {}),
+                "ordering": self.last_join_decision.as_dict(),
+            }
         started = time.perf_counter()
         if execution_plan.backend in ("sequential", "multiprocess"):
             outcome = program.run(
@@ -161,17 +185,45 @@ class AdaptiveProgram:
         sample: list[dict[str, Any]],
         globals_env: dict[str, Any],
         memory_budget: Optional[int] = None,
+        inputs: Optional[dict[str, Any]] = None,
     ) -> tuple[ExecutionPlan, PlanReport]:
         if plan != "auto":
             forced = forced_plan(plan, memory_budget=memory_budget)
-            return forced, PlanReport(
-                plan=forced, input_records=_record_count(records)
-            )
+            report = PlanReport(plan=forced, input_records=_record_count(records))
+            # Forced *local* runs of a join pipeline still record the
+            # physical-join choice (the same deterministic size rule the
+            # codegen default applies), so the evidence trail is complete.
+            if (
+                inputs is not None
+                and forced.backend in ("sequential", "multiprocess")
+                and program.has_join
+            ):
+                from dataclasses import replace
+
+                from .joins import resolve_join_strategies
+
+                decisions = resolve_join_strategies(
+                    program, inputs, memory_budget=memory_budget
+                )
+                forced = replace(
+                    forced,
+                    join_strategies=tuple(d.strategy for d in decisions),
+                    reasons=forced.reasons
+                    + tuple(f"join {d.relation}: {d.reason}" for d in decisions),
+                )
+                report.plan = forced
+                report.join = {"levels": [d.as_dict() for d in decisions]}
+            return forced, report
         if self.planner is None:
             self.planner = ExecutionPlanner(cost_model=self.cost_model)
             self.planner.precompute(self.programs)
         return self.planner.plan(
-            program, records, sample, globals_env, memory_budget=memory_budget
+            program,
+            records,
+            sample,
+            globals_env,
+            memory_budget=memory_budget,
+            inputs=inputs,
         )
 
     @property

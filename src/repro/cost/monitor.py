@@ -117,8 +117,12 @@ def _estimate_pipeline(
                 seen.setdefault(k, v)
             pairs = list(seen.items())
         elif isinstance(stage, JoinStage):
-            # Join selectivity estimated against the right pipeline sample.
+            # The sample covers the left relation only, so the joined
+            # (v₁, v₂) values cannot be formed here: record the join
+            # selectivity's conservative default and stop — downstream
+            # stages' unknowns keep their upper-bound default of 1.
             estimates.probabilities[f"p_{prefix}{index}_j"] = 1.0
+            return
 
 
 @dataclass

@@ -23,7 +23,20 @@ NULL_SIZE = 4
 
 
 def sizeof(value: Any) -> int:
-    """Serialized size in bytes of a runtime value."""
+    """Serialized size in bytes of a runtime value.
+
+    Containers are walked with a visited-id set, so self-referential
+    structures (``x = []; x.append(x)``) terminate instead of raising
+    ``RecursionError``, and a shared substructure (diamond sharing —
+    the same list reachable twice) is charged once, the way a
+    reference-aware serializer would store it.  Scalars are never
+    identity-tracked: Python interns small ints/strings, and equal
+    scalars are genuinely re-serialized per occurrence.
+    """
+    return _sizeof(value, None)
+
+
+def _sizeof(value: Any, seen: Any) -> int:
     if value is None:
         return NULL_SIZE
     if isinstance(value, bool):
@@ -34,19 +47,27 @@ def sizeof(value: Any) -> int:
         return DOUBLE_SIZE
     if isinstance(value, str):
         return STRING_SIZE
-    if isinstance(value, tuple):
-        return TUPLE_HEADER + sum(sizeof(item) for item in value)
-    if isinstance(value, Instance):
-        return OBJECT_HEADER + sum(sizeof(v) for v in value.fields.values())
-    if isinstance(value, (list, set)):
-        # Collections are full objects (like Instance), not bare tuples:
-        # charging them the 8-byte tuple header understated shuffle-byte
-        # accounting and the spill-trigger estimate relative to
-        # sizeof_kind, which already uses OBJECT_HEADER.
-        return OBJECT_HEADER + sum(sizeof(item) for item in value)
-    if isinstance(value, dict):
+    if isinstance(value, (tuple, list, set, dict, Instance)):
+        if seen is None:
+            seen = set()
+        marker = id(value)
+        if marker in seen:
+            return 0  # cyclic or shared: charged at first visit
+        seen.add(marker)
+        if isinstance(value, tuple):
+            return TUPLE_HEADER + sum(_sizeof(item, seen) for item in value)
+        if isinstance(value, Instance):
+            return OBJECT_HEADER + sum(
+                _sizeof(v, seen) for v in value.fields.values()
+            )
+        if isinstance(value, (list, set)):
+            # Collections are full objects (like Instance), not bare
+            # tuples: charging them the 8-byte tuple header understated
+            # shuffle-byte accounting and the spill-trigger estimate
+            # relative to sizeof_kind, which already uses OBJECT_HEADER.
+            return OBJECT_HEADER + sum(_sizeof(item, seen) for item in value)
         return OBJECT_HEADER + sum(
-            sizeof(k) + sizeof(v) for k, v in value.items()
+            _sizeof(k, seen) + _sizeof(v, seen) for k, v in value.items()
         )
     return OBJECT_HEADER
 

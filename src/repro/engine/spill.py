@@ -42,8 +42,17 @@ def _stable_bytes(key: Any) -> bytes:
     """A deterministic byte encoding of a shuffle key.
 
     Covers every key type the emit grammar can produce (ints, floats,
-    bools, strings, tuples, model Instances); the encoding only needs to
-    be stable across processes, not canonical.
+    bools, strings, tuples, model Instances).  The encoding must be
+    stable across processes **and canonical over Python equality
+    classes**: the in-memory shuffle groups with ``dict``, under which
+    ``True == 1 == 1.0`` and ``0.0 == -0.0 == 0 == False`` share one
+    group — so equal keys of different numeric types must encode (and
+    therefore hash-partition) identically, or spilled results diverge
+    from in-memory on mixed-numeric keys.  Numerics are normalized to
+    ``n:<int>`` when integral (bools are ints are integral floats) and
+    ``n:<repr(float)>`` otherwise; NaNs collapse to one encoding (dict
+    grouping treats NaN keys by identity — routing them to one partition
+    is the conservative, order-preserving choice).
     """
     if isinstance(key, tuple):
         return b"(" + b",".join(_stable_bytes(item) for item in key) + b")"
@@ -53,9 +62,17 @@ def _stable_bytes(key: Any) -> bytes:
             for name, value in sorted(key.fields.items())
         )
         return f"I{key.class_name}{{{inner}}}".encode("utf-8")
-    if isinstance(key, bool):
-        return b"b1" if key else b"b0"
-    if isinstance(key, (int, float, str)) or key is None:
+    if isinstance(key, (bool, int, float)):
+        if isinstance(key, (bool, int)):
+            return b"n:%d" % int(key)
+        if key != key:  # NaN
+            return b"n:nan"
+        if key in (float("inf"), float("-inf")):
+            return b"n:inf" if key > 0 else b"n:-inf"
+        if key == int(key):
+            return b"n:%d" % int(key)
+        return f"n:{key!r}".encode("utf-8")
+    if isinstance(key, str) or key is None:
         return f"{type(key).__name__}:{key!r}".encode("utf-8")
     return repr(key).encode("utf-8")
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..ir.nodes import MapStage, ReduceStage
+from ..ir.nodes import JoinStage, MapStage, ReduceStage
 from ..lang.analysis.liveness import stmt_uses
 from .jobgraph import JobGraph, JobNode
 
@@ -240,6 +240,11 @@ def _fusable_link(
     ):
         return None
     summary = producer.program.programs[_static_impl_index(producer)].summary
+    if any(isinstance(s, JoinStage) for s in summary.pipeline.stages):
+        # Join pipelines need their relation inputs at execution time
+        # (broadcast indexes / tagged unions), which a spliced chain's
+        # step list cannot provide — they always run as their own unit.
+        return None
     bindings = summary.outputs
     map_only = all(isinstance(s, MapStage) for s in summary.pipeline.stages)
     bag_handoff = (

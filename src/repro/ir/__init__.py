@@ -25,6 +25,7 @@ from .nodes import (
     Emit,
     IRExpr,
     JoinStage,
+    is_join_summary,
     MapLambda,
     MapStage,
     OutputBinding,
@@ -54,6 +55,7 @@ __all__ = [
     "FoldSummary",
     "IRExpr",
     "JoinStage",
+    "is_join_summary",
     "MapLambda",
     "MapStage",
     "OutputBinding",

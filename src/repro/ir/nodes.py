@@ -345,6 +345,11 @@ def summary_expr_nodes(summary: Summary):
 StageLike = Union[MapStage, ReduceStage, JoinStage]
 
 
+def is_join_summary(summary: Summary) -> bool:
+    """Whether a summary's pipeline contains any join stage."""
+    return any(isinstance(s, JoinStage) for s in summary.pipeline.stages)
+
+
 # ----------------------------------------------------------------------
 # Serialization (summary-cache round-trip) and alpha renaming
 #

@@ -12,6 +12,7 @@ from .fragments import (
     identify_fragments,
     live_after_fragment,
 )
+from .joins import JoinInfo, JoinLevel, JoinSide, extract_join_info
 from .liveness import expr_defs, expr_uses, live_before, stmt_defs, stmt_uses
 from .loops import DatasetField, DatasetView, extract_dataset_view
 from .normalize import (
@@ -33,11 +34,15 @@ __all__ = [
     "FragmentAnalysis",
     "FragmentFeatures",
     "FragmentFingerprint",
+    "JoinInfo",
+    "JoinLevel",
+    "JoinSide",
     "ProgramDataflow",
     "ScanResult",
     "TypeEnv",
     "TypeInferencer",
     "analyze_dataflow",
+    "extract_join_info",
     "analyze_fragment",
     "analyze_function",
     "build_type_env",

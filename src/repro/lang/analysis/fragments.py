@@ -21,6 +21,7 @@ from .. import ast_nodes as ast
 from ..interpreter import Environment, Interpreter
 from ..stdlib import STATIC_NAMESPACES
 from ..types import ArrayType, ClassType, JType, ListType, MapType, SetType
+from .joins import JoinInfo, extract_join_info
 from .liveness import live_before, stmt_declared, stmt_defs, stmt_uses
 from .loops import DatasetView, extract_dataset_view
 from .normalize import outermost_loops
@@ -66,6 +67,9 @@ class FragmentAnalysis:
     program: ast.Program
     prelude_constants: dict[str, Any] = field(default_factory=dict)
     features: FragmentFeatures = field(default_factory=FragmentFeatures)
+    #: Join structure when the fragment is a recognized equi-join nest
+    #: (``view.kind == "join"``); None for single-dataset fragments.
+    join: Optional[JoinInfo] = None
 
     @property
     def loc(self) -> int:
@@ -172,7 +176,12 @@ def analyze_fragment(
     env = build_type_env(func, program)
 
     scan = scan_fragment(fragment.statements)
-    view = extract_dataset_view(fragment.loop, env, program)
+    join: Optional[JoinInfo] = None
+    joined = extract_join_info(fragment.loop, env, program)
+    if joined is not None:
+        view, join = joined
+    else:
+        view = extract_dataset_view(fragment.loop, env, program)
 
     declared_inside = set()
     for stmt in fragment.statements:
@@ -231,6 +240,7 @@ def analyze_fragment(
         program=program,
         prelude_constants=prelude_constants,
         features=features,
+        join=join,
     )
 
 
@@ -305,7 +315,9 @@ CANONICAL_PREFIX = "α·"
 _RESERVED_SUMMARY_NAMES = frozenset({"k", "v", "v1", "v2", "__t", "__element"})
 
 #: Fingerprint format version — bump to invalidate persisted caches.
-_FINGERPRINT_VERSION = "fpv1"
+#: fpv2: join views (kind "join", multi-relation sources) entered the
+#: view serialization, so joins-unaware caches must not serve them.
+_FINGERPRINT_VERSION = "fpv2"
 
 
 @dataclass

@@ -44,6 +44,10 @@ class DatasetView:
       * ``array1d``  — ``for (i) ... a[i]``; atoms are ``i`` plus one per
         array read at index ``i`` (parallel arrays are zipped).
       * ``array2d``  — ``for (i) for (j) ... m[i][j]``; atoms ``i, j, v``.
+      * ``join``     — a foreach nest over two or three distinct datasets
+        with equi-predicates (:mod:`repro.lang.analysis.joins`); atoms are
+        the union of every relation's fields, and ``sides`` holds one
+        standalone ``foreach`` view per relation (left first).
     """
 
     kind: str
@@ -53,6 +57,8 @@ class DatasetView:
     element_var: Optional[str] = None
     element_class: Optional[str] = None  # struct name when atoms are fields
     bounds: list[ast.Expr] = field(default_factory=list)
+    #: Per-relation foreach views of a ``join`` view (left side first).
+    sides: list["DatasetView"] = field(default_factory=list)
 
     @property
     def field_names(self) -> list[str]:
@@ -96,6 +102,11 @@ class DatasetView:
                         {self.index_vars[0]: i, self.index_vars[1]: j, "v": item}
                     )
             return elements
+        if self.kind == "join":
+            raise AnalysisError(
+                "a join view has no single element multiset — materialize "
+                "each relation through view.sides instead"
+            )
         raise AnalysisError(f"unknown dataset view kind {self.kind!r}")
 
     def _element_of(self, item: Any) -> dict[str, Any]:

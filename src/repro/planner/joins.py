@@ -1,0 +1,132 @@
+"""Join-order planning: the §7.4 cardinality-based ordering choice.
+
+The paper's 3-way-join demo has Casper generate two semantically
+equivalent implementations with different join orderings and lets the
+runtime monitor pick the cheaper one from the observed relation
+cardinalities (Eqn 4 applied to the join chain).  With the compiler now
+translating join nests itself — producing one verified summary per valid
+ordering of a star-shaped nest — this module is where that demo becomes
+compiler-driven: given the candidate implementations and the concrete
+input relations, it costs each implementation's left-deep join chain
+with the same formula :func:`repro.baselines.joins.estimate_join_order`
+uses (that hand-written baseline stays the oracle the tests compare
+against) and picks the cheapest.
+
+Degenerate inputs (an empty relation) make every ordering cost 0; the
+tie-break is deterministic — the first implementation in monitor order
+wins — matching the baseline's documented ``supplier_first`` default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..ir.nodes import JoinStage, Summary, is_join_summary
+
+#: Default join selectivity (the paper's §7.4 demo value).
+DEFAULT_SELECTIVITY = 0.001
+
+#: The paper's join weight Wj (cost model, §5.1).
+WJ = 2.0
+
+
+def summary_relations(summary: Summary) -> list[str]:
+    """Relation names of a join pipeline in join order (base first)."""
+    relations = [summary.pipeline.source]
+    for stage in summary.pipeline.stages:
+        if isinstance(stage, JoinStage):
+            relations.append(stage.right.source)
+    return relations
+
+
+def join_chain_cost(
+    cardinalities: Sequence[int], selectivity: float = DEFAULT_SELECTIVITY
+) -> float:
+    """Eqn 4 applied to a left-deep join chain (generalizes §7.4's Wj=2).
+
+    ``cardinalities`` lists the relations in join order, base first;
+    each step joins the running intermediate against the next relation.
+    With any cardinality 0 the whole chain costs 0 — callers tie-break
+    deterministically (first candidate wins).
+    """
+    if len(cardinalities) < 2:
+        return 0.0
+    total = 0.0
+    current = float(cardinalities[0])
+    for n in cardinalities[1:]:
+        step = WJ * current * float(n) * selectivity
+        total += step
+        current = step
+    return total
+
+
+@dataclass
+class JoinOrderDecision:
+    """Outcome of the cardinality-based ordering choice."""
+
+    index: int  # chosen implementation index
+    order: list[str]  # its relations, join order
+    cardinalities: dict[str, int] = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)  # "⋈"-joined order → cost
+    selectivity: float = DEFAULT_SELECTIVITY
+
+    @property
+    def order_label(self) -> str:
+        return " ⋈ ".join(self.order)
+
+    def as_dict(self) -> dict:
+        return {
+            "order": self.order_label,
+            "cardinalities": dict(self.cardinalities),
+            "costs": {k: round(v, 6) for k, v in self.costs.items()},
+            "selectivity": self.selectivity,
+        }
+
+
+def choose_join_ordering(
+    summaries: Sequence[Summary],
+    inputs: dict[str, Any],
+    selectivity: float = DEFAULT_SELECTIVITY,
+) -> Optional[JoinOrderDecision]:
+    """Pick the cheapest join ordering among candidate implementations.
+
+    Returns None when the candidates are not join pipelines, offer only
+    one distinct ordering, or a relation's cardinality cannot be
+    observed from ``inputs`` — the caller then keeps the runtime
+    monitor's default choice.
+    """
+    orders: list[tuple[int, list[str]]] = []
+    for index, summary in enumerate(summaries):
+        if not is_join_summary(summary):
+            return None
+        orders.append((index, summary_relations(summary)))
+    distinct = {tuple(order) for _, order in orders}
+    if len(distinct) < 2:
+        return None
+
+    cardinalities: dict[str, int] = {}
+    for _, order in orders:
+        for relation in order:
+            value = inputs.get(relation)
+            if not isinstance(value, (list, set)):
+                return None
+            cardinalities[relation] = len(value)
+
+    best: Optional[tuple[float, int, list[str]]] = None
+    costs: dict[str, float] = {}
+    for index, order in orders:
+        cost = join_chain_cost(
+            [cardinalities[r] for r in order], selectivity=selectivity
+        )
+        costs.setdefault(" ⋈ ".join(order), cost)
+        if best is None or cost < best[0]:
+            best = (cost, index, order)
+    assert best is not None
+    return JoinOrderDecision(
+        index=best[1],
+        order=best[2],
+        cardinalities=cardinalities,
+        costs=costs,
+        selectivity=selectivity,
+    )

@@ -49,6 +49,10 @@ class ExecutionPlan:
     spill: bool = False
     #: Where spill runs go; None → a private temp directory per job.
     spill_dir: Optional[str] = None
+    #: Physical strategy per join level of a join pipeline, in join
+    #: order ("broadcast" | "reduce_side"); empty for non-join jobs or
+    #: when the codegen default rule should decide at run time.
+    join_strategies: tuple[str, ...] = ()
     #: Human-readable decision trail, in the order decisions were made.
     reasons: tuple[str, ...] = ()
 
@@ -67,6 +71,8 @@ class ExecutionPlan:
             parts.append(f"partitions={self.partitions}")
         if self.spill:
             parts.append(f"spill=on(budget={self.memory_budget})")
+        if self.join_strategies:
+            parts.append("join=" + "/".join(self.join_strategies))
         for stage in self.stages:
             if stage.kind == "reduce":
                 parts.append(
@@ -104,6 +110,11 @@ class PlanReport:
     #: Post-run spill accounting (runs, spilled bytes, peak resident
     #: estimate) from the engine; None for in-memory executions.
     spill_stats: Optional[dict] = None
+    #: Join evidence: per-level physical strategy decisions (small-side
+    #: size estimates vs the broadcast limit) and, for multi-ordering
+    #: fragments, the §7.4 cardinality-based ordering choice.  None for
+    #: non-join jobs.
+    join: Optional[dict] = None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -126,6 +137,7 @@ class PlanReport:
             "wall_seconds": round(self.wall_seconds, 6),
             "fallback_reason": self.fallback_reason,
             "calibration_skipped": self.calibration_skipped,
+            "join": self.join,
             "reasons": list(self.plan.reasons),
         }
 

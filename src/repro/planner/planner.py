@@ -123,6 +123,7 @@ class ExecutionPlanner:
         sample: list[dict[str, Any]],
         globals_env: dict[str, Any],
         memory_budget: Optional[int] = None,
+        inputs: Optional[dict[str, Any]] = None,
     ) -> tuple["ExecutionPlan", "PlanReport"]:
         """Decide how to execute ``program`` over ``records``.
 
@@ -132,6 +133,13 @@ class ExecutionPlanner:
         for this run; with a budget in play the planner weighs the cost
         model's input-size estimate against it and chooses the external
         spill shuffle when the data cannot fit.
+
+        ``inputs`` (the fragment's full input environment) enables the
+        physical-join decision for join pipelines: each join level runs
+        map-side broadcast iff the small side's sizeof-sample estimate
+        fits the memory budget (or the default broadcast threshold),
+        and reduce-side through the tagged-union shuffle otherwise —
+        recorded per level in the plan and the report.
         """
         from ..engine.source import Dataset
         from .plan import ExecutionPlan, PlanReport
@@ -217,6 +225,9 @@ class ExecutionPlanner:
             else self.config.memory_budget
         )
         spill, est_bytes = self._spill_decision(records, n, budget, reasons)
+        join_strategies, join_report = self._join_decision(
+            program, inputs, budget, reasons
+        )
         partitions = self._partitions(program, stages, processes, reasons)
         plan = ExecutionPlan(
             backend=backend,
@@ -226,6 +237,7 @@ class ExecutionPlanner:
             memory_budget=budget if spill else None,
             spill=spill,
             spill_dir=self.config.spill_dir,
+            join_strategies=join_strategies,
             reasons=tuple(reasons),
         )
         cluster = self._cluster_ranking(
@@ -241,8 +253,29 @@ class ExecutionPlanner:
             ),
             calibration_skipped=calibration_skipped,
             estimated_input_bytes=est_bytes,
+            join=join_report,
         )
         return plan, report
+
+    @staticmethod
+    def _join_decision(
+        program: "GeneratedProgram",
+        inputs: Optional[dict[str, Any]],
+        budget: Optional[int],
+        reasons: list[str],
+    ) -> tuple[tuple[str, ...], Optional[dict]]:
+        """Broadcast vs reduce-side per join level (size-estimate rule)."""
+        from ..codegen.joins import is_join_summary, resolve_join_strategies
+
+        if inputs is None or not is_join_summary(program.summary):
+            return (), None
+        decisions = resolve_join_strategies(program, inputs, memory_budget=budget)
+        for decision in decisions:
+            reasons.append(f"join {decision.relation}: {decision.reason}")
+        return (
+            tuple(d.strategy for d in decisions),
+            {"levels": [d.as_dict() for d in decisions]},
+        )
 
     def _spill_decision(
         self,

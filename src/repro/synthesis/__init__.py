@@ -3,6 +3,7 @@
 from .cegis import PartEvaluator, SynthesisStats, Synthesizer
 from .classes import generate_classes, monolithic_class
 from .enumerator import CandidateEnumerator, ContainerPart, ScalarPart
+from .joins import JoinCandidateEnumerator, is_join_summary
 from .grammar import (
     ExpressionPools,
     GrammarBuilder,
@@ -21,6 +22,8 @@ from .search import (
 __all__ = [
     "CandidateEnumerator",
     "ContainerPart",
+    "JoinCandidateEnumerator",
+    "is_join_summary",
     "ExpressionPools",
     "GrammarBuilder",
     "GrammarClass",

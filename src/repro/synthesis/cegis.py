@@ -176,6 +176,10 @@ class Synthesizer:
         # Φ starts with a few random program states (Fig. 5, line 2);
         # we seed it with the canonical empty/singleton/small states.
         self.phi: list[ProgramState] = list(self.checker.states[:4])
+        #: Candidates refuted by the bounded checker (its state set is
+        #: fixed, so a refuted candidate can never pass later) — blocked
+        #: locally so re-enumeration always makes progress.
+        self._bounded_failed: set[int] = set()
 
     def synthesize(self, blocked: set[int]) -> Optional[Summary]:
         """Find the next candidate that passes bounded verification.
@@ -184,6 +188,8 @@ class Synthesizer:
         from the space (section 4.1) so the search always makes progress.
         Returns None when the class is exhausted.
         """
+        if self.analysis.join is not None:
+            return self._synthesize_join(blocked)
         for _ in range(self.max_restarts + 1):
             part_filter = PartEvaluator(self.analysis, self.phi)
             enumerator = CandidateEnumerator(
@@ -204,4 +210,31 @@ class Synthesizer:
                 break
             if not restart:
                 return None  # search space exhausted for this class
+        return None
+
+    def _synthesize_join(self, blocked: set[int]) -> Optional[Summary]:
+        """The join-space CEGIS loop.
+
+        Join fragments have no per-part Φ filter (a candidate part's
+        semantics depend on every relation at once, so parts cannot be
+        checked against example states independently); instead, bounded
+        refutations are blocked directly and enumeration simply continues
+        to the next candidate — same progress guarantee, no restarts.
+        """
+        from .joins import JoinCandidateEnumerator
+
+        enumerator = JoinCandidateEnumerator(
+            self.analysis, self.grammar_class, self.pools
+        )
+        for candidate in enumerator.candidates():
+            marker = hash(candidate)
+            if marker in blocked or marker in self._bounded_failed:
+                continue
+            self.stats.candidates_checked += 1
+            counterexample = self.checker.check(candidate)
+            if counterexample is None:
+                return candidate
+            self._bounded_failed.add(marker)
+            self.phi.append(counterexample)
+            self.stats.counterexamples += 1
         return None

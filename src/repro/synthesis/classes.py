@@ -15,7 +15,35 @@ from .grammar import GrammarClass
 
 
 def generate_classes(analysis: FragmentAnalysis) -> list[GrammarClass]:
-    """Build the Γ hierarchy for a fragment (Fig. 5 line 12)."""
+    """Build the Γ hierarchy for a fragment (Fig. 5 line 12).
+
+    Join-shaped fragments (two/three-dataset nests recognized by the
+    analyzer) search a dedicated JOIN branch of the hierarchy: the stage
+    shapes carry a ``j`` (tagged-pair join) between map stages, tuple
+    widths must cover whole-relation value tuples, and the classes are
+    still ordered cheap-first (unguarded post-join emits before guarded
+    ones, shallower expressions before deeper) so the incremental search
+    keeps its early-stop bias.
+    """
+    if analysis.join is not None:
+        return [
+            GrammarClass(
+                name="GJ1",
+                shapes=("mjm", "mjmr"),
+                max_emits=4,
+                max_tuple=8,
+                max_depth=2,
+                allow_guards=False,
+            ),
+            GrammarClass(
+                name="GJ2",
+                shapes=("mjm", "mjmr"),
+                max_emits=6,
+                max_tuple=12,
+                max_depth=3,
+                allow_guards=True,
+            ),
+        ]
     classes = [
         GrammarClass(
             name="G1",
@@ -68,6 +96,15 @@ def monolithic_class(analysis: FragmentAnalysis) -> GrammarClass:
     every valid summary in the whole space instead of stopping at the
     first class that yields one.
     """
+    if analysis.join is not None:
+        return GrammarClass(
+            name="GJ_all",
+            shapes=("mjm", "mjmr"),
+            max_emits=6,
+            max_tuple=12,
+            max_depth=3,
+            allow_guards=True,
+        )
     return GrammarClass(
         name="G_all",
         shapes=("m", "mr", "mrm"),

@@ -433,12 +433,38 @@ def harvest_paths(analysis: FragmentAnalysis) -> list[SymState]:
 
     Returns an empty list when the body is outside the symbolic executor's
     fragment (the grammar then falls back to purely compositional pools).
+
+    Join fragments harvest from the innermost accumulation body (wrapped
+    in its residual guards, with ``binder.field`` reads rewritten to the
+    relation field atoms): the update terms seed post-join value
+    candidates and the residual conditions seed post-join guards.
     """
     from ..verification.prover import FullVerifier
 
     verifier = FullVerifier(analysis)
     view = analysis.view
     loop = analysis.fragment.loop
+    if analysis.join is not None:
+        from ..lang.analysis.joins import rewrite_side_fields
+
+        body = [
+            rewrite_side_fields(s, analysis.join)
+            for s in analysis.join.guarded_body
+        ]
+        containers = {
+            name
+            for name, jtype in analysis.output_vars.items()
+            if jtype.is_collection() or str(jtype).startswith("Map")
+        }
+        scalar_accs = {
+            name: Var(f"__acc_{name}", "double")
+            for name in analysis.output_vars
+            if name not in containers
+        }
+        try:
+            return verifier._symexec_body(body, scalar_accs, containers)
+        except Exception:
+            return []
     try:
         body = verifier._loop_body(loop)
         if view.kind == "array2d":

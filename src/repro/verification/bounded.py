@@ -139,6 +139,15 @@ class StateGenerator:
         self._index_domain: Optional[int] = None
         self._pinned_scalars: set[str] = set()
         self._domain_arrays: set[str] = set()
+        if self.analysis.join is not None:
+            # Join fragments: int-valued element fields are (potential)
+            # join keys.  Drawing them from a small common domain makes
+            # key matches — and same-key collisions within a relation —
+            # frequent enough that bounded checking discriminates
+            # accumulate-vs-overwrite and guarded-vs-unguarded
+            # candidates instead of degenerating to empty joins.
+            self._index_domain = min(6, max(3, self.config.max_dataset_size))
+            return
         counters = set(self.analysis.view.index_vars)
         arrays = set(self.analysis.input_vars) | set(self.analysis.output_vars)
         data_indexed = False
@@ -315,12 +324,21 @@ def evaluate_candidate(
     """Evaluate a candidate summary on a state; raises IRError on faults."""
     if run is None:
         run = run_sequential_fragment(analysis, state)
-    datasets = {
-        analysis.view.sources[0]: analysis.view.materialize(run.globals_env)
-    }
-    # Multi-source (zipped) views share the same materialization.
-    for source in analysis.view.sources[1:]:
-        datasets[source] = datasets[analysis.view.sources[0]]
+    if analysis.join is not None:
+        # Join fragments: each relation materializes through its own
+        # per-side foreach view — the sides are independent datasets,
+        # not zipped aliases of one another.
+        datasets = {
+            side.source: side.view.materialize(run.globals_env)
+            for side in analysis.join.sides
+        }
+    else:
+        datasets = {
+            analysis.view.sources[0]: analysis.view.materialize(run.globals_env)
+        }
+        # Multi-source (zipped) views share the same materialization.
+        for source in analysis.view.sources[1:]:
+            datasets[source] = datasets[analysis.view.sources[0]]
     globals_env = summary_globals(analysis, run.globals_env)
     return evaluate_summary(summary, datasets, globals_env, run.output_sizes)
 

@@ -266,7 +266,7 @@ class FullVerifier:
     def _try_inductive(self, summary: Summary) -> tuple[bool, str, list[str]]:
         stages = summary.pipeline.stages
         if any(isinstance(s, JoinStage) for s in stages):
-            return False, "join pipelines are verified by testing only", []
+            return self._prove_join(summary)
         shape = tuple(
             "m" if isinstance(s, MapStage) else "r" for s in stages
         )
@@ -515,6 +515,210 @@ class FullVerifier:
                 return False, "missing finalizer stage for non-identity suffix", []
 
         return True, "inductive proof complete (nested)", ["initiation", "identity", "step", "finalizer"]
+
+    # -- join nests -----------------------------------------------------
+
+    def _prove_join(self, summary: Summary) -> tuple[bool, str, list[str]]:
+        """Structural proof tier for join pipelines (scalar outputs).
+
+        The argument has two halves:
+
+        * **Multiset** — structurally, the pre-join map stages are pure
+          keyed restructurings (one unguarded whole-element-tuple emit
+          per element), each join's key pair is exactly one of the
+          source program's equi-predicates, and every re-key stage
+          passes the value through unchanged.  The relational semantics
+          of ``join`` (section 2.1) then delivers the post-join map
+          exactly one ``(a, b[, c])`` binding per tuple the original
+          nest ran its innermost body for — the same multiset the loop
+          nest visits, possibly in a different order.
+
+        * **Pointwise** — for one matched tuple, symbolic execution of
+          the innermost body (fields rewritten to relation atoms,
+          residual guards included) must equal merging the post-join
+          emits into the accumulator, by the same case-enumeration
+          equality the flat fold proof uses.  Order-independence of the
+          fold is discharged by requiring λr commutative + associative
+          (checked algebraically), so multiset equality suffices.
+
+        Container outputs and shapes outside the canonical skeleton fall
+        back to Tier-2 extended-domain refutation.
+        """
+        from ..lang.analysis.joins import rewrite_side_fields
+        from ..synthesis.joins import JoinCandidateEnumerator
+
+        join = self.analysis.join
+        if join is None:
+            return False, "join pipeline without join analysis", []
+        stages = summary.pipeline.stages
+        if summary.pipeline.source != join.base.source:
+            return False, "pipeline does not start at the base relation", []
+
+        def relation_map_key(stage, side) -> Optional[str]:
+            """Key field when ``stage`` is a keyed whole-element emit."""
+            if not isinstance(stage, MapStage) or len(stage.lam.emits) != 1:
+                return None
+            emit = stage.lam.emits[0]
+            if emit.cond is not None:
+                return None
+            expected = TupleExpr(tuple(Var(f.name) for f in side.fields))
+            if term_key(normalize(emit.value)) != term_key(normalize(expected)):
+                return None
+            if isinstance(emit.key, Var) and emit.key.name in side.field_names:
+                return emit.key.name
+            return None
+
+        base_key = relation_map_key(stages[0], join.base)
+        if base_key is None:
+            return False, "stage 1 is not a keyed whole-element emit", []
+
+        position = {join.base.source: 0}
+        key_owner, key_field = join.base.source, base_key
+        order: list = []  # analysis levels in summary join order
+        depth = 0
+        index = 1
+        while index < len(stages):
+            stage = stages[index]
+            if isinstance(stage, JoinStage):
+                source = stage.right.source
+                try:
+                    level = join.level_for(source)
+                except KeyError:
+                    return False, f"unknown join relation {source!r}", []
+                if source in position:
+                    return False, f"relation {source!r} joined twice", []
+                if len(stage.right.stages) != 1:
+                    return False, "right pipeline must be a single map", []
+                right_key = relation_map_key(stage.right.stages[0], level.side)
+                if right_key is None:
+                    return False, "right map is not a keyed whole-element emit", []
+                if (key_owner, key_field, right_key) != (
+                    level.left_owner,
+                    level.left_key,
+                    level.right_key,
+                ):
+                    return (
+                        False,
+                        "join keys do not match the source equi-predicate",
+                        [],
+                    )
+                depth += 1
+                position[source] = depth
+                order.append(level)
+                index += 1
+                continue
+            if not isinstance(stage, MapStage):
+                break
+            if not any(isinstance(s, JoinStage) for s in stages[index + 1 :]):
+                break  # the post-join map; handled after the loop
+            # A re-key stage: value passes through, key is a field path.
+            if len(stage.lam.emits) != 1 or stage.lam.emits[0].cond is not None:
+                return False, "re-key stage must be a single unguarded emit", []
+            emit = stage.lam.emits[0]
+            if term_key(normalize(emit.value)) != term_key(Var("v")):
+                return False, "re-key stage must pass the value through", []
+            rekey = None
+            for side in join.sides:
+                if side.source not in position:
+                    continue
+                tuple_path = JoinCandidateEnumerator._tuple_path(
+                    position[side.source], depth
+                )
+                for f_index, fld in enumerate(side.fields):
+                    expected = Proj(tuple_path, f_index)
+                    if term_key(normalize(emit.key)) == term_key(
+                        normalize(expected)
+                    ):
+                        rekey = (side.source, fld.name)
+                        break
+                if rekey is not None:
+                    break
+            if rekey is None:
+                return False, "re-key expression is not a joined field path", []
+            key_owner, key_field = rekey
+            index += 1
+
+        if len(order) != len(join.levels):
+            return False, "summary does not join every relation", []
+        if index >= len(stages) or not isinstance(stages[index], MapStage):
+            return False, "missing post-join map stage", []
+        post = stages[index]
+        reduce_lam: Optional[ReduceLambda] = None
+        if index + 1 < len(stages):
+            tail = stages[index + 1]
+            if index + 2 != len(stages) or not isinstance(tail, ReduceStage):
+                return False, "unsupported join pipeline tail", []
+            reduce_lam = tail.lam
+
+        if any(b.kind != "keyed" or b.project is not None for b in summary.outputs):
+            return False, "structural join proof covers scalar outputs only", []
+        if reduce_lam is None:
+            return False, "scalar join outputs require a reduce stage", []
+        commutative, associative = check_reduce_properties(reduce_lam)
+        if not (commutative and associative):
+            return (
+                False,
+                "join fold order is data-dependent; λr must be commutative "
+                "and associative",
+                [],
+            )
+        binding_keys = {
+            term_key(normalize(b.key)) for b in summary.outputs if b.key is not None
+        }
+        for emit in post.lam.emits:
+            if term_key(normalize(emit.key)) not in binding_keys:
+                return False, "post-join emit feeds no output binding", []
+
+        ok, reason = self._check_initiation(summary)
+        if not ok:
+            return False, reason, []
+        for binding in summary.outputs:
+            ok, reason = self._check_identity(reduce_lam, binding)
+            if not ok:
+                return False, reason, []
+
+        # Translate the post-join emits back into relation-field space:
+        # the joined value is literally the nested tuple of field tuples.
+        value_term: IRExpr = TupleExpr(
+            tuple(Var(f.name) for f in join.base.fields)
+        )
+        for level in order:
+            side_tuple = TupleExpr(tuple(Var(f.name) for f in level.side.fields))
+            value_term = TupleExpr((value_term, side_tuple))
+        mapping = {"v": value_term, "k": Var(key_field)}
+
+        body = [rewrite_side_fields(s, join) for s in join.guarded_body]
+        acc_bindings = {
+            b.var: Var(f"__acc_{b.var}", "double") for b in summary.outputs
+        }
+        paths = self._symexec_body(body, acc_bindings, set())
+        for binding in summary.outputs:
+            emits = self._matching_emits(binding, post)
+            if not emits:
+                return False, f"no emit feeds output {binding.var!r}", []
+            translated = [
+                Emit(
+                    key=emit.key,
+                    value=normalize(substitute(emit.value, mapping)),
+                    cond=(
+                        normalize(substitute(emit.cond, mapping))
+                        if emit.cond is not None
+                        else None
+                    ),
+                )
+                for emit in emits
+            ]
+            acc = acc_bindings[binding.var]
+            merged = self._merge_term(acc, translated, reduce_lam)
+            pairs = [(p, p.scalars.get(binding.var, acc)) for p in paths]
+            ok, reason = self._case_equal(pairs, merged)
+            if not ok:
+                return False, f"join step mismatch for {binding.var!r}: {reason}", []
+        return (
+            True,
+            "inductive join proof complete",
+            ["initiation", "identity", "multiset", "join-step"],
+        )
 
     def _prove_flat_body(
         self, summary: Summary, shape: tuple[str, ...], body: list[ast.Stmt]

@@ -215,6 +215,44 @@ def part_supplier_tables(
     return part_rows, supplier_rows, partsupp_rows
 
 
+def order_customer_line(
+    orders: int, customers: int, lines: int, seed: int = 0
+) -> tuple[list[Instance], list[Instance], list[Instance]]:
+    """orders / customer / lineitem-like relations for the Q3-style join.
+
+    Keys follow the PK-FK shape of TPC-H: ``o_orderkey``/``c_custkey``
+    are dense primary keys, ``o_custkey``/``ln_orderkey`` are random
+    foreign keys — so each order matches exactly one customer and each
+    line exactly one order, and join output stays linear in the input.
+    """
+    rng = rng_for(seed)
+    order_rows = [
+        Instance(
+            "Order",
+            {"o_orderkey": i, "o_custkey": rng.randrange(max(1, customers))},
+        )
+        for i in range(orders)
+    ]
+    customer_rows = [
+        Instance(
+            "Customer", {"c_custkey": i, "c_mktsegment": rng.randrange(5)}
+        )
+        for i in range(customers)
+    ]
+    line_rows = [
+        Instance(
+            "Line",
+            {
+                "ln_orderkey": rng.randrange(max(1, orders)),
+                "ln_price": round(rng.uniform(900.0, 105000.0), 2),
+                "ln_discount": round(rng.choice([i / 100 for i in range(0, 11)]), 2),
+            },
+        )
+        for _ in range(lines)
+    ]
+    return order_rows, customer_rows, line_rows
+
+
 def wikipedia_log(n: int, seed: int = 0, pages: int = 40) -> list[Instance]:
     """Page-view log records for the Wikipedia PageCount benchmark."""
     rng = rng_for(seed)

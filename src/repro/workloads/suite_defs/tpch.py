@@ -1,4 +1,5 @@
-"""TPC-H suite: queries Q1, Q6, Q15, Q17 in sequential mini-Java.
+"""TPC-H suite: queries Q1, Q6, Q15, Q17 in sequential mini-Java —
+plus the ``joins`` suite of two/three-relation equi-join nests.
 
 The paper manually implemented these queries in sequential Java and had
 Casper translate them (section 7.1, 10/10 fragments).  Our sequential
@@ -6,9 +7,18 @@ implementations decompose each query into loop fragments within the IR's
 reach: Q1 as per-group aggregate maps, Q6 as the classic filtered sum,
 Q15 as per-supplier revenue plus a max scan, and Q17 as per-part
 quantity statistics followed by a filtered sum using broadcast lookups.
+
+The ``joins`` suite (registered below, same TPC-H schema family) covers
+the translated-join path end to end: a 2-way PK-FK join, a Q3-style
+two-join pipeline with a residual filter, and the §7.4
+part/supplier/partsupp 3-way whose ordering the planner picks from
+cardinalities.  Inner relations are sized sublinearly so the reference
+interpreter's nested scans stay affordable at test sizes.
 """
 
 from __future__ import annotations
+
+import math
 
 from .. import datagen
 from ..registry import Benchmark, register
@@ -152,6 +162,174 @@ double query17(List<LineItem> lineitem, int parts) {
       total += l.l_extendedprice;
   }
   return total / 7.0;
+}
+""",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# The ``joins`` suite: translated equi-join nests (PR 5)
+
+_PARTSUPP_CLASSES = """
+class PartSupp {
+  int ps_partkey;
+  int ps_suppkey;
+  double ps_supplycost;
+  int ps_availqty;
+}
+class Supplier {
+  int s_suppkey;
+  int s_nationkey;
+}
+class Part {
+  int p_partkey;
+  int p_size;
+}
+"""
+
+_Q3_CLASSES = """
+class Order {
+  int o_orderkey;
+  int o_custkey;
+}
+class Customer {
+  int c_custkey;
+  int c_mktsegment;
+}
+class Line {
+  int ln_orderkey;
+  double ln_price;
+  double ln_discount;
+}
+"""
+
+
+def _small_side(size: int) -> int:
+    return max(4, int(math.isqrt(max(1, size))))
+
+
+def _partsupp_inputs(size: int, seed: int):
+    part, supplier, partsupp = datagen.part_supplier_tables(
+        parts=_small_side(size), suppliers=_small_side(size), partsupps=size, seed=seed
+    )
+    return {"partsupp": partsupp, "part": part}
+
+
+def _three_way_inputs(size: int, seed: int):
+    part, supplier, partsupp = datagen.part_supplier_tables(
+        parts=max(6, size // 8),
+        suppliers=_small_side(size),
+        partsupps=size,
+        seed=seed,
+    )
+    return {"partsupp": partsupp, "supplier": supplier, "part": part}
+
+
+def _q3_inputs(size: int, seed: int):
+    orders, customer, line = datagen.order_customer_line(
+        orders=size,
+        customers=_small_side(size),
+        lines=max(8, size // 2),
+        seed=seed,
+    )
+    return {"orders": orders, "customer": customer, "line": line}
+
+
+register(
+    Benchmark(
+        name="joins_partsupp_cost",
+        suite="joins",
+        function="joinCost",
+        description=(
+            "2-way PK-FK equi-join: total supply cost weighted by part "
+            "size — the post-join value reads fields of both relations."
+        ),
+        make_inputs=_partsupp_inputs,
+        data_args=["partsupp", "part"],
+        source=_PARTSUPP_CLASSES
+        + """
+double joinCost(List<PartSupp> partsupp, List<Part> part) {
+  double total = 0;
+  for (PartSupp ps : partsupp) {
+    for (Part p : part) {
+      if (ps.ps_partkey == p.p_partkey) {
+        total += ps.ps_supplycost * p.p_size;
+      }
+    }
+  }
+  return total;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="joins_q3_revenue",
+        suite="joins",
+        function="query3",
+        description=(
+            "Q3-style two-join pipeline: revenue per order for one "
+            "market segment (orders ⋈ customer ⋈ line, residual segment "
+            "filter as a post-join guard; star on orders, so the "
+            "planner chooses between two verified join orderings)."
+        ),
+        make_inputs=_q3_inputs,
+        data_args=["orders", "customer", "line"],
+        source=_Q3_CLASSES
+        + """
+Map<Integer, Double> query3(List<Order> orders, List<Customer> customer, List<Line> line) {
+  Map<Integer, Double> revenue = new HashMap<Integer, Double>();
+  for (Order o : orders) {
+    for (Customer c : customer) {
+      if (o.o_custkey == c.c_custkey) {
+        for (Line l : line) {
+          if (o.o_orderkey == l.ln_orderkey) {
+            if (c.c_mktsegment == 1) {
+              revenue.put(o.o_orderkey, revenue.getOrDefault(o.o_orderkey, 0.0) + l.ln_price * (1.0 - l.ln_discount));
+            }
+          }
+        }
+      }
+    }
+  }
+  return revenue;
+}
+""",
+    )
+)
+
+register(
+    Benchmark(
+        name="joins_three_way_cost",
+        suite="joins",
+        function="threeWayCost",
+        description=(
+            "The §7.4 part/supplier/partsupp 3-way join: total supply "
+            "cost over matched triples.  Star on partsupp — the "
+            "compiler emits both join orderings and the planner picks "
+            "the cheaper from observed cardinalities "
+            "(baselines/joins.py is the oracle)."
+        ),
+        make_inputs=_three_way_inputs,
+        data_args=["partsupp", "supplier", "part"],
+        source=_PARTSUPP_CLASSES
+        + """
+double threeWayCost(List<PartSupp> partsupp, List<Supplier> supplier, List<Part> part) {
+  double total = 0;
+  for (PartSupp ps : partsupp) {
+    for (Supplier s : supplier) {
+      if (ps.ps_suppkey == s.s_suppkey) {
+        for (Part p : part) {
+          if (ps.ps_partkey == p.p_partkey) {
+            total += ps.ps_supplycost;
+          }
+        }
+      }
+    }
+  }
+  return total;
 }
 """,
     )

@@ -53,12 +53,13 @@ class TestDatagen:
 
 
 class TestRegistry:
-    def test_seven_suites_registered(self):
+    def test_eight_suites_registered(self):
         assert set(suites()) == {
             "ariths",
             "biglambda",
             "fiji",
             "iterative",
+            "joins",
             "phoenix",
             "stats",
             "tpch",
@@ -69,6 +70,7 @@ class TestRegistry:
         assert len(suite_benchmarks("stats")) == 19
         assert len(suite_benchmarks("biglambda")) == 9
         assert len(suite_benchmarks("tpch")) == 4
+        assert len(suite_benchmarks("joins")) == 3
 
     def test_lookup_by_name(self):
         benchmark = get_benchmark("phoenix_wordcount")
