@@ -18,7 +18,12 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
   paths, the engine's peak-resident proxy against the memory budget,
   spill-run counts, and whether results stayed byte-identical (they
   must — the identity flag is recorded so a regression is visible in
-  the trajectory, and gated hard in benchmarks/test_spill_bench.py).
+  the trajectory, and gated hard in benchmarks/test_spill_bench.py);
+* **kernel** — compiled batch kernels vs the tree-walking evaluator:
+  per-record map throughput for both codegen targets on the map-heavy
+  benchmarks (identity checked, speedup gated in
+  benchmarks/test_kernel_bench.py), plus shared-memory vs queue pool
+  transport wall clock and byte/segment accounting.
 
 The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
 recording the perf trajectory PR over PR.
@@ -92,6 +97,17 @@ JOIN_SIZE = 20_000
 #: and the two physical strategies cross-check each other at JOIN_SIZE.
 JOIN_VERIFY_SIZE = 2_000
 JOIN_REDUCE_BUDGET = 512
+
+#: Compiled-kernel measurement (mirrors benchmarks/test_kernel_bench.py,
+#: which gates ≥3× per-record speedup under BENCH_STRICT).
+KERNEL_BENCHMARKS = (
+    "ariths_sum",
+    "fiji_threshold",
+    "stats_variance_sums",
+    "tpch_q6",
+)
+KERNEL_SIZE = 50_000
+TRANSPORT_SIZE = 30_000
 
 
 def measure_compile() -> dict:
@@ -359,6 +375,99 @@ def measure_join() -> dict:
     return out
 
 
+def measure_kernel() -> dict:
+    """Compiled batch kernels vs the evaluator, measured for real.
+
+    Per-record map throughput is the honest unit: both kernels run the
+    same verified λm over the same records in the same process, so the
+    ratio is valid even on a single-CPU host.  The transport comparison
+    runs the full pipeline twice on a forced two-worker pool, once per
+    payload path.
+    """
+    from repro.codegen.base import prepare_globals, view_records
+    from repro.engine.multiprocess import MultiprocessEngine
+    from repro.engine.shm import SHM_AVAILABLE, owned_segments
+
+    def best_of(repeats, fn):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    per_benchmark: dict[str, dict] = {}
+    for name in KERNEL_BENCHMARKS:
+        benchmark = get_benchmark(name)
+        try:
+            compilation = compile_benchmark(benchmark)
+            fragment = next(f for f in compilation.fragments if f.translated)
+            program = fragment.program.programs[0]
+            inputs = benchmark.make_inputs(KERNEL_SIZE, 7)
+            globals_env, _sizes = prepare_globals(fragment.analysis, inputs)
+            records = view_records(fragment.analysis.view, inputs)
+            eval_fn = list(program.local_steps(globals_env, kernel="eval"))[0].fn
+            comp_fn = list(
+                program.local_steps(globals_env, kernel="compiled")
+            )[0].fn
+            identical = comp_fn.map_chunk(records) == [
+                pair for record in records for pair in eval_fn(record)
+            ]
+            eval_s = best_of(3, lambda: [eval_fn(r) for r in records])
+            comp_s = best_of(3, lambda: comp_fn.map_chunk(records))
+            per_benchmark[name] = {
+                "records": KERNEL_SIZE,
+                "outputs_identical": identical,
+                "vectorized": getattr(comp_fn, "vectorized", False),
+                "eval_us_per_record": round(eval_s * 1e6 / len(records), 3),
+                "compiled_us_per_record": round(comp_s * 1e6 / len(records), 3),
+                "speedup": round(eval_s / comp_s, 2) if comp_s else None,
+            }
+        except Exception as exc:
+            per_benchmark[name] = {"error": str(exc)}
+
+    transport: dict = {"available": SHM_AVAILABLE}
+    if SHM_AVAILABLE:
+        try:
+            benchmark = get_benchmark("stats_variance_sums")
+            compilation = compile_benchmark(benchmark)
+            fragment = next(f for f in compilation.fragments if f.translated)
+            program = fragment.program.programs[0]
+            inputs = benchmark.make_inputs(TRANSPORT_SIZE, 7)
+            globals_env, _sizes = prepare_globals(fragment.analysis, inputs)
+            records = view_records(fragment.analysis.view, inputs)
+            steps = list(program.local_steps(globals_env, kernel="compiled"))
+            config = program.engine_config.with_framework("multiprocess")
+
+            started = time.perf_counter()
+            queue_run = MultiprocessEngine(
+                config=config, processes=2, transport="queue"
+            ).run_pipeline(records, list(steps))
+            queue_wall = time.perf_counter() - started
+            started = time.perf_counter()
+            shm_run = MultiprocessEngine(
+                config=config, processes=2, transport="shm", shm_min_bytes=0
+            ).run_pipeline(records, list(steps))
+            shm_wall = time.perf_counter() - started
+            transport.update(
+                {
+                    "benchmark": "stats_variance_sums",
+                    "records": TRANSPORT_SIZE,
+                    "results_identical": sorted(shm_run.pairs)
+                    == sorted(queue_run.pairs),
+                    "queue_wall_seconds": round(queue_wall, 4),
+                    "shm_wall_seconds": round(shm_wall, 4),
+                    "shm_stats": shm_run.transport_stats(),
+                    "pool_fallback": shm_run.fallback_reason,
+                    "segments_leaked": owned_segments(),
+                }
+            )
+        except Exception as exc:
+            transport["error"] = str(exc)
+
+    return {"map_throughput": per_benchmark, "transport": transport}
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -398,6 +507,7 @@ def main(argv: list[str]) -> int:
         "dag": measure_dag(),
         "spill": measure_spill(),
         "join": measure_join(),
+        "kernel": measure_kernel(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -427,6 +537,16 @@ def main(argv: list[str]) -> int:
         f"{spill['spill_slowdown']}×, peak/budget "
         f"{spill['peak_over_budget']}"
     )
+    for name, row in payload["kernel"]["map_throughput"].items():
+        if "error" in row:
+            print(f"kernel {name}: ERROR {row['error']}")
+            continue
+        print(
+            f"kernel {name}: {row['speedup']}× "
+            f"({row['eval_us_per_record']} → {row['compiled_us_per_record']} "
+            f"µs/rec, identical={row['outputs_identical']}, "
+            f"numpy={row['vectorized']})"
+        )
     return 0
 
 

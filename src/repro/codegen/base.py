@@ -20,9 +20,10 @@ from typing import TYPE_CHECKING, Any, Optional
 if TYPE_CHECKING:
     from ..planner.plan import ExecutionPlan
 
-from ..errors import CodegenError, InterpreterError
+from ..errors import CodegenError, InterpreterError, KernelUnsupported
 from ..lang.analysis.fragments import FragmentAnalysis
 from ..lang.analysis.loops import DatasetView
+from ..lang.values import Instance
 from ..lang.interpreter import Environment, Interpreter
 from ..engine.config import EngineConfig
 from ..engine.flink import SimFlinkEnv
@@ -59,6 +60,9 @@ class ExecutionOutcome:
     #: Spill accounting from an out-of-core run; None when in-memory.
     spill_stats: Optional[dict] = None
     peak_resident_bytes: int = 0
+    #: Pool payload transport accounting (shared-memory segments/bytes);
+    #: None when nothing was pooled or everything rode the queue.
+    transport_stats: Optional[dict] = None
 
 
 def prepare_globals(
@@ -143,20 +147,62 @@ def record_env(view: DatasetView, record: Any) -> dict[str, Any]:
     raise CodegenError(f"unsupported view kind {view.kind!r}")
 
 
+def record_env_into(view: DatasetView, record: Any, env: dict[str, Any]) -> None:
+    """Bind one raw record's atoms into an existing environment.
+
+    The atom key set is fixed per view kind (and per struct class), so a
+    mapper can build the globals env once and overwrite only the
+    per-record keys on every call instead of re-splatting two dicts.
+    """
+    if view.kind == "join":
+        record_env_into(view.sides[0], record, env)
+        return
+    if view.kind == "foreach":
+        if view.element_class is not None and isinstance(record, Instance):
+            env.update(record.fields)
+        else:
+            assert view.element_var is not None
+            env[view.element_var] = record
+        env["__element"] = record
+        return
+    if view.kind == "array1d":
+        env[view.index_vars[0]] = record[0]
+        for name, value in zip(view.sources, record[1:]):
+            env[name] = value
+        return
+    if view.kind == "array2d":
+        env[view.index_vars[0]] = record[0]
+        env[view.index_vars[1]] = record[1]
+        env["v"] = record[2]
+        return
+    raise CodegenError(f"unsupported view kind {view.kind!r}")
+
+
 @dataclass
 class RecordMapper:
     """The first map stage: raw record → emitted pairs.
 
     A module-level callable class (not a closure) so the multiprocess
-    backend can ship it to worker processes with plain pickle.
+    backend can ship it to worker processes with plain pickle.  The
+    evaluation env is built once and reused across records: only the
+    record atoms are reassigned per call.
     """
 
     emits: tuple[Emit, ...]
     globals_env: dict[str, Any]
     view: DatasetView
+    _env: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_env"] = None
+        return state
 
     def __call__(self, record: Any) -> list[tuple]:
-        env = {**self.globals_env, **record_env(self.view, record)}
+        env = self._env
+        if env is None:
+            env = self._env = dict(self.globals_env)
+        record_env_into(self.view, record, env)
         out = []
         for emit in self.emits:
             if emit.cond is not None and not eval_expr(emit.cond, env):
@@ -172,11 +218,19 @@ class PairMapper:
     params: tuple[str, ...]
     emits: tuple[Emit, ...]
     globals_env: dict[str, Any]
+    _env: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_env"] = None
+        return state
 
     def __call__(self, pair: tuple) -> list[tuple]:
-        k_name = self.params[0]
-        v_name = self.params[1] if len(self.params) > 1 else "v"
-        env = {**self.globals_env, k_name: pair[0], v_name: pair[1]}
+        env = self._env
+        if env is None:
+            env = self._env = dict(self.globals_env)
+        env[self.params[0]] = pair[0]
+        env[self.params[1] if len(self.params) > 1 else "v"] = pair[1]
         out = []
         for emit in self.emits:
             if emit.cond is not None and not eval_expr(emit.cond, env):
@@ -192,10 +246,20 @@ class ReduceApplier:
     body: Any
     params: tuple[str, str]
     globals_env: dict[str, Any]
+    _env: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_env"] = None
+        return state
 
     def __call__(self, a: Any, b: Any) -> Any:
-        v1, v2 = self.params
-        return eval_expr(self.body, {**self.globals_env, v1: a, v2: b})
+        env = self._env
+        if env is None:
+            env = self._env = dict(self.globals_env)
+        env[self.params[0]] = a
+        env[self.params[1]] = b
+        return eval_expr(self.body, env)
 
 
 @dataclass
@@ -250,6 +314,67 @@ def _pair_emit_fn(stage: MapStage, globals_env: dict[str, Any]) -> PairMapper:
     return PairMapper(
         params=stage.lam.params, emits=stage.lam.emits, globals_env=globals_env
     )
+
+
+#: Valid values of the kernel knob threaded from plans and callers.
+KERNELS = ("eval", "compiled", "auto")
+
+
+def resolve_kernel(kernel: Optional[str], plan: Optional["ExecutionPlan"]) -> str:
+    """The effective kernel: explicit caller choice, then plan, then eval."""
+    effective = kernel if kernel is not None else (
+        getattr(plan, "kernel", None) if plan is not None else None
+    )
+    effective = effective or "eval"
+    if effective not in KERNELS:
+        raise CodegenError(
+            f"unknown kernel {effective!r}; expected one of {KERNELS}"
+        )
+    return effective
+
+
+def _compiled_map_fn(
+    stage: MapStage,
+    index: int,
+    globals_env: dict[str, Any],
+    view: DatasetView,
+    fallback: Any,
+) -> Any:
+    """The compiled mapper for a stage, or ``fallback`` when it cannot
+    be rendered (per-stage fallback keeps ``kernel="compiled"`` safe)."""
+    from .kernels import CompiledPairMapper, CompiledRecordMapper
+
+    try:
+        fn: Any
+        if index == 0:
+            fn = CompiledRecordMapper(
+                emits=stage.lam.emits, globals_env=globals_env, view=view
+            )
+        else:
+            fn = CompiledPairMapper(
+                params=stage.lam.params,
+                emits=stage.lam.emits,
+                globals_env=globals_env,
+            )
+        fn._ensure()  # render + compile now, at plan time
+        return fn
+    except KernelUnsupported:
+        return fallback
+
+
+def _compiled_reduce_fn(
+    stage: ReduceStage, globals_env: dict[str, Any], fallback: Any
+) -> Any:
+    from .kernels import CompiledReduce
+
+    try:
+        fn = CompiledReduce(
+            body=stage.lam.body, params=stage.lam.params, globals_env=globals_env
+        )
+        fn._ensure()
+        return fn
+    except KernelUnsupported:
+        return fallback
 
 
 def _stage_complexity(stage: MapStage) -> int:
@@ -319,6 +444,7 @@ class GeneratedProgram:
         backend: Optional[str] = None,
         plan: Optional["ExecutionPlan"] = None,
         records: Optional[list] = None,
+        kernel: Optional[str] = None,
     ) -> ExecutionOutcome:
         """Execute on ``backend`` (default: the compiled one).
 
@@ -327,7 +453,11 @@ class GeneratedProgram:
         their process/partition/combiner choices.  ``records`` lets a
         caller that already materialized ``view_records(analysis.view,
         inputs)`` (the planner does, for calibration) pass them through
-        instead of paying the transformation twice.
+        instead of paying the transformation twice.  ``kernel``
+        (``"eval"`` | ``"compiled"`` | ``"auto"``) picks the codegen
+        target on the real local backends; the simulated cluster
+        backends always interpret (their cost model charges per
+        record, so a faster kernel would not change what they report).
         """
         backend = backend or self.backend
         if backend == "spark":
@@ -338,7 +468,7 @@ class GeneratedProgram:
             return self._run_flink(inputs, records=records)
         if backend in ("multiprocess", "sequential"):
             return self._run_local(
-                inputs, backend=backend, plan=plan, records=records
+                inputs, backend=backend, plan=plan, records=records, kernel=kernel
             )
         raise CodegenError(f"unknown backend {backend!r}")
 
@@ -506,6 +636,7 @@ class GeneratedProgram:
         self,
         globals_env: dict[str, Any],
         plan: Optional["ExecutionPlan"] = None,
+        kernel: Optional[str] = None,
     ) -> list[Any]:
         """The real-engine step list for this program's pipeline.
 
@@ -513,9 +644,15 @@ class GeneratedProgram:
         (joined by bridge steps) into one fused engine invocation, so
         this is the seam where a fragment's translation stops being a
         whole job and becomes splice-able stages.
+
+        ``kernel`` (falling back to ``plan.kernel``) selects the codegen
+        target: ``"compiled"``/``"auto"`` render each stage to Python
+        source (:mod:`repro.codegen.kernels`), with a per-stage fallback
+        to the tree-walking eval kernel for anything unsupported.
         """
         from ..engine.multiprocess import MapStep, ReduceStep
 
+        compiled = resolve_kernel(kernel, plan) in ("compiled", "auto")
         steps: list[Any] = []
         for index, stage in enumerate(self.summary.pipeline.stages):
             if isinstance(stage, MapStage):
@@ -525,14 +662,19 @@ class GeneratedProgram:
                     )
                 else:
                     fn = _pair_emit_fn(stage, globals_env)
+                if compiled:
+                    fn = _compiled_map_fn(
+                        stage, index, globals_env, self.analysis.view, fn
+                    )
                 steps.append(MapStep(fn, _stage_complexity(stage)))
             elif isinstance(stage, ReduceStage):
                 combine = self._combiner_safe()
                 if plan is not None:
                     combine = combine and plan.combiner_for(index)
-                steps.append(
-                    ReduceStep(self._reduce_fn(stage, globals_env), combine=combine)
-                )
+                reduce_fn: Any = self._reduce_fn(stage, globals_env)
+                if compiled:
+                    reduce_fn = _compiled_reduce_fn(stage, globals_env, reduce_fn)
+                steps.append(ReduceStep(reduce_fn, combine=combine))
             elif isinstance(stage, JoinStage):
                 raise CodegenError(
                     "join pipelines need their input datasets to build "
@@ -547,6 +689,7 @@ class GeneratedProgram:
         backend: str = "multiprocess",
         plan: Optional["ExecutionPlan"] = None,
         records: Optional[list] = None,
+        kernel: Optional[str] = None,
     ) -> ExecutionOutcome:
         """Real execution: multiprocess pool, or in-process sequential.
 
@@ -575,7 +718,7 @@ class GeneratedProgram:
         else:
             if records is None:
                 records = view_records(self.analysis.view, inputs)
-            steps = self.local_steps(globals_env, plan=plan)
+            steps = self.local_steps(globals_env, plan=plan, kernel=kernel)
         if backend == "sequential":
             processes: Optional[int] = 0
         elif plan is not None:
@@ -601,6 +744,7 @@ class GeneratedProgram:
             processes_used=result.processes_used,
             spill_stats=result.spill_stats,
             peak_resident_bytes=result.peak_resident_bytes,
+            transport_stats=result.transport_stats(),
         )
 
 

@@ -89,6 +89,7 @@ class AdaptiveProgram:
         plan: Optional[str] = None,
         records: Optional[Any] = None,
         memory_budget: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> dict[str, Any]:
         """Sample, select, execute; returns the fragment outputs.
 
@@ -110,6 +111,13 @@ class AdaptiveProgram:
         the local engines spill the shuffle to disk when it cannot fit.
         A budget with ``plan=None`` implies ``plan="auto"`` — the budget
         only binds on the real local backends.
+
+        ``kernel`` (``"eval"`` | ``"compiled"`` | ``"auto"``) picks the
+        codegen target for the real local backends: the tree-walking
+        evaluator, the compiled batch kernels of
+        :mod:`repro.codegen.kernels`, or the planner's priced choice.
+        ``None`` defers to the plan (the planner decides under
+        ``plan="auto"``; forced plans default to eval).
         """
         if plan is None and memory_budget is not None:
             plan = "auto"
@@ -136,7 +144,7 @@ class AdaptiveProgram:
                 self.monitor.last_choice = f"impl_{index}"
         program = self.programs[index]
         if plan is None:
-            outcome = program.run(inputs, records=records)
+            outcome = program.run(inputs, records=records, kernel=kernel)
             self.last_outcome = outcome
             return outcome.outputs
 
@@ -144,6 +152,7 @@ class AdaptiveProgram:
             plan, program, records, sample, globals_env,
             memory_budget=memory_budget,
             inputs=inputs,
+            kernel=kernel,
         )
         report.implementation = f"impl_{index}"
         if self.last_join_decision is not None:
@@ -173,6 +182,7 @@ class AdaptiveProgram:
         else:
             report.backend_used = execution_plan.backend
         report.spill_stats = outcome.spill_stats
+        report.transport = outcome.transport_stats
         self.last_outcome = outcome
         self.last_plan_report = report
         return outcome.outputs
@@ -186,9 +196,10 @@ class AdaptiveProgram:
         globals_env: dict[str, Any],
         memory_budget: Optional[int] = None,
         inputs: Optional[dict[str, Any]] = None,
+        kernel: Optional[str] = None,
     ) -> tuple[ExecutionPlan, PlanReport]:
         if plan != "auto":
-            forced = forced_plan(plan, memory_budget=memory_budget)
+            forced = forced_plan(plan, memory_budget=memory_budget, kernel=kernel)
             report = PlanReport(plan=forced, input_records=_record_count(records))
             # Forced *local* runs of a join pipeline still record the
             # physical-join choice (the same deterministic size rule the
@@ -224,6 +235,7 @@ class AdaptiveProgram:
             globals_env,
             memory_budget=memory_budget,
             inputs=inputs,
+            kernel=kernel,
         )
 
     @property

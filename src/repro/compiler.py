@@ -268,6 +268,7 @@ def run_translated(
     fragment_index: Optional[int] = None,
     plan: Optional[str] = None,
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run one translated fragment of a compilation result.
 
@@ -288,9 +289,16 @@ def run_translated(
     unknown length), the engine scans in bounded chunks and spills the
     shuffle to disk, keeping peak residency near the budget.  A budget
     with ``plan=None`` implies ``plan="auto"``.
+
+    ``kernel`` (``"eval"`` | ``"compiled"`` | ``"auto"``) picks the
+    codegen target on the real local backends: the tree-walking IR
+    evaluator or the compiled batch kernels
+    (:mod:`repro.codegen.kernels`); ``None`` defers to the plan.
     """
     fragment = _pick_fragment(result, fragment_index)
-    return fragment.program.run(inputs, plan=plan, memory_budget=memory_budget)
+    return fragment.program.run(
+        inputs, plan=plan, memory_budget=memory_budget, kernel=kernel
+    )
 
 
 def run_program(
@@ -302,6 +310,7 @@ def run_program(
     max_workers: Optional[int] = None,
     strict: bool = True,
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run a whole compiled program as one dataflow-scheduled job graph.
 
@@ -327,6 +336,9 @@ def run_program(
     Inputs may be streaming :class:`~repro.engine.source.Dataset`
     sources (``foreach`` views); a budget with ``plan=None`` implies
     ``plan="auto"``.
+
+    ``kernel`` follows :func:`run_translated` and applies to every unit
+    that executes on a real local engine, fused chains included.
 
     After a run, :func:`last_graph_report` returns the
     :class:`~repro.planner.dag.GraphPlanReport` evidence trail (waves,
@@ -354,6 +366,7 @@ def run_program(
         max_workers=max_workers,
         strict=strict,
         memory_budget=memory_budget,
+        kernel=kernel,
     )
     result.last_graph_run = run
     return run.outputs

@@ -44,6 +44,13 @@ from ..errors import EngineError, SpillError
 from .config import EngineConfig
 from .core import lambda_cpu_ns, partition_data
 from .metrics import JobMetrics
+from .shm import (
+    SHM_AVAILABLE,
+    ShmRef,
+    release_segments,
+    resolve_payload,
+    write_segment,
+)
 from .sizes import sizeof, sizeof_pair
 from .source import Dataset, ListSource, as_dataset, chunk_records_for
 from .spill import (
@@ -122,10 +129,30 @@ class MultiprocessResult:
     #: Spill accounting (:meth:`repro.engine.spill.SpillStats.as_dict`);
     #: None for in-memory runs.
     spill_stats: Optional[dict] = None
+    #: How task payloads traveled to the pool: "queue" (re-pickled
+    #: through the executor pipes) or "shm" (staged once in shared
+    #: memory, handed off by name).
+    transport: str = "queue"
+    #: Shared-memory segments created / payload bytes they carried.
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    #: Payloads that fell back to the queue after a failed segment write.
+    shm_fallbacks: int = 0
 
     @property
     def executed_parallel(self) -> bool:
         return self.fallback_reason is None and self.processes_used > 1
+
+    def transport_stats(self) -> Optional[dict]:
+        """Compact transport accounting; None when nothing pooled."""
+        if self.shm_segments == 0 and self.shm_fallbacks == 0:
+            return None
+        return {
+            "transport": self.transport,
+            "segments": self.shm_segments,
+            "bytes": self.shm_bytes,
+            "fallbacks": self.shm_fallbacks,
+        }
 
 
 @dataclass
@@ -158,13 +185,29 @@ def _run_map_chunks(
 
     Shared by the pool workers and the in-process fallback, so both
     execution modes produce byte-identical results.
+
+    A mapper exposing ``map_chunk`` (the compiled kernels of
+    :mod:`repro.codegen.kernels`) is handed the whole chunk at once —
+    one call per chunk instead of one per record; per-record mappers
+    run the classic inner loop.  Both paths emit identical pairs in
+    identical order.
     """
     out = _MapOut(chunk_pairs=[], stage_counts=[[0, 0, 0] for _ in map_fns])
     for chunk in chunks:
         current: list = chunk
         for index, fn in enumerate(map_fns):
             counts = out.stage_counts[index]
-            emitted: list = []
+            chunk_fn = getattr(fn, "map_chunk", None)
+            if chunk_fn is not None:
+                counts[0] += len(current)
+                emitted = list(chunk_fn(current))
+                counts[1] += len(emitted)
+                if account_bytes:
+                    for pair in emitted:
+                        counts[2] += sizeof(pair)
+                current = emitted
+                continue
+            emitted = []
             for record in current:
                 counts[0] += 1
                 for pair in fn(record):
@@ -203,15 +246,17 @@ def _fold_groups(
     return out
 
 
-def _map_task(payload: bytes) -> _MapOut:
+def _map_task(payload: Union[bytes, ShmRef]) -> _MapOut:
     """Pool entry point: unpickle one map task and run it."""
-    map_fns, combiner, chunks, shuffle_next, account_bytes = pickle.loads(payload)
+    map_fns, combiner, chunks, shuffle_next, account_bytes = pickle.loads(
+        resolve_payload(payload)
+    )
     return _run_map_chunks(map_fns, combiner, chunks, shuffle_next, account_bytes)
 
 
-def _reduce_task(payload: bytes) -> list[tuple]:
+def _reduce_task(payload: Union[bytes, ShmRef]) -> list[tuple]:
     """Pool entry point: unpickle one bucket of key groups and fold it."""
-    fn, groups = pickle.loads(payload)
+    fn, groups = pickle.loads(resolve_payload(payload))
     return _fold_groups(fn, groups)
 
 
@@ -253,7 +298,7 @@ def _run_spill_map(
     return out
 
 
-def _spill_map_task(payload: bytes) -> SpillMapOut:
+def _spill_map_task(payload: Union[bytes, ShmRef]) -> SpillMapOut:
     """Pool entry point: one map task spilling locally to shared disk."""
     (
         map_fns,
@@ -264,14 +309,14 @@ def _spill_map_task(payload: bytes) -> SpillMapOut:
         budget,
         task_id,
         account_bytes,
-    ) = pickle.loads(payload)
+    ) = pickle.loads(resolve_payload(payload))
     writer = SpillWriter(spill_dir, partitions, budget, task_id=task_id)
     return _run_spill_map(map_fns, combiner, chunks, writer, account_bytes)
 
 
-def _spill_reduce_task(payload: bytes) -> tuple[list[tuple], int]:
+def _spill_reduce_task(payload: Union[bytes, ShmRef]) -> tuple[list[tuple], int]:
     """Pool entry point: merge-reduce one partition's spill runs."""
-    fn, run_files = pickle.loads(payload)
+    fn, run_files = pickle.loads(resolve_payload(payload))
     stats = SpillStats()
     pairs = merge_partition(run_files, fn, stats)
     return pairs, stats.peak_resident_bytes
@@ -308,6 +353,15 @@ class MultiprocessEngine:
     #: Where spill runs are written; None → a private temp directory,
     #: removed when the job finishes.
     spill_dir: Optional[str] = None
+    #: How task payloads reach the pool: "queue" re-pickles through the
+    #: executor pipes; "shm" stages each payload once in a
+    #: multiprocessing.shared_memory segment and sends only the name;
+    #: "auto" uses shm for payloads of at least ``shm_min_bytes`` when
+    #: the platform supports it, with transparent per-payload fallback.
+    transport: str = "auto"
+    #: Below this payload size "auto" stays on the queue — the segment
+    #: create/attach syscalls cost more than piping a few kilobytes.
+    shm_min_bytes: int = 65536
 
     def run_pipeline(
         self, records: Union[list, Dataset], steps: Sequence[PipelineStep]
@@ -324,6 +378,11 @@ class MultiprocessEngine:
         """
         if not steps:
             raise EngineError("multiprocess pipeline needs at least one step")
+        if self.transport not in ("auto", "shm", "queue"):
+            raise EngineError(
+                f"unknown transport {self.transport!r}; "
+                "expected 'auto', 'shm' or 'queue'"
+            )
         if self.memory_budget is not None:
             return self._run_streaming(as_dataset(records), list(steps))
         if isinstance(records, Dataset):
@@ -449,11 +508,14 @@ class MultiprocessEngine:
                 chunks, map_fns, combiner, shuffle_next, result
             )
             if payloads is not None:
+                sent, refs = self._send_payloads(payloads, result)
                 try:
-                    parts = list(pool.map(_map_task, payloads))
+                    parts = list(pool.map(_map_task, sent))
                 except BrokenProcessPool:
                     self._record_fallback(result, "worker pool broke mid-job")
                     parts = None
+                finally:
+                    release_segments(refs)
                 if parts:
                     out = parts[0]
                     for part in parts[1:]:
@@ -504,6 +566,37 @@ class MultiprocessEngine:
             # in user code) is a real error and propagates.
             self._record_fallback(result, f"payload not picklable: {exc!r}")
             return None
+
+    def _send_payloads(
+        self, payloads: list[bytes], result: MultiprocessResult
+    ) -> tuple[list[Union[bytes, ShmRef]], list[ShmRef]]:
+        """Stage payloads for the pool, through shared memory when on.
+
+        Returns the per-task payloads to submit (ShmRef where staged,
+        raw bytes where not) plus the refs the caller must release once
+        the pool round finishes.  Any segment-creation failure falls
+        back to queue bytes for that payload only.
+        """
+        if self.transport == "queue" or not SHM_AVAILABLE:
+            return list(payloads), []
+        threshold = 0 if self.transport == "shm" else self.shm_min_bytes
+        sent: list[Union[bytes, ShmRef]] = []
+        refs: list[ShmRef] = []
+        for data in payloads:
+            ref = None
+            if len(data) >= threshold:
+                ref = write_segment(data)
+                if ref is None:
+                    result.shm_fallbacks += 1
+            if ref is None:
+                sent.append(data)
+            else:
+                refs.append(ref)
+                sent.append(ref)
+                result.transport = "shm"
+                result.shm_segments += 1
+                result.shm_bytes += len(data)
+        return sent, refs
 
     @staticmethod
     def _record_fallback(result: MultiprocessResult, reason: str) -> None:
@@ -589,12 +682,15 @@ class MultiprocessEngine:
             except _PICKLE_ERRORS:  # unpicklable reducer — fold in-process
                 payloads = None
             if payloads is not None:
+                sent, refs = self._send_payloads(payloads, result)
                 try:
-                    folded = list(pool.map(_reduce_task, payloads))
+                    folded = list(pool.map(_reduce_task, sent))
                     pairs = [pair for bucket in folded for pair in bucket]
                 except BrokenProcessPool:
                     self._record_fallback(result, "worker pool broke during reduce")
                     pairs = None
+                finally:
+                    release_segments(refs)
         if pairs is None:
             pairs = _fold_groups(reduce_step.fn, groups)
         elapsed = time.perf_counter() - started
@@ -997,10 +1093,13 @@ class MultiprocessEngine:
                     )
                 outs: Optional[list[SpillMapOut]] = None
                 if payloads is not None:
+                    sent, refs = self._send_payloads(payloads, result)
                     try:
-                        outs = list(pool.map(_spill_map_task, payloads))
+                        outs = list(pool.map(_spill_map_task, sent))
                     except BrokenProcessPool:
                         self._record_fallback(result, "worker pool broke mid-job")
+                    finally:
+                        release_segments(refs)
                 task_id += len(batches)  # ids consumed even when lost
                 if outs is None:
                     # Re-run this round inline (fresh task id keeps its
@@ -1054,8 +1153,9 @@ class MultiprocessEngine:
             except _PICKLE_ERRORS:  # unpicklable reducer — merge inline
                 payloads = None
             if payloads is not None:
+                sent, refs = self._send_payloads(payloads, result)
                 try:
-                    outs = list(pool.map(_spill_reduce_task, payloads))
+                    outs = list(pool.map(_spill_reduce_task, sent))
                 except BrokenProcessPool:
                     self._record_fallback(result, "worker pool broke during reduce")
                 else:
@@ -1063,6 +1163,8 @@ class MultiprocessEngine:
                     for bucket, peak in outs:
                         stats.note_resident(peak)
                         folded.append(bucket)
+                finally:
+                    release_segments(refs)
         if folded is None:
             folded = [
                 merge_partition(files, reduce_step.fn, stats)

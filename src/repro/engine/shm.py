@@ -1,0 +1,99 @@
+"""Shared-memory payload transport for the multiprocess pool.
+
+The pool normally moves task payloads (pickled chunks of records or
+shuffle partitions) through the executor's queues, which re-serializes
+every byte through a pipe per task.  On platforms with
+:mod:`multiprocessing.shared_memory`, the driver can instead pickle a
+payload **once** into a named shared segment and hand the worker only
+the tiny ``(name, size)`` reference; the worker maps the segment and
+reads the bytes in place.
+
+Lifecycle protocol (single-owner, fork-friendly):
+
+* the **driver** creates and fills a segment per payload, keeping the
+  handle open in :data:`_OWNED`;
+* **workers** attach by name, copy the bytes out, and ``close()`` their
+  mapping — they never ``unlink`` (unlinking is the owner's job, and a
+  double-unregister trips the resource tracker);
+* after the pool round completes — success or not — the driver calls
+  :func:`release_segments`, which closes and unlinks every segment it
+  created.
+
+Everything degrades transparently: if segment creation fails (no
+``/dev/shm``, size limits, platform without the module) the payload
+simply travels the queue path as plain bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Whether the shared-memory transport can be attempted at all.
+SHM_AVAILABLE = _shared_memory is not None
+
+#: Segments created by this (driver) process, by name, so they can be
+#: released even when the pool round fails mid-way.
+_OWNED: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A picklable handle to one payload staged in shared memory."""
+
+    name: str
+    size: int
+
+
+def write_segment(data: bytes) -> Optional[ShmRef]:
+    """Stage ``data`` in a new shared segment; None → caller falls back."""
+    if _shared_memory is None or not data:
+        return None
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=len(data))
+        segment.buf[: len(data)] = data
+    except (OSError, ValueError):
+        return None
+    _OWNED[segment.name] = segment
+    return ShmRef(name=segment.name, size=len(data))
+
+
+def read_segment(ref: ShmRef) -> bytes:
+    """Copy a staged payload out of its segment (worker side)."""
+    if _shared_memory is None:
+        raise RuntimeError("shared_memory unavailable but ShmRef received")
+    segment = _shared_memory.SharedMemory(name=ref.name)
+    try:
+        return bytes(segment.buf[: ref.size])
+    finally:
+        segment.close()
+
+
+def resolve_payload(payload: Union[bytes, ShmRef]) -> bytes:
+    """Payload as bytes, whichever transport carried it."""
+    if isinstance(payload, ShmRef):
+        return read_segment(payload)
+    return payload
+
+
+def release_segments(refs: list[ShmRef]) -> None:
+    """Close and unlink driver-owned segments (idempotent per ref)."""
+    for ref in refs:
+        segment = _OWNED.pop(ref.name, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def owned_segments() -> int:
+    """Live driver-owned segments (should be 0 between pool rounds)."""
+    return len(_OWNED)

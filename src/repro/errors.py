@@ -73,6 +73,11 @@ class CodegenError(ReproError):
     """Raised when code generation from a summary fails."""
 
 
+class KernelUnsupported(CodegenError):
+    """Raised when the compiled (source-rendering) kernel cannot express
+    a summary; callers fall back to the tree-walking eval kernel."""
+
+
 class WorkloadError(ReproError):
     """Raised by workload/data generators for invalid parameters."""
 

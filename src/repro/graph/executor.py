@@ -34,6 +34,7 @@ from ..codegen.base import (
     StitchBridge,
     bind_outputs,
     prepare_globals,
+    resolve_kernel,
     view_records,
 )
 from ..engine.multiprocess import BridgeStep, MapStep, MultiprocessEngine
@@ -131,6 +132,7 @@ def run_graph(
     strict: bool = True,
     planner_config: Optional[PlannerConfig] = None,
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> GraphRunResult:
     """Execute a whole-program job graph over concrete inputs.
 
@@ -150,6 +152,12 @@ def run_graph(
     stage handoffs inside fused chains streamed the same way.  Since the
     budget only binds on the real local engines, a budget with
     ``plan=None`` implies ``plan="auto"``.
+
+    ``kernel`` (``"eval"`` | ``"compiled"`` | ``"auto"``) picks the
+    codegen target for every unit that executes on a real local
+    engine — including every stage of a fused chain; ``None`` defers
+    to each unit's plan (the planner prices the choice under
+    ``plan="auto"``).
     """
     started = time.perf_counter()
     if plan is None and memory_budget is not None:
@@ -198,6 +206,7 @@ def run_graph(
                             cache,
                             planner_config,
                             memory_budget,
+                            kernel,
                         ),
                         units,
                     )
@@ -205,7 +214,14 @@ def run_graph(
         else:
             outcomes = [
                 _run_unit(
-                    graph, unit, env, plan, cache, planner_config, memory_budget
+                    graph,
+                    unit,
+                    env,
+                    plan,
+                    cache,
+                    planner_config,
+                    memory_budget,
+                    kernel,
                 )
                 for unit in units
             ]
@@ -330,6 +346,7 @@ def _run_unit(
     cache: _RecordsCache,
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> _UnitOutcome:
     outcome = _UnitOutcome(unit=unit)
     node = graph.nodes[unit.head]
@@ -344,9 +361,12 @@ def _run_unit(
             outcome,
             planner_config,
             memory_budget,
+            kernel,
         )
     elif node.translated:
-        _run_single(node, unit, env, plan, cache, outcome, memory_budget)
+        _run_single(
+            node, unit, env, plan, cache, outcome, memory_budget, kernel
+        )
     else:
         _run_interpreted(node, env, outcome)
     outcome.wall_seconds = time.perf_counter() - started
@@ -361,11 +381,16 @@ def _run_single(
     cache: _RecordsCache,
     outcome: _UnitOutcome,
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> None:
     program = node.program
     records = cache.get(node.analysis.view, env)
     outcome.outputs = program.run(
-        env, plan=plan, records=records, memory_budget=memory_budget
+        env,
+        plan=plan,
+        records=records,
+        memory_budget=memory_budget,
+        kernel=kernel,
     )
     if plan is not None and program.last_plan_report is not None:
         outcome.report = program.last_plan_report
@@ -390,6 +415,7 @@ def _run_chain(
     outcome: _UnitOutcome,
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> None:
     """Execute a fused chain as one engine invocation.
 
@@ -415,11 +441,19 @@ def _run_chain(
         plan,
         planner_config,
         memory_budget,
+        kernel,
     )
     # The plan's per-stage combiner decisions index the head program's
     # stages, so only the head's steps honour them; downstream nodes
-    # keep the proof-gated default.
-    steps = list(chosen.local_steps(globals_env, plan=execution_plan))
+    # keep the proof-gated default.  The kernel choice, by contrast, is
+    # chain-wide: resolve it once (explicit caller > head plan > eval)
+    # and apply it to every node's steps.
+    chain_kernel = resolve_kernel(kernel, execution_plan)
+    steps = list(
+        chosen.local_steps(
+            globals_env, plan=execution_plan, kernel=chain_kernel
+        )
+    )
     bridges: list[StitchBridge] = []
 
     prev = (head, chosen, globals_env, output_sizes)
@@ -439,7 +473,7 @@ def _run_chain(
             )
             bridges.append(bridge)
             steps.append(BridgeStep(bridge))
-        steps.extend(node_chosen.local_steps(node_globals))
+        steps.extend(node_chosen.local_steps(node_globals, kernel=chain_kernel))
         prev = (node, node_chosen, node_globals, node_sizes)
 
     tail_node, tail_chosen, tail_globals, tail_sizes = prev
@@ -498,6 +532,7 @@ def _chain_plan(
     plan: Optional[str],
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
+    kernel: Optional[str] = None,
 ):
     """Resolve the execution plan for a fused chain.
 
@@ -530,6 +565,7 @@ def _chain_plan(
         sample,
         globals_env,
         memory_budget=memory_budget,
+        kernel=kernel,
     )
     if effective == "auto":
         report.implementation = f"impl_{unit.impl_indexes[0]}"

@@ -53,6 +53,11 @@ class ExecutionPlan:
     #: order ("broadcast" | "reduce_side"); empty for non-join jobs or
     #: when the codegen default rule should decide at run time.
     join_strategies: tuple[str, ...] = ()
+    #: Codegen target for the real local backends: "eval" interprets
+    #: the IR per record, "compiled" runs the generated-source batch
+    #: kernels (:mod:`repro.codegen.kernels`), "auto" lets codegen
+    #: compile with per-stage fallback.
+    kernel: str = "eval"
     #: Human-readable decision trail, in the order decisions were made.
     reasons: tuple[str, ...] = ()
 
@@ -71,6 +76,8 @@ class ExecutionPlan:
             parts.append(f"partitions={self.partitions}")
         if self.spill:
             parts.append(f"spill=on(budget={self.memory_budget})")
+        if self.kernel != "eval":
+            parts.append(f"kernel={self.kernel}")
         if self.join_strategies:
             parts.append("join=" + "/".join(self.join_strategies))
         for stage in self.stages:
@@ -115,6 +122,9 @@ class PlanReport:
     #: fragments, the §7.4 cardinality-based ordering choice.  None for
     #: non-join jobs.
     join: Optional[dict] = None
+    #: Pool payload transport accounting from the engine (shared-memory
+    #: segments and bytes); None when nothing pooled.
+    transport: Optional[dict] = None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -125,6 +135,8 @@ class PlanReport:
             "partitions": self.plan.partitions,
             "memory_budget": self.plan.memory_budget,
             "spill": self.plan.spill,
+            "kernel": self.plan.kernel,
+            "transport": self.transport,
             "estimated_input_bytes": self.estimated_input_bytes,
             "spill_stats": self.spill_stats,
             "input_records": self.input_records,
@@ -147,18 +159,26 @@ def forced_plan(
     stages: tuple[StagePlan, ...] = (),
     memory_budget: Optional[int] = None,
     spill_dir: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> ExecutionPlan:
     """A plan that pins the backend because the caller asked for it.
 
     A ``memory_budget`` forces the out-of-core path on the real local
     backends: the engine streams the input and spills the shuffle once
     the budget is exceeded, regardless of the planner's size estimates.
+    ``kernel`` pins the codegen target the same way (None → eval).
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS} or 'auto'"
         )
+    if kernel is not None and kernel not in ("eval", "compiled", "auto"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected 'eval', 'compiled' or 'auto'"
+        )
     reasons = [f"backend {backend!r} forced by caller"]
+    if kernel is not None and kernel != "eval":
+        reasons.append(f"kernel {kernel!r} forced by caller")
     # The budget only binds on the real local engines: a simulated
     # cluster backend materializes everything in-memory, so claiming
     # spill=True for it would put a spill that never happened into the
@@ -182,5 +202,6 @@ def forced_plan(
         memory_budget=memory_budget if spill else None,
         spill=spill,
         spill_dir=spill_dir,
+        kernel=(kernel or "eval") if local else "eval",
         reasons=tuple(reasons),
     )

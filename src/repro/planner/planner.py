@@ -74,6 +74,13 @@ class PlannerConfig:
     memory_budget: Optional[int] = None
     #: Spill-run directory; None → a private temp directory per job.
     spill_dir: Optional[str] = None
+    #: Codegen target: "eval", "compiled", or "auto" (price the compiled
+    #: batch kernels from stage complexity × record count).
+    kernel: str = "auto"
+    #: Minimum estimated map work (records × summed emit-expression
+    #: nodes) before "auto" picks the compiled kernel — below this the
+    #: render+compile cost dominates the per-record savings.
+    kernel_min_work: int = 10_000
 
 
 @dataclass
@@ -124,6 +131,7 @@ class ExecutionPlanner:
         globals_env: dict[str, Any],
         memory_budget: Optional[int] = None,
         inputs: Optional[dict[str, Any]] = None,
+        kernel: Optional[str] = None,
     ) -> tuple["ExecutionPlan", "PlanReport"]:
         """Decide how to execute ``program`` over ``records``.
 
@@ -140,6 +148,11 @@ class ExecutionPlanner:
         fits the memory budget (or the default broadcast threshold),
         and reduce-side through the tagged-union shuffle otherwise —
         recorded per level in the plan and the report.
+
+        ``kernel`` overrides the configured kernel knob for this run:
+        ``"eval"``/``"compiled"`` pin the codegen target, ``"auto"``
+        (the default) prices the compiled batch kernels from the map
+        stages' expression complexity and the record count.
         """
         from ..engine.source import Dataset
         from .plan import ExecutionPlan, PlanReport
@@ -229,6 +242,12 @@ class ExecutionPlanner:
             program, inputs, budget, reasons
         )
         partitions = self._partitions(program, stages, processes, reasons)
+        kernel_choice = self._kernel_decision(
+            kernel if kernel is not None else self.config.kernel,
+            program,
+            n,
+            reasons,
+        )
         plan = ExecutionPlan(
             backend=backend,
             processes=0 if backend == "sequential" else processes,
@@ -238,6 +257,7 @@ class ExecutionPlanner:
             spill=spill,
             spill_dir=self.config.spill_dir,
             join_strategies=join_strategies,
+            kernel=kernel_choice,
             reasons=tuple(reasons),
         )
         cluster = self._cluster_ranking(
@@ -256,6 +276,77 @@ class ExecutionPlanner:
             join=join_report,
         )
         return plan, report
+
+    def _kernel_decision(
+        self,
+        requested: str,
+        program: "GeneratedProgram",
+        n: Optional[int],
+        reasons: list[str],
+    ) -> str:
+        """Pick the codegen target, pricing "auto" from map work.
+
+        The compiled kernel's cost is a one-off render+compile per
+        stage; its payoff scales with records × expression size.  The
+        decision therefore compares that product against a cutoff —
+        tiny jobs stay on the evaluator, everything else compiles.
+        """
+        from ..codegen.kernels import kernel_support
+        from ..ir.nodes import expr_size
+
+        if requested not in ("eval", "compiled", "auto"):
+            raise ValueError(
+                f"unknown kernel {requested!r}; expected 'eval', "
+                "'compiled' or 'auto'"
+            )
+        if requested == "eval":
+            return "eval"
+        support = kernel_support(program.summary, program.analysis.view)
+        if requested == "compiled":
+            if support is not None:
+                reasons.append(
+                    f"kernel=compiled forced by caller; {support} — "
+                    "unsupported stages fall back to eval"
+                )
+            else:
+                reasons.append("kernel=compiled forced by caller")
+            return "compiled"
+        if support is not None:
+            reasons.append(f"kernel=eval ({support})")
+            return "eval"
+        # Every emit costs at least one λm dispatch (env bind + key/value
+        # eval) on top of its expression operators, so weight emits by
+        # 1 + their operator counts — ``expr_size`` alone prices a
+        # trivial projection map at zero.
+        complexity = sum(
+            1
+            + expr_size(emit.key)
+            + expr_size(emit.value)
+            + (expr_size(emit.cond) if emit.cond is not None else 0)
+            for stage in program.summary.pipeline.stages
+            if isinstance(stage, MapStage)
+            for emit in stage.lam.emits
+        )
+        if n is None:
+            reasons.append(
+                "kernel=compiled (unknown-length source: assuming large, "
+                "batch kernels amortize per-record dispatch)"
+            )
+            return "compiled"
+        work = n * max(1, complexity)
+        if work < self.config.kernel_min_work:
+            reasons.append(
+                f"kernel=eval (map work {work} expr-evals < "
+                f"{self.config.kernel_min_work}: compile cost would "
+                "dominate)"
+            )
+            return "eval"
+        reasons.append(
+            f"kernel=compiled (map work {work} expr-evals ≥ "
+            f"{self.config.kernel_min_work}: batch kernels amortize "
+            "per-record dispatch)"
+        )
+        return "compiled"
 
     @staticmethod
     def _join_decision(
