@@ -23,7 +23,12 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
   per-record map throughput for both codegen targets on the map-heavy
   benchmarks (identity checked, speedup gated in
   benchmarks/test_kernel_bench.py), plus shared-memory vs queue pool
-  transport wall clock and byte/segment accounting.
+  transport wall clock and byte/segment accounting;
+* **serve** — the compile-and-serve daemon: cold vs warm registration
+  (same process, and a restarted daemon over the disk cache tier),
+  p50/p95 submit→result round-trip latency over the socket, concurrent
+  mixed-budget throughput, and result identity vs direct
+  ``run_program``.
 
 The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
 recording the perf trajectory PR over PR.
@@ -39,7 +44,13 @@ import subprocess
 import sys
 import time
 
-from repro import SummaryCache, last_graph_report, run_program, translate_many
+from repro import (
+    ExecOptions,
+    SummaryCache,
+    last_graph_report,
+    run_program,
+    translate_many,
+)
 from repro.engine.multiprocess import default_process_count
 from repro.workloads import datagen, get_benchmark, suite_benchmarks, suites
 from repro.workloads.runner import (
@@ -266,15 +277,14 @@ def measure_spill() -> dict:
     data_arg = benchmark.data_args[0]
 
     started = time.perf_counter()
-    base = run_program(compilation, {data_arg: records}, plan="sequential")
+    base = run_program(compilation, {data_arg: records}, ExecOptions(plan="sequential"))
     base_wall = time.perf_counter() - started
 
     started = time.perf_counter()
     spilled = run_program(
         compilation,
         {data_arg: source},
-        plan="auto",
-        memory_budget=SPILL_BUDGET,
+        ExecOptions(plan="auto", memory_budget=SPILL_BUDGET),
     )
     spill_wall = time.perf_counter() - started
 
@@ -468,6 +478,110 @@ def measure_kernel() -> dict:
     return {"map_throughput": per_benchmark, "transport": transport}
 
 
+#: Serve-layer measurement: round-trip latency over the local socket
+#: with a resident (warm) program, plus a concurrent mixed-budget batch.
+SERVE_BENCHMARK = "ariths_sum"
+SERVE_SIZE = 5_000
+SERVE_LATENCY_JOBS = 20
+SERVE_CONCURRENT_JOBS = 16
+SERVE_BUDGET = 16_384
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def measure_serve() -> dict:
+    """The daemon measured for real: registration warmth and latency."""
+    import tempfile
+
+    from repro.serve.client import connect
+    from repro.serve.daemon import serve
+
+    benchmark = get_benchmark(SERVE_BENCHMARK)
+    inputs = benchmark.make_inputs(SERVE_SIZE, 7)
+    expected = run_program(compile_benchmark(benchmark), dict(inputs))
+
+    out: dict = {
+        "benchmark": SERVE_BENCHMARK,
+        "records": SERVE_SIZE,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as cache_dir:
+        daemon = serve(cache_dir=cache_dir, max_workers=4)
+        try:
+            client = connect(daemon.address)
+
+            started = time.perf_counter()
+            cold = client.compile(benchmark.source, benchmark.function)
+            cold_s = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = client.compile(benchmark.source, benchmark.function)
+            warm_s = time.perf_counter() - started
+            out["register"] = {
+                "cold_seconds": round(cold_s, 4),
+                "cold_candidates_checked": cold.candidates_checked,
+                "warm_seconds": round(warm_s, 4),
+                "warm_candidates_checked": warm.candidates_checked,
+                "warm_skipped_synthesis": warm.warm
+                and warm.candidates_checked == 0,
+            }
+
+            # Sequential submit→result round trips on the warm program:
+            # the latency a resident client actually observes.
+            latencies = []
+            identical = True
+            for _ in range(SERVE_LATENCY_JOBS):
+                started = time.perf_counter()
+                result = client.submit(cold, inputs).result(timeout=300)
+                latencies.append(time.perf_counter() - started)
+                identical = identical and result.outputs == expected
+            out["latency"] = {
+                "jobs": SERVE_LATENCY_JOBS,
+                "p50_seconds": round(_percentile(latencies, 0.50), 4),
+                "p95_seconds": round(_percentile(latencies, 0.95), 4),
+                "results_identical": identical,
+            }
+
+            # Concurrent mixed-budget batch: total wall → throughput.
+            budget = ExecOptions(memory_budget=SERVE_BUDGET)
+            started = time.perf_counter()
+            jobs = [
+                client.submit(cold, inputs, budget if i % 2 else None)
+                for i in range(SERVE_CONCURRENT_JOBS)
+            ]
+            results = [job.result(timeout=300) for job in jobs]
+            batch_s = time.perf_counter() - started
+            out["concurrent"] = {
+                "jobs": SERVE_CONCURRENT_JOBS,
+                "budgeted_jobs": SERVE_CONCURRENT_JOBS // 2,
+                "memory_budget": SERVE_BUDGET,
+                "wall_seconds": round(batch_s, 4),
+                "jobs_per_second": round(SERVE_CONCURRENT_JOBS / batch_s, 2),
+                "results_identical": all(
+                    r.ok and r.outputs == expected for r in results
+                ),
+                "admission_modes": sorted({r.admission["mode"] for r in results}),
+            }
+        finally:
+            daemon.shutdown()
+
+        # A restarted daemon over the same disk tier registers warm.
+        daemon = serve(cache_dir=cache_dir, max_workers=2)
+        try:
+            client = connect(daemon.address)
+            started = time.perf_counter()
+            restarted = client.compile(benchmark.source, benchmark.function)
+            out["register"]["restart_seconds"] = round(time.perf_counter() - started, 4)
+            out["register"]["restart_candidates_checked"] = (
+                restarted.candidates_checked
+            )
+        finally:
+            daemon.shutdown()
+    return out
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -508,6 +622,7 @@ def main(argv: list[str]) -> int:
         "spill": measure_spill(),
         "join": measure_join(),
         "kernel": measure_kernel(),
+        "serve": measure_serve(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -547,6 +662,18 @@ def main(argv: list[str]) -> int:
             f"µs/rec, identical={row['outputs_identical']}, "
             f"numpy={row['vectorized']})"
         )
+    serve_row = payload["serve"]
+    print(
+        "serve: register cold "
+        f"{serve_row['register']['cold_seconds']}s → warm "
+        f"{serve_row['register']['warm_seconds']}s (restart "
+        f"{serve_row['register']['restart_seconds']}s, candidates "
+        f"{serve_row['register']['restart_candidates_checked']}), "
+        f"latency p50 {serve_row['latency']['p50_seconds']}s / p95 "
+        f"{serve_row['latency']['p95_seconds']}s, "
+        f"{serve_row['concurrent']['jobs_per_second']} jobs/s concurrent, "
+        f"identical={serve_row['concurrent']['results_identical']}"
+    )
     return 0
 
 

@@ -19,15 +19,29 @@ distributed substrate (see DESIGN.md for the substitution map):
   partitions, combiners) with per-run ``PlanReport`` evidence
 * :mod:`repro.codegen` — code generation and the adaptive program
 * :mod:`repro.compiler` — the end-to-end pipeline
+* :mod:`repro.session` / :mod:`repro.serve` — the resident session API
+  and the compile-and-serve daemon
 * :mod:`repro.baselines` — MOLD-style rules, mini-SparkSQL, manual impls
 * :mod:`repro.workloads` — the seven benchmark suites and data generators
 
+**Stable public API** (everything else is importable but may move):
+:func:`compile` / :func:`translate`, :class:`Session`,
+:class:`ExecOptions`, :class:`JobResult`, :func:`connect`,
+:mod:`repro.serve`, and :mod:`repro.errors`.
+
 Quickstart::
 
-    from repro import translate
+    import repro
 
-    result = translate(JAVA_SOURCE)
-    outputs = result.fragments[0].program.run({"data": [...], "n": 3})
+    with repro.Session() as session:
+        prog = session.compile(JAVA_SOURCE)
+        job = session.submit(prog, {"data": [...], "n": 3})
+        print(job.result().outputs)
+
+The pre-1.5 free functions (``run_program``, ``run_translated``,
+``last_plan_report``, ``last_graph_report``) remain as thin shims for
+existing callers; new code should go through :class:`Session`, whose
+:class:`JobResult` carries each job's reports race-free.
 """
 
 from .compiler import (
@@ -50,6 +64,7 @@ from .engine.source import (
     TextSource,
 )
 from .graph import GraphRunResult, JobGraph
+from .options import ExecOptions
 from .pipeline import PassPipeline, SummaryCache
 from .planner import (
     DagPlanner,
@@ -59,11 +74,35 @@ from .planner import (
     PlannerConfig,
     PlanReport,
 )
+from .session import JobHandle, JobResult, Session
 from .synthesis.search import SearchConfig
+from . import errors, serve
 
-__version__ = "1.4.0"
+#: ``repro.compile(source)`` — the stable name for :func:`translate`.
+compile = translate
+
+
+def connect(address: str, timeout: float = 300.0):
+    """Connect to a running serve daemon; see :mod:`repro.serve`."""
+    from .serve.client import connect as _connect
+
+    return _connect(address, timeout=timeout)
+
+
+__version__ = "1.5.0"
 
 __all__ = [
+    # Stable session-era API.
+    "ExecOptions",
+    "JobHandle",
+    "JobResult",
+    "Session",
+    "compile",
+    "connect",
+    "errors",
+    "serve",
+    "translate",
+    # Established building blocks.
     "CasperCompiler",
     "ClusterConfig",
     "CompilationResult",
@@ -85,11 +124,12 @@ __all__ = [
     "SearchConfig",
     "SummaryCache",
     "TextSource",
+    "translate_many",
+    # Deprecated shims (DeprecationWarning on legacy kwargs; the
+    # ``last_*`` accessors race under concurrency — prefer JobResult).
     "last_graph_report",
     "last_plan_report",
     "run_program",
     "run_translated",
-    "translate",
-    "translate_many",
     "__version__",
 ]

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
 from .errors import AnalysisError
+from .options import ExecOptions, normalize_exec_options
 from .lang import ast_nodes as ast
 from .lang.parser import parse_program
 from .lang.analysis.fragments import CodeFragment, FragmentAnalysis
@@ -266,6 +267,8 @@ def run_translated(
     result: CompilationResult,
     inputs: dict[str, Any],
     fragment_index: Optional[int] = None,
+    options: Optional[ExecOptions] = None,
+    *,
     plan: Optional[str] = None,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
@@ -277,38 +280,67 @@ def run_translated(
     :class:`~repro.errors.AnalysisError` explains which fragments exist,
     which failed to translate and why — nothing is silently skipped.
 
-    ``plan`` selects the execution strategy: ``None`` keeps the
-    compiled backend, ``"auto"`` asks the execution planner to choose
-    (sequential vs the real multiprocess backend), and a backend name
-    forces one.  After a planned run, :func:`last_plan_report` returns
-    the planner's :class:`~repro.planner.plan.PlanReport`.
+    ``options`` (an :class:`~repro.options.ExecOptions`) consolidates
+    the execution knobs; the bare ``plan``/``memory_budget``/``kernel``
+    keywords are deprecated aliases kept for older callers (passing any
+    emits a ``DeprecationWarning``).  Only the fragment-level knobs
+    apply here: ``plan`` selects the execution strategy (``None`` keeps
+    the compiled backend, ``"auto"`` asks the execution planner, a
+    backend name forces one), ``memory_budget`` (bytes) engages
+    out-of-core execution on the real local backends (a budget with
+    ``plan=None`` implies ``plan="auto"``), and ``kernel`` picks the
+    codegen target (``None`` defers to the plan).
 
-    ``memory_budget`` (bytes) engages out-of-core execution on the real
-    local backends: when the planner's size estimate exceeds the budget
-    (or an input is a streaming :class:`~repro.engine.source.Dataset` of
-    unknown length), the engine scans in bounded chunks and spills the
-    shuffle to disk, keeping peak residency near the budget.  A budget
-    with ``plan=None`` implies ``plan="auto"``.
+    After a planned run, :func:`last_plan_report` returns the planner's
+    :class:`~repro.planner.plan.PlanReport` — or use
+    :meth:`repro.Session.submit`, whose :class:`~repro.session.JobResult`
+    carries the report and stays correct under concurrency.
+    """
+    options = normalize_exec_options(
+        options,
+        "run_translated",
+        plan=plan,
+        memory_budget=memory_budget,
+        kernel=kernel,
+    )
+    outputs, _report = _run_fragment(result, inputs, fragment_index, options)
+    return outputs
 
-    ``kernel`` (``"eval"`` | ``"compiled"`` | ``"auto"``) picks the
-    codegen target on the real local backends: the tree-walking IR
-    evaluator or the compiled batch kernels
-    (:mod:`repro.codegen.kernels`); ``None`` defers to the plan.
+
+def _run_fragment(
+    result: CompilationResult,
+    inputs: dict[str, Any],
+    fragment_index: Optional[int],
+    options: ExecOptions,
+) -> tuple[dict[str, Any], Optional[Any]]:
+    """Run one fragment and return ``(outputs, plan_report_or_None)``.
+
+    The report is returned rather than only stashed on the program, so
+    concurrent callers (the session layer) can attribute it to the job
+    that produced it instead of racing on ``last_plan_report``.
     """
     fragment = _pick_fragment(result, fragment_index)
-    return fragment.program.run(
-        inputs, plan=plan, memory_budget=memory_budget, kernel=kernel
+    outputs = fragment.program.run(
+        inputs,
+        plan=options.plan,
+        memory_budget=options.memory_budget,
+        kernel=options.kernel,
     )
+    planned = options.plan is not None or options.memory_budget is not None
+    report = fragment.program.last_plan_report if planned else None
+    return outputs, report
 
 
 def run_program(
     result: CompilationResult,
     inputs: dict[str, Any],
+    options: Optional[ExecOptions] = None,
+    *,
     plan: Optional[str] = None,
     outputs: Optional[list[str]] = None,
-    fuse: bool = True,
+    fuse: Optional[bool] = None,
     max_workers: Optional[int] = None,
-    strict: bool = True,
+    strict: Optional[bool] = None,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
 ) -> dict[str, Any]:
@@ -322,27 +354,53 @@ def run_program(
     are materialized once.  Results are identical to running each
     fragment sequentially through the reference interpreter.
 
-    ``plan`` follows :func:`run_translated` (``None`` → compiled
-    backend; ``"auto"`` → execution planner; a backend name forces it —
-    fused chains always run on the real local engines).  ``outputs``
-    names the variables the caller needs, enabling dead-stage
-    elimination; the default returns every materialized fragment
-    output.  ``strict=False`` lets analyzed-but-untranslated fragments
-    fall back to the reference interpreter instead of failing.
+    ``options`` (an :class:`~repro.options.ExecOptions`) consolidates
+    every execution knob; the bare keywords are deprecated aliases kept
+    for older callers (passing any emits a ``DeprecationWarning``):
 
-    ``memory_budget`` (bytes) runs each unit out of core when its input
-    cannot fit: chunked scans, spill-to-disk shuffles, per-partition
-    merge-reduce — including the stage handoffs inside fused chains.
-    Inputs may be streaming :class:`~repro.engine.source.Dataset`
-    sources (``foreach`` views); a budget with ``plan=None`` implies
-    ``plan="auto"``.
-
-    ``kernel`` follows :func:`run_translated` and applies to every unit
-    that executes on a real local engine, fused chains included.
+    * ``plan`` — ``None`` → compiled backend; ``"auto"`` → execution
+      planner; a backend name forces it (fused chains always run on the
+      real local engines);
+    * ``outputs`` — the variables the caller needs (dead-stage
+      elimination); the default returns every materialized output;
+    * ``strict=False`` — analyzed-but-untranslated fragments fall back
+      to the reference interpreter instead of failing;
+    * ``memory_budget`` (bytes) — run units out of core when their
+      input cannot fit, fused stage handoffs included; a budget with
+      ``plan=None`` implies ``plan="auto"``;
+    * ``kernel`` — codegen target for every unit on a real local
+      engine, fused chains included.
 
     After a run, :func:`last_graph_report` returns the
-    :class:`~repro.planner.dag.GraphPlanReport` evidence trail (waves,
-    concurrency, fusion decisions, per-unit plan reports).
+    :class:`~repro.planner.dag.GraphPlanReport` evidence trail — or use
+    :meth:`repro.Session.submit`, whose
+    :class:`~repro.session.JobResult` carries the report and stays
+    correct under concurrency.
+    """
+    options = normalize_exec_options(
+        options,
+        "run_program",
+        plan=plan,
+        outputs=outputs,
+        fuse=fuse,
+        max_workers=max_workers,
+        strict=strict,
+        memory_budget=memory_budget,
+        kernel=kernel,
+    )
+    return _run_program(result, inputs, options).outputs
+
+
+def _run_program(
+    result: CompilationResult,
+    inputs: dict[str, Any],
+    options: ExecOptions,
+) -> GraphRunResult:
+    """Whole-program execution returning the full ``GraphRunResult``.
+
+    The session layer calls this directly so each job owns its report;
+    ``result.last_graph_run`` is still updated for the deprecated
+    single-threaded :func:`last_graph_report` accessor.
     """
     graph = result.job_graph
     if graph is None:
@@ -360,20 +418,28 @@ def run_program(
     run = run_graph(
         graph,
         inputs,
-        plan=plan,
-        outputs=outputs,
-        fuse=fuse,
-        max_workers=max_workers,
-        strict=strict,
-        memory_budget=memory_budget,
-        kernel=kernel,
+        plan=options.plan,
+        outputs=list(options.outputs) if options.outputs is not None else None,
+        fuse=options.fuse,
+        max_workers=options.max_workers,
+        strict=options.strict,
+        memory_budget=options.memory_budget,
+        kernel=options.kernel,
     )
     result.last_graph_run = run
-    return run.outputs
+    return run
 
 
 def last_graph_report(result: CompilationResult):
-    """The ``GraphPlanReport`` left by the last :func:`run_program`."""
+    """The ``GraphPlanReport`` left by the last :func:`run_program`.
+
+    .. deprecated:: 1.5
+        Mutable last-run state is unusable under concurrent jobs — two
+        threads running the same compilation overwrite each other's
+        report.  It keeps working for single-threaded callers; new code
+        should read ``JobResult.plan_report`` from
+        :meth:`repro.Session.submit` instead.
+    """
     if result.last_graph_run is None:
         return None
     return result.last_graph_run.report
@@ -382,7 +448,14 @@ def last_graph_report(result: CompilationResult):
 def last_plan_report(
     result: CompilationResult, fragment_index: Optional[int] = None
 ):
-    """The ``PlanReport`` left by the last planned run of a fragment."""
+    """The ``PlanReport`` left by the last planned run of a fragment.
+
+    .. deprecated:: 1.5
+        Same caveat as :func:`last_graph_report`: per-program mutable
+        state races under concurrent jobs.  Use
+        :meth:`repro.Session.submit` and read the returned
+        ``JobResult.plan_report``.
+    """
     return _pick_fragment(result, fragment_index).program.last_plan_report
 
 

@@ -95,3 +95,24 @@ def sizeof_pair(key: Any, value: Any) -> int:
 def dataset_bytes(records) -> int:
     """Total serialized size of a record collection."""
     return sum(sizeof(record) for record in records)
+
+
+def physical_memory_bytes() -> int:
+    """Best-effort physical memory of this box, in bytes.
+
+    The serve layer's admission controller needs a box capacity to
+    weigh job footprints against; ``sysconf`` covers Linux/macOS, and
+    hosts where it is unavailable fall back to a conservative 1 GiB so
+    admission control degrades to "serialize anything big" rather than
+    disabling itself.
+    """
+    try:
+        import os
+
+        pages = os.sysconf("SC_PHYS_PAGES")
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        if pages > 0 and page_size > 0:
+            return pages * page_size
+    except (ValueError, OSError, AttributeError):
+        pass
+    return 1 << 30

@@ -85,3 +85,9 @@ class WorkloadError(ReproError):
 class GraphError(ReproError):
     """Raised by the whole-program job-graph layer (cycles, failed
     producers, unsatisfiable dataflow)."""
+
+
+class ServeError(ReproError):
+    """Raised by the compile-and-serve layer: unknown program or job
+    ids, daemon protocol violations, submissions the admission
+    controller must reject outright."""

@@ -1,0 +1,160 @@
+"""Execution options: the one dataclass every entry point accepts.
+
+Before PR 7 each public entry point (``run_program``, ``run_translated``,
+``run_benchmark``, the graph executor) re-declared the same growing set
+of execution kwargs — ``plan``, ``memory_budget``, ``kernel``, ``fuse``,
+``strict``, ``outputs``, ``max_workers`` — and a concurrent serving
+layer cannot be built on seven drifting signatures.  :class:`ExecOptions`
+consolidates them; :func:`normalize_exec_options` is the single place
+the deprecated per-call kwargs are folded in (with a
+``DeprecationWarning``), so every surface normalizes identically.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Optional
+
+#: Valid ``plan`` values besides ``None`` and a concrete backend name.
+_PLAN_AUTO = "auto"
+_KERNELS = ("eval", "compiled", "auto")
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """How to execute a compiled job — shared by every entry point.
+
+    * ``plan`` — ``None`` keeps the compiled backend, ``"auto"`` engages
+      the execution planner, a backend name forces one.
+    * ``memory_budget`` — bytes; engages out-of-core execution (chunked
+      scans, spill-to-disk shuffle) when the input cannot fit.  A budget
+      with ``plan=None`` implies ``plan="auto"``.
+    * ``kernel`` — ``"eval"`` | ``"compiled"`` | ``"auto"``: codegen
+      target on the real local backends; ``None`` defers to the plan.
+    * ``fuse`` — stitch producer→consumer chains into single engine
+      invocations (whole-program runs only).
+    * ``strict`` — fail on untranslated fragments instead of falling
+      back to the reference interpreter (whole-program runs only).
+    * ``outputs`` — variables the caller needs; enables dead-stage
+      elimination (whole-program runs only).
+    * ``max_workers`` — branch-concurrency cap for the DAG executor.
+    """
+
+    plan: Optional[str] = None
+    memory_budget: Optional[int] = None
+    kernel: Optional[str] = None
+    fuse: bool = True
+    strict: bool = True
+    outputs: Optional[tuple[str, ...]] = None
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from .planner.plan import BACKENDS
+
+        if (
+            self.plan is not None
+            and self.plan != _PLAN_AUTO
+            and self.plan not in BACKENDS
+        ):
+            raise ValueError(
+                f"plan: unknown backend {self.plan!r}; expected one of "
+                f"{BACKENDS}, 'auto', or None"
+            )
+        if self.kernel is not None and self.kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {_KERNELS} "
+                "or None"
+            )
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(
+                f"memory_budget must be positive, got {self.memory_budget!r}"
+            )
+        # Normalize list-ish outputs to a tuple so the dataclass stays
+        # hashable-by-value and safe to share across threads.
+        if self.outputs is not None and not isinstance(self.outputs, tuple):
+            object.__setattr__(self, "outputs", tuple(self.outputs))
+
+    # ------------------------------------------------------------------
+
+    def merged(self, **overrides: Any) -> "ExecOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (the daemon wire format)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "outputs" and value is not None:
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExecOptions":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ExecOptions field(s): {unknown}")
+        return cls(**data)
+
+
+#: The per-call kwargs :func:`normalize_exec_options` folds in, with the
+#: defaults the old signatures carried (``None`` marks "not passed" for
+#: the boolean knobs, whose live default is in :class:`ExecOptions`).
+_LEGACY_FIELDS = (
+    "plan",
+    "memory_budget",
+    "kernel",
+    "fuse",
+    "strict",
+    "outputs",
+    "max_workers",
+)
+
+
+def normalize_exec_options(
+    options: Optional[ExecOptions],
+    caller: str,
+    *,
+    _stacklevel: int = 3,
+    **legacy: Any,
+) -> ExecOptions:
+    """Fold deprecated per-call kwargs into one :class:`ExecOptions`.
+
+    ``legacy`` holds the values of the old kwargs as received — ``None``
+    meaning "not passed" (the boolean knobs use ``None`` sentinels at
+    the call surface for exactly this reason).  Passing any of them
+    emits a single :class:`DeprecationWarning`; combining them with an
+    explicit ``options`` is ambiguous and raises.
+    """
+    unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
+    if unknown:
+        raise TypeError(f"{caller}: unknown option(s) {unknown}")
+    passed = {name: value for name, value in legacy.items() if value is not None}
+    if options is not None:
+        if passed:
+            raise ValueError(
+                f"{caller}: pass either options=ExecOptions(...) or the "
+                f"legacy keyword(s) {sorted(passed)}, not both"
+            )
+        if not isinstance(options, ExecOptions):
+            raise TypeError(
+                f"{caller}: options must be an ExecOptions, "
+                f"got {type(options).__name__}"
+            )
+        return options
+    if passed:
+        warnings.warn(
+            f"{caller}: the {sorted(passed)} keyword(s) are deprecated; "
+            "pass options=ExecOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=_stacklevel,
+        )
+        return ExecOptions(**passed)
+    return ExecOptions()
+
+
+__all__ = ["ExecOptions", "normalize_exec_options"]

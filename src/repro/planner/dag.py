@@ -70,6 +70,23 @@ class GraphPlanReport:
     #: cluster actually running branches concurrently would take.
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Admission-control decision for jobs executed through a
+    #: :class:`~repro.session.Session` or the serve daemon (mode,
+    #: footprint estimate, capacity, queueing); None for direct runs.
+    admission: Optional[dict] = None
+
+    @property
+    def peak_resident_bytes(self) -> Optional[int]:
+        """Largest per-unit peak-resident proxy of the run (spill
+        accounting), the number a per-job ``memory_budget`` bounds;
+        None when no unit reported spill statistics."""
+        peaks = [
+            report.spill_stats["peak_resident_bytes"]
+            for report in self.unit_reports.values()
+            if report.spill_stats
+            and report.spill_stats.get("peak_resident_bytes") is not None
+        ]
+        return max(peaks) if peaks else None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -88,6 +105,7 @@ class GraphPlanReport:
                 head: report.summary()
                 for head, report in sorted(self.unit_reports.items())
             },
+            "admission": self.admission,
             "reasons": list(self.plan.reasons),
         }
 

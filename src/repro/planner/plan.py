@@ -125,6 +125,10 @@ class PlanReport:
     #: Pool payload transport accounting from the engine (shared-memory
     #: segments and bytes); None when nothing pooled.
     transport: Optional[dict] = None
+    #: Admission-control decision for jobs executed through a
+    #: :class:`~repro.session.Session` or the serve daemon (mode,
+    #: footprint estimate, capacity, queueing); None for direct runs.
+    admission: Optional[dict] = None
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -150,6 +154,7 @@ class PlanReport:
             "fallback_reason": self.fallback_reason,
             "calibration_skipped": self.calibration_skipped,
             "join": self.join,
+            "admission": self.admission,
             "reasons": list(self.plan.reasons),
         }
 

@@ -52,6 +52,32 @@ def _record_prefix(records: Any, k: int) -> list:
     return list(records[:k])
 
 
+def estimate_input_bytes(records: Any, n: Optional[int] = None) -> Optional[int]:
+    """Sizeof-sample byte estimate of a record collection (§5 model).
+
+    ``records`` is a list or a :class:`~repro.engine.source.Dataset`;
+    ``n`` overrides the record count (defaults to ``len(records)`` for
+    lists).  Returns ``None`` when the size is unknowable (streaming
+    source of unknown length).  This is the planner's own spill-decision
+    estimator, exposed so the serve layer's admission controller prices
+    jobs with exactly the §5 byte counts the planner uses.
+    """
+    from ..engine.sizes import sizeof
+    from ..engine.source import Dataset
+
+    if isinstance(records, Dataset):
+        return records.estimated_bytes()
+    if n is None:
+        n = len(records)
+    if n == 0:
+        return 0
+    sample = records[:64]
+    if not sample:
+        return None
+    per_record = sum(sizeof(r) for r in sample) / len(sample)
+    return int(per_record * n)
+
+
 @dataclass
 class PlannerConfig:
     """Knobs of the execution planner."""
@@ -400,16 +426,11 @@ class ExecutionPlanner:
 
     @staticmethod
     def _estimate_input_bytes(records: Any, n: Optional[int]) -> Optional[int]:
-        from ..engine.sizes import sizeof
         from ..engine.source import Dataset
 
-        if isinstance(records, Dataset):
-            return records.estimated_bytes()
-        if n is None or n == 0:
-            return 0 if n == 0 else None
-        sample = records[:64]
-        per_record = sum(sizeof(r) for r in sample) / len(sample)
-        return int(per_record * n)
+        if not isinstance(records, Dataset) and n is None:
+            return None  # unknown length, nothing to extrapolate over
+        return estimate_input_bytes(records, n)
 
     # ------------------------------------------------------------------
 

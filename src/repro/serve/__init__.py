@@ -1,0 +1,63 @@
+"""The resident compile-and-serve layer (ROADMAP item 1).
+
+Everything before this package was batch-shaped: build a world, run,
+exit.  This package keeps the world resident:
+
+* :mod:`repro.serve.registry` — a persistent **program registry** keyed
+  by content fingerprints over the summary cache's disk tier: register
+  a source once, re-registration (same process or a restarted daemon
+  with the same ``cache_dir``) performs zero synthesis;
+* :mod:`repro.serve.admission` — **planner-priced admission control**:
+  each job's memory footprint is estimated with the §5 sizeof model,
+  small jobs run concurrently, jobs that would overrun the box
+  serialize;
+* :mod:`repro.serve.daemon` / :mod:`repro.serve.client` — a local HTTP
+  **daemon** accepting concurrent submissions, and :func:`connect`,
+  the client returning a session-shaped handle.
+
+The in-process façade over the same machinery is
+:class:`repro.session.Session`; the daemon is that façade behind a
+socket.  Quick start::
+
+    from repro import serve
+
+    daemon = serve.serve()                  # ephemeral localhost port
+    client = serve.connect(daemon.address)
+    prog = client.compile(SOURCE)
+    job = client.submit(prog, {"data": [...], "n": 3})
+    print(job.result().outputs)
+    daemon.shutdown()
+
+Or from a shell: ``python -m repro.serve --port 8642``.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, AdmissionDecision
+from .registry import ProgramRegistry, RegisteredProgram
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DaemonClient",
+    "ProgramRegistry",
+    "RegisteredProgram",
+    "ServeDaemon",
+    "connect",
+    "serve",
+]
+
+
+def __getattr__(name: str):
+    # The daemon/client halves import repro.session, which itself
+    # imports this package for the registry — loading them lazily keeps
+    # the import graph acyclic without splitting the public namespace.
+    if name in ("ServeDaemon", "serve"):
+        from . import daemon
+
+        return getattr(daemon, name)
+    if name in ("DaemonClient", "connect"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

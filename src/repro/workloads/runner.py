@@ -11,13 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..compiler import CasperCompiler, CompilationResult, run_program
+from ..compiler import CasperCompiler, CompilationResult
 from ..engine.config import EngineConfig
 from ..engine.sequential import run_sequential
 from ..engine.sizes import sizeof
 from ..graph.executor import GraphRunResult, interpret_reference
 from ..lang.values import values_equal
+from ..options import ExecOptions
 from ..planner.plan import PlanReport
+from ..session import Session
 from ..synthesis.search import SearchConfig
 from .registry import Benchmark
 
@@ -179,18 +181,24 @@ def run_benchmark(
     total_seconds = 0.0
     outputs_ok = True
     fresh_inputs = benchmark.make_inputs(size, seed)
-    scanned_sources: set[str] = set()
-    for fragment in compilation.fragments:
+    # Fragment executions go through an inline (max_workers=0) Session:
+    # the same submit path the daemon uses, with each job's plan report
+    # delivered on its JobResult instead of read back from shared state.
+    session = Session(max_workers=0)
+    options = ExecOptions(plan=plan)
+    for index, fragment in enumerate(compilation.fragments):
         if not fragment.translated:
             continue
         fragment.program.set_engine_config(engine_config)
-        try:
-            outputs = fragment.program.run(fresh_inputs, plan=plan)
-        except Exception:
+        job = session.run(
+            compilation, fresh_inputs, options, fragment_index=index
+        )
+        if not job.ok:
             outputs_ok = False
             continue
-        if plan is not None and fragment.program.last_plan_report is not None:
-            run.plan_reports.append(fragment.program.last_plan_report)
+        outputs = job.outputs
+        if plan is not None and job.plan_report is not None:
+            run.plan_reports.append(job.plan_report)
         metrics = fragment.program.last_metrics
         if metrics is not None:
             # Each translated fragment is its own job, re-reading its input
@@ -255,14 +263,19 @@ def run_benchmark_graph(
     if compilation is None:
         compilation = compile_benchmark(benchmark)
     inputs = benchmark.make_inputs(size, seed)
-    outputs = run_program(
+    session = Session(max_workers=0)
+    job = session.run(
         compilation,
         dict(inputs),
-        plan=plan,
-        fuse=fuse,
-        strict=strict,
-        max_workers=max_workers,
+        ExecOptions(
+            plan=plan, fuse=fuse, strict=strict, max_workers=max_workers
+        ),
     )
+    if not job.ok:
+        raise RuntimeError(
+            f"graph run of {benchmark.name!r} failed: {job.error}"
+        )
+    outputs = job.outputs
     run = compilation.last_graph_run
     assert run is not None
     expected = interpret_reference(compilation.job_graph, dict(inputs))

@@ -1,0 +1,301 @@
+"""The serve layer: registry warmth, admission control, the daemon.
+
+Acceptance properties of PR 7's tentpole:
+
+* re-registering a program performs **zero synthesis** — in-process via
+  the resident entry, across a daemon restart via the summary cache's
+  disk tier (``candidates_checked == 0`` both ways);
+* admission control prices jobs with the planner's §5 estimator: small
+  jobs run concurrently, box-overrunning or unknowable jobs serialize,
+  and every decision is recorded on the job's result;
+* a daemon serving ≥8 concurrent mixed-size jobs (some spilling under a
+  small ``memory_budget``) returns outputs identical to direct
+  ``run_program`` calls, then shuts down cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.compiler import run_program, translate
+from repro.errors import ServeError
+from repro.options import ExecOptions
+from repro.serve import admission as admission_mod
+from repro.serve.admission import AdmissionController
+from repro.serve.registry import ProgramRegistry, program_key
+from repro.serve.wire import decode_value, encode_value
+from repro.synthesis.search import SearchConfig
+
+SUM_SOURCE = """
+int sum(int[] data, int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) total += data[i];
+  return total;
+}
+"""
+
+WORDCOUNT_SOURCE = """
+Map<String, Integer> wc(List<String> words) {
+  Map<String, Integer> counts = new HashMap<String, Integer>();
+  for (String w : words) {
+    counts.put(w, counts.getOrDefault(w, 0) + 1);
+  }
+  return counts;
+}
+"""
+
+DATA = [((i * 37) % 101) - 50 for i in range(3000)]
+WORDS = [f"w{i % 17}" for i in range(3000)]
+
+
+class TestProgramKey:
+    def test_key_is_content_addressed(self):
+        config = SearchConfig()
+        key = program_key(SUM_SOURCE, "sum", config)
+        assert key == program_key(SUM_SOURCE, "sum", config)
+        assert key != program_key(WORDCOUNT_SOURCE, "wc", config)
+        assert key != program_key(SUM_SOURCE, "sum", config, backend="flink")
+
+
+class TestRegistry:
+    def test_warm_rehit_skips_synthesis(self):
+        registry = ProgramRegistry()
+        cold = registry.register(SUM_SOURCE)
+        assert cold.translated == 1
+        assert cold.candidates_checked > 0
+        warm = registry.register(SUM_SOURCE)
+        assert warm is cold
+        assert warm.warm
+        assert warm.candidates_checked == 0
+        assert warm.registrations == 2
+        assert len(registry) == 1
+
+    def test_disk_tier_warms_a_fresh_registry(self, tmp_path):
+        first = ProgramRegistry(cache_dir=str(tmp_path))
+        cold = first.register(SUM_SOURCE)
+        assert cold.candidates_checked > 0
+        # A brand-new registry (a restarted daemon) over the same disk
+        # tier: same program id, summaries from cache, zero CEGIS work.
+        second = ProgramRegistry(cache_dir=str(tmp_path))
+        warm = second.register(SUM_SOURCE)
+        assert warm.program_id == cold.program_id
+        assert warm.warm
+        assert warm.candidates_checked == 0
+        assert warm.translated == 1
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(ServeError, match="unknown program"):
+            ProgramRegistry().get("prog-missing")
+
+    def test_adopt_is_identity_keyed(self):
+        registry = ProgramRegistry()
+        compilation = translate(SUM_SOURCE)
+        entry = registry.adopt(compilation)
+        assert registry.adopt(compilation) is entry
+        assert registry.get(entry.program_id) is entry
+
+
+class TestAdmission:
+    def test_budgeted_job_priced_at_its_budget(self):
+        controller = AdmissionController(capacity_bytes=1 << 30)
+        footprint, reasons = controller.price(
+            {"data": DATA, "n": len(DATA)},
+            ExecOptions(memory_budget=1 << 20),
+        )
+        assert footprint == 2 * (1 << 20)
+        assert any("memory_budget" in r for r in reasons)
+
+    def test_unbudgeted_job_priced_by_estimator(self, monkeypatch):
+        monkeypatch.setattr(
+            admission_mod, "estimate_input_bytes", lambda records, n=None: 5000
+        )
+        controller = AdmissionController(capacity_bytes=1 << 30)
+        footprint, _ = controller.price({"data": [1, 2, 3]})
+        assert footprint == 10000  # 5000 × shuffle residency factor 2
+
+    def test_unknowable_footprint_goes_exclusive(self, monkeypatch):
+        monkeypatch.setattr(
+            admission_mod, "estimate_input_bytes", lambda records, n=None: None
+        )
+        controller = AdmissionController(capacity_bytes=1 << 30)
+        footprint, reasons = controller.price({"data": [1]})
+        assert footprint is None
+        decision = controller.admit_footprint(footprint, reasons)
+        assert decision.mode == "exclusive"
+        controller.release(decision)
+
+    def test_small_concurrent_large_exclusive(self):
+        controller = AdmissionController(capacity_bytes=1000, exclusive_fraction=0.5)
+        small = controller.admit_footprint(100)
+        assert small.mode == "concurrent"
+        controller.release(small)
+        large = controller.admit_footprint(600)  # > 50% of capacity
+        assert large.mode == "exclusive"
+        controller.release(large)
+
+    def test_exclusive_drains_running_jobs_first(self):
+        controller = AdmissionController(capacity_bytes=1000, exclusive_fraction=0.5)
+        running = controller.admit_footprint(100)
+        admitted = threading.Event()
+
+        def big_job():
+            decision = controller.admit_footprint(900)
+            admitted.set()
+            controller.release(decision)
+
+        thread = threading.Thread(target=big_job)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # blocked behind the running job
+        controller.release(running)
+        thread.join(timeout=5)
+        assert admitted.is_set()
+        assert controller.admitted["exclusive"] == 1
+
+    def test_ledger_blocks_past_capacity(self):
+        controller = AdmissionController(capacity_bytes=1000, exclusive_fraction=1.0)
+        first = controller.admit_footprint(600)
+        admitted = threading.Event()
+
+        def second_job():
+            decision = controller.admit_footprint(600)
+            admitted.set()
+            controller.release(decision)
+
+        thread = threading.Thread(target=second_job)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # 600 + 600 > 1000
+        controller.release(first)
+        thread.join(timeout=5)
+        assert admitted.is_set()
+
+    def test_decision_records_queueing_and_reasons(self):
+        controller = AdmissionController(capacity_bytes=1000)
+        decision = controller.admit_footprint(10, ["priced somehow"])
+        controller.release(decision)
+        as_dict = decision.as_dict()
+        assert as_dict["mode"] == "concurrent"
+        assert as_dict["footprint_bytes"] == 10
+        assert as_dict["capacity_bytes"] == 1000
+        assert "priced somehow" in as_dict["reasons"]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            AdmissionController(exclusive_fraction=0.0)
+
+
+class TestWireCodec:
+    def test_round_trips_python_shapes(self):
+        value = {
+            ("k", 1): [1, 2, (3, 4)],
+            7: {"nested": {frozenset({1, 2})}},
+            "floats": [0.1, 2.5e-8, -1.0],
+            "bytes": b"\x00\xff",
+            "none": None,
+        }
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_vs_list_distinction_survives(self):
+        encoded = encode_value({"t": (1, 2), "l": [1, 2]})
+        decoded = decode_value(encoded)
+        assert isinstance(decoded["t"], tuple)
+        assert isinstance(decoded["l"], list)
+
+    def test_user_tag_key_cannot_be_mistaken(self):
+        value = {"__t__": "not-a-tag"}
+        assert decode_value(encode_value(value)) == value
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_value(object())
+
+
+class TestDaemon:
+    """End-to-end acceptance: the daemon over a real socket."""
+
+    def test_concurrent_mixed_jobs_identical_to_run_program(self, tmp_path):
+        from repro.serve.client import connect
+        from repro.serve.daemon import serve
+
+        sum_inputs = {"data": DATA, "n": len(DATA)}
+        wc_inputs = {"words": WORDS}
+        expected_sum = run_program(translate(SUM_SOURCE), dict(sum_inputs))
+        expected_wc = run_program(translate(WORDCOUNT_SOURCE), dict(wc_inputs))
+        budget = ExecOptions(memory_budget=1 << 14)
+
+        daemon = serve(cache_dir=str(tmp_path), max_workers=4)
+        try:
+            client = connect(daemon.address)
+            assert client.health()["ok"]
+
+            sum_prog = client.compile(SUM_SOURCE)
+            wc_prog = client.compile(WORDCOUNT_SOURCE)
+            rehit = client.compile(SUM_SOURCE)
+            assert rehit.warm and rehit.candidates_checked == 0
+
+            jobs = []
+            for i in range(4):
+                options = budget if i % 2 else None
+                jobs.append(client.submit(sum_prog, sum_inputs, options))
+                jobs.append(client.submit(wc_prog, wc_inputs, options))
+            results = [job.result(timeout=300) for job in jobs]
+
+            assert len(results) == 8
+            assert all(r.ok for r in results), [r.error for r in results]
+            for i, result in enumerate(results):
+                expected = expected_wc if i % 2 else expected_sum
+                assert result.outputs == expected
+                assert result.admission["mode"] in (
+                    "concurrent",
+                    "exclusive",
+                )
+            # Budgeted jobs carry their (wire-flattened) reports, with
+            # the admission decision embedded, and at least one spilled.
+            budgeted = [r for i, r in enumerate(results) if (i // 2) % 2]
+            assert all(isinstance(r.plan_report, dict) for r in budgeted)
+            assert all(
+                r.plan_report["admission"]["mode"] == r.admission["mode"]
+                for r in budgeted
+            )
+            spilled = [
+                unit["spill_stats"]["spilled_bytes"]
+                for r in budgeted
+                for unit in r.plan_report["unit_reports"].values()
+                if unit["spill_stats"]
+            ]
+            assert spilled and max(spilled) > 0
+
+            client.shutdown()
+        finally:
+            daemon.shutdown()
+
+    def test_restarted_daemon_registers_warm_from_disk(self, tmp_path):
+        from repro.serve.client import connect
+        from repro.serve.daemon import serve
+
+        with serve(cache_dir=str(tmp_path)) as daemon:
+            cold = connect(daemon.address).compile(SUM_SOURCE)
+            assert cold.candidates_checked > 0
+        with serve(cache_dir=str(tmp_path)) as daemon:
+            warm = connect(daemon.address).compile(SUM_SOURCE)
+            assert warm.warm
+            assert warm.candidates_checked == 0
+
+    def test_protocol_errors_surface_as_serve_errors(self):
+        from repro.serve.client import DaemonClient, connect
+        from repro.serve.daemon import serve
+
+        with serve() as daemon:
+            client = connect(daemon.address)
+            with pytest.raises(ServeError, match="unknown program"):
+                client.submit("prog-nope", {"data": [1]})
+            with pytest.raises(ServeError, match="unknown job"):
+                client.result("job-999")
+        with pytest.raises(ServeError, match="cannot reach"):
+            DaemonClient("127.0.0.1:1").health()

@@ -1,0 +1,289 @@
+"""The session API: ExecOptions normalization, JobResults, concurrency.
+
+The contract under test is the PR-7 redesign: every entry point takes
+one :class:`repro.ExecOptions`; legacy per-call kwargs still work but
+warn; :meth:`Session.submit` returns results that *carry* their plan
+reports and admission decisions, and stays identical to the direct
+``run_program`` path even under concurrent mixed-budget submissions.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import ExecOptions, Session
+from repro.compiler import (
+    last_graph_report,
+    run_program,
+    run_translated,
+    translate,
+)
+from repro.errors import ServeError
+from repro.options import normalize_exec_options
+
+SUM_SOURCE = """
+int sum(int[] data, int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) total += data[i];
+  return total;
+}
+"""
+
+WORDCOUNT_SOURCE = """
+Map<String, Integer> wc(List<String> words) {
+  Map<String, Integer> counts = new HashMap<String, Integer>();
+  for (String w : words) {
+    counts.put(w, counts.getOrDefault(w, 0) + 1);
+  }
+  return counts;
+}
+"""
+
+DATA = [((i * 37) % 101) - 50 for i in range(3000)]
+WORDS = [f"w{i % 17}" for i in range(3000)]
+
+_COMPILED: dict[str, object] = {}
+
+
+def compiled(source: str):
+    if source not in _COMPILED:
+        _COMPILED[source] = translate(source)
+    return _COMPILED[source]
+
+
+class TestExecOptions:
+    def test_rejects_unknown_plan(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecOptions(plan="quantum")
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            ExecOptions(kernel="jit")
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="memory_budget"):
+            ExecOptions(memory_budget=0)
+
+    def test_outputs_normalized_to_tuple(self):
+        assert ExecOptions(outputs=["a", "b"]).outputs == ("a", "b")
+
+    def test_merged_replaces_fields(self):
+        base = ExecOptions(plan="auto")
+        assert base.merged(memory_budget=1 << 20) == ExecOptions(
+            plan="auto", memory_budget=1 << 20
+        )
+
+    def test_dict_round_trip(self):
+        options = ExecOptions(plan="auto", outputs=("x",), strict=False)
+        assert ExecOptions.from_dict(options.as_dict()) == options
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ExecOptions"):
+            ExecOptions.from_dict({"plann": "auto"})
+
+
+class TestNormalizeExecOptions:
+    def test_legacy_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            options = normalize_exec_options(None, "caller", plan="auto")
+        assert options == ExecOptions(plan="auto")
+
+    def test_options_pass_through_silently(self):
+        given = ExecOptions(plan="auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert normalize_exec_options(given, "caller") is given
+
+    def test_options_plus_legacy_raises(self):
+        with pytest.raises(ValueError, match="not both"):
+            normalize_exec_options(ExecOptions(), "caller", plan="auto")
+
+    def test_unknown_legacy_name_raises(self):
+        with pytest.raises(TypeError, match="unknown option"):
+            normalize_exec_options(None, "caller", pln="auto")
+
+    def test_run_program_legacy_kwarg_warns(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        with pytest.warns(DeprecationWarning, match="run_program"):
+            legacy = run_program(compilation, dict(inputs), plan="auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            modern = run_program(compilation, dict(inputs), ExecOptions(plan="auto"))
+        assert legacy == modern
+
+    def test_run_translated_accepts_options(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            outputs = run_translated(
+                compilation, dict(inputs), options=ExecOptions(plan="auto")
+            )
+        assert outputs == {"total": sum(DATA)}
+
+
+class TestSessionInline:
+    """max_workers=0: the submit path with no pool, on the caller's thread."""
+
+    def test_identity_with_run_program(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        expected = run_program(compilation, dict(inputs))
+        with Session(max_workers=0) as session:
+            job = session.run(compilation, dict(inputs))
+        assert job.ok
+        assert job.outputs == expected
+
+    def test_fragment_index_matches_run_translated(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        expected = run_translated(compilation, dict(inputs))
+        with Session(max_workers=0) as session:
+            job = session.run(compilation, dict(inputs), fragment_index=0)
+        assert job.outputs == expected
+
+    def test_jobresult_carries_report_and_admission(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        with Session(max_workers=0) as session:
+            job = session.run(
+                compilation, dict(inputs), ExecOptions(memory_budget=1 << 14)
+            )
+        assert job.ok
+        assert job.plan_report is not None
+        # The admission decision lands both on the result and inside the
+        # report's evidence trail.
+        assert job.admission["mode"] in ("concurrent", "exclusive")
+        assert job.plan_report.admission == job.admission
+        assert job.admission["footprint_bytes"] == 2 * (1 << 14)
+
+    def test_submit_by_program_id(self):
+        with Session(max_workers=0) as session:
+            prog = session.compile(SUM_SOURCE)
+            job = session.run(prog.program_id, {"data": DATA, "n": len(DATA)})
+        assert job.outputs == {"total": sum(DATA)}
+
+    def test_unknown_program_id_raises(self):
+        with Session(max_workers=0) as session:
+            with pytest.raises(ServeError, match="unknown program"):
+                session.submit("prog-nope", {})
+
+    def test_closed_session_rejects_submissions(self):
+        session = Session(max_workers=0)
+        session.close()
+        with pytest.raises(ServeError, match="closed"):
+            session.submit(compiled(SUM_SOURCE), {})
+
+    def test_execution_failure_is_delivered_not_raised(self):
+        compilation = compiled(SUM_SOURCE)
+        with Session(max_workers=0) as session:
+            job = session.run(compilation, {})  # missing inputs
+        assert not job.ok
+        assert job.status == "error"
+        assert job.error
+        assert job.admission is not None
+
+    def test_session_defaults_apply_when_nothing_passed(self):
+        defaults = ExecOptions(memory_budget=1 << 14)
+        compilation = compiled(SUM_SOURCE)
+        with Session(max_workers=0, defaults=defaults) as session:
+            job = session.run(compilation, {"data": DATA, "n": len(DATA)})
+        assert job.plan_report is not None  # budget implies a planned run
+        assert job.admission["footprint_bytes"] == 2 * (1 << 14)
+
+    def test_legacy_kwargs_on_submit_warn(self):
+        compilation = compiled(SUM_SOURCE)
+        with Session(max_workers=0) as session:
+            with pytest.warns(DeprecationWarning, match="Session.submit"):
+                job = session.run(
+                    compilation, {"data": DATA, "n": len(DATA)}, plan="auto"
+                )
+        assert job.ok
+
+
+class TestSessionConcurrent:
+    def test_mixed_budget_jobs_identical_to_direct_run(self):
+        sum_comp = compiled(SUM_SOURCE)
+        wc_comp = compiled(WORDCOUNT_SOURCE)
+        sum_inputs = {"data": DATA, "n": len(DATA)}
+        wc_inputs = {"words": WORDS}
+        expected_sum = run_program(sum_comp, dict(sum_inputs))
+        expected_wc = run_program(wc_comp, dict(wc_inputs))
+
+        budget = ExecOptions(memory_budget=1 << 14)
+        with Session(max_workers=4) as session:
+            jobs = []
+            for i in range(4):
+                options = budget if i % 2 else None
+                jobs.append(session.submit(sum_comp, dict(sum_inputs), options))
+                jobs.append(session.submit(wc_comp, dict(wc_inputs), options))
+            results = [job.result(timeout=300) for job in jobs]
+
+        assert len(results) == 8
+        assert all(r.ok for r in results), [r.error for r in results]
+        for i, result in enumerate(results):
+            expected = expected_wc if i % 2 else expected_sum
+            assert result.outputs == expected
+            assert result.admission["mode"] in ("concurrent", "exclusive")
+        # The budgeted submissions were planned and carry their own
+        # reports — no cross-job smearing through shared last-run state.
+        budgeted = [r for i, r in enumerate(results) if (i // 2) % 2]
+        assert all(r.plan_report is not None for r in budgeted)
+        spilled = [
+            unit.spill_stats["spilled_bytes"]
+            for r in budgeted
+            for unit in r.plan_report.unit_reports.values()
+            if unit.spill_stats
+        ]
+        assert spilled and max(spilled) > 0
+
+    def test_same_program_jobs_serialize_but_stay_correct(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        with Session(max_workers=4) as session:
+            jobs = [
+                session.submit(
+                    compilation,
+                    dict(inputs),
+                    ExecOptions(memory_budget=1 << (14 + i % 3)),
+                )
+                for i in range(6)
+            ]
+            results = [job.result(timeout=300) for job in jobs]
+        assert all(r.ok for r in results)
+        assert {tuple(r.outputs.items()) for r in results} == {(("total", sum(DATA)),)}
+        # Each job's report reflects its *own* budget.
+        budgets = sorted(r.admission["footprint_bytes"] // 2 for r in results)
+        assert budgets == sorted(1 << (14 + i % 3) for i in range(6))
+
+    def test_deprecated_globals_still_work_single_threaded(self):
+        compilation = compiled(SUM_SOURCE)
+        inputs = {"data": DATA, "n": len(DATA)}
+        with Session(max_workers=0) as session:
+            session.run(compilation, dict(inputs))
+        assert last_graph_report(compilation) is not None
+
+
+class TestPublicApi:
+    def test_stable_names_exported(self):
+        for name in (
+            "Session",
+            "ExecOptions",
+            "JobResult",
+            "compile",
+            "connect",
+            "serve",
+            "errors",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_compile_is_translate(self):
+        assert repro.compile is repro.translate
+
+    def test_version_bumped(self):
+        assert repro.__version__ == "1.5.0"
