@@ -63,6 +63,9 @@ class ExecutionOutcome:
     #: Pool payload transport accounting (shared-memory segments/bytes);
     #: None when nothing was pooled or everything rode the queue.
     transport_stats: Optional[dict] = None
+    #: Columnar-execution accounting (vectorized chunk count,
+    #: guard-fallback count); None when every chunk ran the row loop.
+    columnar_stats: Optional[dict] = None
 
 
 def prepare_globals(
@@ -319,6 +322,9 @@ def _pair_emit_fn(stage: MapStage, globals_env: dict[str, Any]) -> PairMapper:
 #: Valid values of the kernel knob threaded from plans and callers.
 KERNELS = ("eval", "compiled", "auto")
 
+#: Valid values of the layout knob threaded from plans and callers.
+LAYOUTS = ("rows", "columns", "auto")
+
 
 def resolve_kernel(kernel: Optional[str], plan: Optional["ExecutionPlan"]) -> str:
     """The effective kernel: explicit caller choice, then plan, then eval."""
@@ -330,6 +336,32 @@ def resolve_kernel(kernel: Optional[str], plan: Optional["ExecutionPlan"]) -> st
         raise CodegenError(
             f"unknown kernel {effective!r}; expected one of {KERNELS}"
         )
+    return effective
+
+
+def resolve_layout(
+    layout: Optional[str],
+    plan: Optional["ExecutionPlan"],
+    kernel: Optional[str] = None,
+) -> str:
+    """The effective chunk layout: caller choice, then plan, then rows.
+
+    ``"auto"`` (from a caller who skipped the planner) resolves here the
+    same way the planner resolves it — columns exactly when a compiled
+    kernel runs, since only the vectorized fast path consumes column
+    arrays.  Plans never carry "auto": the planner resolved it already.
+    """
+    effective = layout if layout is not None else (
+        getattr(plan, "layout", None) if plan is not None else None
+    )
+    effective = effective or "rows"
+    if effective not in LAYOUTS:
+        raise CodegenError(
+            f"unknown layout {effective!r}; expected one of {LAYOUTS}"
+        )
+    if effective == "auto":
+        compiled = resolve_kernel(kernel, plan) != "eval"
+        effective = "columns" if compiled else "rows"
     return effective
 
 
@@ -445,6 +477,7 @@ class GeneratedProgram:
         plan: Optional["ExecutionPlan"] = None,
         records: Optional[list] = None,
         kernel: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> ExecutionOutcome:
         """Execute on ``backend`` (default: the compiled one).
 
@@ -458,6 +491,8 @@ class GeneratedProgram:
         target on the real local backends; the simulated cluster
         backends always interpret (their cost model charges per
         record, so a faster kernel would not change what they report).
+        ``layout`` (``"rows"`` | ``"columns"`` | ``"auto"``) picks the
+        chunk layout under those kernels the same way.
         """
         backend = backend or self.backend
         if backend == "spark":
@@ -468,7 +503,12 @@ class GeneratedProgram:
             return self._run_flink(inputs, records=records)
         if backend in ("multiprocess", "sequential"):
             return self._run_local(
-                inputs, backend=backend, plan=plan, records=records, kernel=kernel
+                inputs,
+                backend=backend,
+                plan=plan,
+                records=records,
+                kernel=kernel,
+                layout=layout,
             )
         raise CodegenError(f"unknown backend {backend!r}")
 
@@ -690,6 +730,7 @@ class GeneratedProgram:
         plan: Optional["ExecutionPlan"] = None,
         records: Optional[list] = None,
         kernel: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> ExecutionOutcome:
         """Real execution: multiprocess pool, or in-process sequential.
 
@@ -731,6 +772,7 @@ class GeneratedProgram:
             partitions=plan.partitions if plan is not None else None,
             memory_budget=plan.memory_budget if plan is not None else None,
             spill_dir=plan.spill_dir if plan is not None else None,
+            layout=resolve_layout(layout, plan, kernel),
         )
         result = engine.run_pipeline(records, steps)
         outputs = bind_outputs(
@@ -745,6 +787,7 @@ class GeneratedProgram:
             spill_stats=result.spill_stats,
             peak_resident_bytes=result.peak_resident_bytes,
             transport_stats=result.transport_stats(),
+            columnar_stats=result.columnar_stats(),
         )
 
 

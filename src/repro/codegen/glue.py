@@ -90,6 +90,7 @@ class AdaptiveProgram:
         records: Optional[Any] = None,
         memory_budget: Optional[int] = None,
         kernel: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> dict[str, Any]:
         """Sample, select, execute; returns the fragment outputs.
 
@@ -118,6 +119,11 @@ class AdaptiveProgram:
         :mod:`repro.codegen.kernels`, or the planner's priced choice.
         ``None`` defers to the plan (the planner decides under
         ``plan="auto"``; forced plans default to eval).
+
+        ``layout`` (``"rows"`` | ``"columns"`` | ``"auto"``) picks the
+        chunk layout under those kernels: persistent column arrays and
+        the vectorized fast path, plain row lists, or the planner's
+        choice.  Results are byte-identical either way.
         """
         if plan is None and memory_budget is not None:
             plan = "auto"
@@ -144,7 +150,9 @@ class AdaptiveProgram:
                 self.monitor.last_choice = f"impl_{index}"
         program = self.programs[index]
         if plan is None:
-            outcome = program.run(inputs, records=records, kernel=kernel)
+            outcome = program.run(
+                inputs, records=records, kernel=kernel, layout=layout
+            )
             self.last_outcome = outcome
             return outcome.outputs
 
@@ -153,6 +161,7 @@ class AdaptiveProgram:
             memory_budget=memory_budget,
             inputs=inputs,
             kernel=kernel,
+            layout=layout,
         )
         report.implementation = f"impl_{index}"
         if self.last_join_decision is not None:
@@ -183,6 +192,7 @@ class AdaptiveProgram:
             report.backend_used = execution_plan.backend
         report.spill_stats = outcome.spill_stats
         report.transport = outcome.transport_stats
+        report.columnar = outcome.columnar_stats
         self.last_outcome = outcome
         self.last_plan_report = report
         return outcome.outputs
@@ -197,9 +207,12 @@ class AdaptiveProgram:
         memory_budget: Optional[int] = None,
         inputs: Optional[dict[str, Any]] = None,
         kernel: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> tuple[ExecutionPlan, PlanReport]:
         if plan != "auto":
-            forced = forced_plan(plan, memory_budget=memory_budget, kernel=kernel)
+            forced = forced_plan(
+                plan, memory_budget=memory_budget, kernel=kernel, layout=layout
+            )
             report = PlanReport(plan=forced, input_records=_record_count(records))
             # Forced *local* runs of a join pipeline still record the
             # physical-join choice (the same deterministic size rule the
@@ -236,6 +249,7 @@ class AdaptiveProgram:
             memory_budget=memory_budget,
             inputs=inputs,
             kernel=kernel,
+            layout=layout,
         )
 
     @property

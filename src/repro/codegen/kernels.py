@@ -33,16 +33,22 @@ the eval kernel — ``kernel="compiled"`` is therefore always safe to
 request.
 
 On top of the compiled loop sits an optional numpy fast path, used only
-when the typechecked view proves it exact: a single unconditional-key
-emit over a floating-point element, with the value (and filter)
-expression built from ops whose float64 semantics are bit-identical to
-the evaluator's Python-float semantics (``+ - *``, comparisons,
-``abs``/``sq``/``sqrt``/``floor``/``ceil``/``to_double``, boolean
-combinations, if-then-else).  Ops with divergent error or NaN behavior
-(``/``, ``%``, ``min``/``max``, ``exp``, ``pow``) are deliberately not
-vectorized.  The fast path self-checks the chunk at runtime and falls
-back to the compiled loop if the data is not the clean float column the
-types promised.
+when the typechecked view proves it exact: a single emit over any mix
+of int/float/bool columns, with the value (and filter, and key when it
+is record-dependent) expression built from ops whose int64/float64
+semantics are bit-identical to the evaluator's Python semantics
+(``+ - *``, comparisons, ``abs``/``sq``/``sqrt``/``floor``/``ceil``/
+``to_double``, boolean combinations, if-then-else).  Int64 arithmetic
+is overflow-*guarded*: each op prechecks conservative magnitude bounds
+and raises :class:`GuardTrip` instead of wrapping, and float results
+containing inf/NaN reject the chunk — either way the compiled row loop
+(Python arbitrary-precision ints, genuine inf/NaN propagation) reruns
+that chunk, so a guard trip is never silently wrong.  Ops with
+divergent error or NaN behavior (``/``, ``%``, ``min``/``max``,
+``exp``, ``pow``) are deliberately not vectorized.  Column extraction
+and validation live in :mod:`repro.engine.columnar`; extracted arrays
+are cached on the chunk so several kernels over one chunk extract
+once.
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ from ..ir.nodes import (
     Var,
     expr_vars,
 )
+from ..engine.columnar import ColumnBlock, ColumnSpec, resolve_columns
 from ..lang.analysis.loops import DatasetView
 
 try:  # pragma: no cover - numpy is present in the toolchain image
@@ -311,50 +318,129 @@ def compile_kernel(
 
 
 # ----------------------------------------------------------------------
-# numpy fast path
+# numpy fast path: multi-column, int/float/bool, guarded
 
-#: CallFn names the vector renderer can express exactly on float64.
-_VEC_NP_FUNCS = {"abs": "abs", "sqrt": "sqrt", "floor": "floor", "ceil": "ceil"}
+#: CallFn names the vector renderer can express exactly (see each case
+#: in ``_VecRenderer.expr`` for the exactness argument).
+_VEC_NP_FUNCS = {"sqrt": "sqrt", "floor": "floor", "ceil": "ceil"}
 
 
 class _VecUnsupported(Exception):
-    """Internal: expression falls outside the exact-on-float64 subset."""
+    """Internal: expression falls outside the provably exact subset."""
+
+
+class GuardTrip(Exception):
+    """Runtime guard: a vectorized int64 op could wrap (or int64-min
+    negate/abs would overflow).  The chunk falls back to the compiled
+    row loop, which computes with Python's arbitrary-precision ints."""
+
+
+_I64_MAX = 2**63 - 1
+
+
+def _int_bound(value: Any) -> int:
+    """Max |operand| as a Python int — arrays and scalars alike."""
+    if isinstance(value, _np.ndarray):
+        if value.shape[0] == 0:
+            return 0
+        return max(abs(int(value.max())), abs(int(value.min())))
+    return abs(int(value))
+
+
+def _guarded_add(a: Any, b: Any) -> Any:
+    if _int_bound(a) + _int_bound(b) > _I64_MAX:
+        raise GuardTrip("int64 add could overflow")
+    return a + b
+
+
+def _guarded_sub(a: Any, b: Any) -> Any:
+    if _int_bound(a) + _int_bound(b) > _I64_MAX:
+        raise GuardTrip("int64 sub could overflow")
+    return a - b
+
+
+def _guarded_mul(a: Any, b: Any) -> Any:
+    if _int_bound(a) * _int_bound(b) > _I64_MAX:
+        raise GuardTrip("int64 mul could overflow")
+    return a * b
+
+
+def _guarded_sq(a: Any) -> Any:
+    bound = _int_bound(a)
+    if bound * bound > _I64_MAX:
+        raise GuardTrip("int64 sq could overflow")
+    return a * a
+
+
+def _guarded_neg(a: Any) -> Any:
+    if _int_bound(a) > _I64_MAX:
+        raise GuardTrip("negating int64 min overflows")
+    return -a
+
+
+def _guarded_abs(a: Any) -> Any:
+    if _int_bound(a) > _I64_MAX:
+        raise GuardTrip("abs of int64 min overflows")
+    return _np.abs(a)
+
+
+def _guarded_where(cond: Any, then: Any, other: Any) -> Any:
+    if max(_int_bound(then), _int_bound(other)) > _I64_MAX:
+        raise GuardTrip("int64 select could overflow")
+    return _np.where(cond, then, other)
+
+
+def _to_double(value: Any) -> Any:
+    # int64 → float64 rounds to nearest, exactly like Python float(int).
+    if isinstance(value, _np.ndarray):
+        return value.astype(_np.float64)
+    return float(value)
 
 
 class _VecRenderer:
-    """Renders a float-typed IR expression to a numpy source fragment.
+    """Renders an IR expression over typed column arrays to numpy source.
 
-    Returns ``(code, kind)`` where kind ∈ {"float", "int", "bool"}.
-    The only *array* in play is the float64 column ``__arr``; every
-    other operand is a Python scalar, so integer subexpressions keep
-    Python's arbitrary-precision semantics and never become int64.
+    ``columns`` maps record-atom names to ``(argument, kind)`` — each
+    live column arrives as its own validated int64/float64/bool array
+    argument.  ``expr`` returns ``(code, kind, is_array)``; every op
+    that could silently wrap int64 renders through a guard helper that
+    raises :class:`GuardTrip` (per-chunk row-loop fallback) instead.
+    Float ops are restricted to the set whose float64 semantics are
+    bit-identical to the evaluator's Python floats.
     """
 
-    def __init__(self, field_name: str, globals_env: dict[str, Any]) -> None:
-        self.field_name = field_name
+    def __init__(
+        self,
+        columns: dict[str, tuple[str, str]],
+        globals_env: dict[str, Any],
+    ) -> None:
+        self.columns = columns
         self.globals_env = globals_env
         self.namespace: dict[str, Any] = {}
         self._global_names: dict[str, str] = {}
 
-    def _helper(self, np_name: str) -> str:
-        alias = f"__np_{np_name}"
-        self.namespace[alias] = getattr(_np, np_name)
+    def _helper(self, alias: str, value: Any) -> str:
+        self.namespace[alias] = value
         return alias
 
-    def expr(self, e: IRExpr) -> tuple[str, str]:
+    def _np_helper(self, np_name: str) -> str:
+        return self._helper(f"__np_{np_name}", getattr(_np, np_name))
+
+    def expr(self, e: IRExpr) -> tuple[str, str, bool]:
         if isinstance(e, Const):
             if isinstance(e.value, bool):
-                return repr(e.value), "bool"
+                return repr(e.value), "bool", False
             if isinstance(e.value, int):
-                return repr(e.value), "int"
+                return repr(e.value), "int", False
             if isinstance(e.value, float):
                 if e.value != e.value or e.value in (float("inf"), float("-inf")):
                     raise _VecUnsupported("non-finite constant")
-                return repr(e.value), "float"
+                return repr(e.value), "float", False
             raise _VecUnsupported("non-numeric constant")
         if isinstance(e, Var):
-            if e.name == self.field_name:
-                return "__arr", "float"
+            if e.name in self.columns:
+                argument, kind = self.columns[e.name]
+                return argument, kind, True
             if e.name in self.globals_env:
                 value = self.globals_env[e.name]
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -364,108 +450,255 @@ class _VecRenderer:
                     self._global_names[e.name] = mangled
                     self.namespace[mangled] = value
                 name = self._global_names[e.name]
-                return name, "float" if isinstance(value, float) else "int"
+                return name, "float" if isinstance(value, float) else "int", False
             raise _VecUnsupported(f"unbound variable {e.name!r}")
         if isinstance(e, BinOp):
             if e.op in ("&&", "||"):
-                left, lk = self.expr(e.left)
-                right, rk = self.expr(e.right)
+                left, lk, lv = self.expr(e.left)
+                right, rk, rv = self.expr(e.right)
                 if lk != "bool" or rk != "bool":
                     raise _VecUnsupported("non-boolean logic operand")
-                fn = self._helper("logical_and" if e.op == "&&" else "logical_or")
-                return f"{fn}({left}, {right})", "bool"
-            left, lk = self.expr(e.left)
-            right, rk = self.expr(e.right)
+                fn = self._np_helper("logical_and" if e.op == "&&" else "logical_or")
+                return f"{fn}({left}, {right})", "bool", lv or rv
+            left, lk, lv = self.expr(e.left)
+            right, rk, rv = self.expr(e.right)
             if lk not in ("int", "float") or rk not in ("int", "float"):
                 raise _VecUnsupported("non-numeric operand")
+            vec = lv or rv
             if e.op in ("+", "-", "*"):
                 kind = "float" if "float" in (lk, rk) else "int"
-                return f"({left} {e.op} {right})", kind
+                if kind == "int" and vec:
+                    alias = {
+                        "+": self._helper("__gadd", _guarded_add),
+                        "-": self._helper("__gsub", _guarded_sub),
+                        "*": self._helper("__gmul", _guarded_mul),
+                    }[e.op]
+                    return f"{alias}({left}, {right})", kind, vec
+                return f"({left} {e.op} {right})", kind, vec
             if e.op in ("==", "!=", "<", "<=", ">", ">="):
-                return f"({left} {e.op} {right})", "bool"
+                return f"({left} {e.op} {right})", "bool", vec
             raise _VecUnsupported(f"op {e.op!r} not exact on float64")
         if isinstance(e, UnOp):
-            operand, kind = self.expr(e.operand)
+            operand, kind, vec = self.expr(e.operand)
             if e.op == "-" and kind in ("int", "float"):
-                return f"(-{operand})", kind
+                if kind == "int" and vec:
+                    alias = self._helper("__gneg", _guarded_neg)
+                    return f"{alias}({operand})", kind, vec
+                return f"(-{operand})", kind, vec
             if e.op == "!" and kind == "bool":
-                return f"{self._helper('logical_not')}({operand})", "bool"
+                return f"{self._np_helper('logical_not')}({operand})", "bool", vec
             raise _VecUnsupported(f"unary {e.op!r} on {kind}")
         if isinstance(e, Cond):
-            cond, ck = self.expr(e.cond)
-            then, tk = self.expr(e.then)
-            other, ok = self.expr(e.other)
+            cond, ck, cv = self.expr(e.cond)
+            then, tk, tv = self.expr(e.then)
+            other, ok, ov = self.expr(e.other)
             if ck != "bool" or tk not in ("int", "float") or ok not in ("int", "float"):
                 raise _VecUnsupported("non-numeric conditional")
             kind = "float" if "float" in (tk, ok) else "int"
-            return f"{self._helper('where')}({cond}, {then}, {other})", kind
+            vec = cv or tv or ov
+            if kind == "int" and vec:
+                alias = self._helper("__gwhere", _guarded_where)
+                return f"{alias}({cond}, {then}, {other})", kind, vec
+            return f"{self._np_helper('where')}({cond}, {then}, {other})", kind, vec
         if isinstance(e, CallFn):
             if e.name == "sq" and len(e.args) == 1:
-                arg, kind = self.expr(e.args[0])
+                arg, kind, vec = self.expr(e.args[0])
                 if kind not in ("int", "float"):
                     raise _VecUnsupported("sq on non-numeric")
-                return f"({arg} * {arg})", kind
+                if kind == "int" and vec:
+                    alias = self._helper("__gsq", _guarded_sq)
+                    return f"{alias}({arg})", kind, vec
+                return f"({arg} * {arg})", kind, vec
             if e.name == "to_double" and len(e.args) == 1:
-                arg, kind = self.expr(e.args[0])
+                arg, kind, vec = self.expr(e.args[0])
                 if kind == "float":
-                    return arg, "float"
+                    return arg, "float", vec
                 if kind == "int":
-                    self.namespace["__float"] = float
-                    return f"__float({arg})", "float"
+                    alias = self._helper("__to_double", _to_double)
+                    return f"{alias}({arg})", "float", vec
                 raise _VecUnsupported("to_double on non-numeric")
+            if e.name == "abs" and len(e.args) == 1:
+                arg, kind, vec = self.expr(e.args[0])
+                if kind not in ("int", "float"):
+                    raise _VecUnsupported("abs on non-numeric")
+                if kind == "int" and vec:
+                    alias = self._helper("__gabs", _guarded_abs)
+                    return f"{alias}({arg})", kind, vec
+                return f"{self._np_helper('abs')}({arg})", kind, vec
             if e.name in _VEC_NP_FUNCS and len(e.args) == 1:
-                arg, kind = self.expr(e.args[0])
+                # sqrt(neg) → NaN matches the evaluator; floor/ceil
+                # return float(math.floor(x)) — np.floor is the same
+                # value for both int and float inputs.
+                arg, kind, vec = self.expr(e.args[0])
                 if kind not in ("int", "float"):
                     raise _VecUnsupported(f"{e.name} on non-numeric")
-                out_kind = kind if e.name == "abs" else "float"
-                return f"{self._helper(_VEC_NP_FUNCS[e.name])}({arg})", out_kind
+                return f"{self._np_helper(_VEC_NP_FUNCS[e.name])}({arg})", "float", vec
             raise _VecUnsupported(f"function {e.name!r} not exact on float64")
         raise _VecUnsupported(f"{type(e).__name__} not vectorizable")
 
 
-def _vector_source(
-    view: DatasetView, value_vars: set[str]
-) -> Optional[tuple[Optional[int], str]]:
-    """The float64 column the value expression reads, if there is one.
+def _column_kind(jtype: Any) -> Optional[str]:
+    """The exactness class a static type proves, or None.
 
-    Returns ``(column_index, atom_name)`` — column ``None`` means the
-    records themselves are the column (plain foreach over doubles).
+    ``char`` is integral in the type system but its runtime values are
+    one-character strings, so it never columnarizes.
     """
-    if view.kind == "foreach":
-        if view.element_class is not None or view.element_var is None:
-            return None
-        try:
-            jtype = view.field_type(view.element_var)
-        except KeyError:
-            return None
-        if not getattr(jtype, "is_floating", False):
-            return None
-        return (None, view.element_var)
-    if view.kind == "array1d":
-        columns = [name for name in view.sources if name in value_vars]
-        if len(columns) != 1:
-            return None
-        name = columns[0]
-        try:
-            jtype = view.field_type(name)
-        except KeyError:
-            return None
-        if not getattr(jtype, "is_floating", False):
-            return None
-        return (1 + view.sources.index(name), name)
+    name = getattr(jtype, "name", None)
+    if name in ("int", "long"):
+        return "int"
+    if name in ("double", "float"):
+        return "float"
+    if name == "boolean":
+        return "bool"
     return None
+
+
+def column_specs(
+    view: DatasetView, needed: set[str]
+) -> Optional[tuple[ColumnSpec, ...]]:
+    """Column specs for the needed record atoms, or None when any atom
+    has no provably exact column (object fields, whole-struct refs)."""
+    mapping: dict[str, Optional[ColumnSpec]] = {}
+    if view.kind == "foreach":
+        if view.element_class is None:
+            name = view.element_var
+            if name is None:
+                return None
+            try:
+                kind = _column_kind(view.field_type(name))
+            except KeyError:
+                kind = None
+            if kind is None:
+                return None
+            spec = ColumnSpec(name=name, kind=kind, access="self")
+            # A scalar foreach element is reachable both by its loop
+            # variable and as the implicit "__element" atom.
+            mapping[name] = spec
+            mapping["__element"] = spec
+        else:
+            if "__element" in needed:
+                return None  # whole-struct emits need the row objects
+            for fld in view.element_fields:
+                kind = _column_kind(fld.jtype)
+                mapping[fld.name] = (
+                    ColumnSpec(fld.name, kind, "field", field=fld.name)
+                    if kind is not None
+                    else None
+                )
+    elif view.kind == "array1d":
+        index_var = view.index_vars[0]
+        mapping[index_var] = ColumnSpec(index_var, "int", "index", position=0)
+        for position, name in enumerate(view.sources):
+            try:
+                kind = _column_kind(view.field_type(name))
+            except KeyError:
+                kind = None
+            mapping[name] = (
+                ColumnSpec(name, kind, "index", position=position + 1)
+                if kind is not None
+                else None
+            )
+    elif view.kind == "array2d":
+        i_var, j_var = view.index_vars[0], view.index_vars[1]
+        mapping[i_var] = ColumnSpec(i_var, "int", "index", position=0)
+        mapping[j_var] = ColumnSpec(j_var, "int", "index", position=1)
+        try:
+            kind = _column_kind(view.field_type("v"))
+        except KeyError:
+            kind = None
+        mapping["v"] = (
+            ColumnSpec("v", kind, "index", position=2) if kind is not None else None
+        )
+    else:
+        return None
+    specs: list[ColumnSpec] = []
+    for atom in sorted(needed):
+        spec = mapping.get(atom)
+        if spec is None:
+            return None
+        if spec not in specs:
+            specs.append(spec)
+    return tuple(specs)
+
+
+class VectorKernel:
+    """The compiled numpy chunk kernel: columns in, exact pairs out.
+
+    ``run_block`` computes the emitted pairs as a
+    :class:`~repro.engine.columnar.ColumnBlock` (key array or constant
+    key, value array); ``None`` means a guard tripped — int64 overflow
+    risk, a non-finite float result, data that broke the type promise —
+    and the caller must run the compiled row loop for this chunk.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[ColumnSpec, ...],
+        value_fn: Callable,
+        cond_fn: Optional[Callable],
+        key_fn: Optional[Callable],
+        key_const: Any,
+    ) -> None:
+        self.specs = specs
+        self._value_fn = value_fn
+        self._cond_fn = cond_fn
+        self._key_fn = key_fn
+        self.key_const = key_const
+
+    def run_block(self, columns: dict[str, Any]) -> Optional[ColumnBlock]:
+        arrays = [columns[spec.name] for spec in self.specs]
+        length = int(arrays[0].shape[0]) if arrays else 0
+        try:
+            with _np.errstate(all="ignore"):
+                values = self._value_fn(*arrays)
+                keys = self._key_fn(*arrays) if self._key_fn is not None else None
+                if self._cond_fn is not None:
+                    mask = self._cond_fn(*arrays)
+                    if not isinstance(mask, _np.ndarray) or mask.dtype != _np.bool_:
+                        return None
+                    values = values[mask]
+                    if keys is not None:
+                        keys = keys[mask]
+        except (GuardTrip, OverflowError, TypeError, ValueError):
+            return None
+        if not isinstance(values, _np.ndarray) or values.ndim != 1:
+            return None
+        if self._cond_fn is None and values.shape[0] != length:
+            return None
+        if values.dtype.kind == "f" and not bool(_np.isfinite(values).all()):
+            return None  # inf/NaN chain: the row loop reproduces it exactly
+        if keys is not None:
+            if not isinstance(keys, _np.ndarray) or keys.shape != values.shape:
+                return None
+            if keys.dtype.kind == "f" and not bool(_np.isfinite(keys).all()):
+                return None
+        return ColumnBlock(values=values, keys=keys, key_const=self.key_const)
+
+    def run(self, columns: dict[str, Any]) -> Optional[list[tuple]]:
+        block = self.run_block(columns)
+        return None if block is None else block.pairs()
+
+    def __call__(self, records: Any) -> Optional[list[tuple]]:
+        """Chunk of records → pairs; None → run the compiled loop."""
+        columns = resolve_columns(records, self.specs)
+        if columns is None:
+            return None
+        return self.run(columns)
 
 
 def try_vectorize(
     emits: tuple[Emit, ...],
     view: DatasetView,
     globals_env: dict[str, Any],
-) -> Optional[Callable]:
+) -> Optional[VectorKernel]:
     """Build the numpy chunk kernel, or None when not provably exact.
 
-    The returned callable maps a chunk of records to the emitted pairs,
-    or returns None at runtime when the chunk is not the clean float
-    column the types promised (the caller then runs the compiled loop).
+    Vectorizes a single emit whose value (and filter, and key — unless
+    the key is record-independent, in which case it is evaluated once)
+    reads any mix of int/float/bool columns the typechecker can prove
+    exact.  Runtime validation and the int64/NaN guards make the kernel
+    return None per chunk whenever exactness cannot be certified, and
+    the compiled row loop takes over.
     """
     if _np is None or len(emits) != 1:
         return None
@@ -475,58 +708,123 @@ def try_vectorize(
     except KernelUnsupported:
         return None
     value_vars = expr_vars(emit.value)
-    if expr_vars(emit.key) & atoms:
-        return None  # key depends on the record → no single constant key
-    source = _vector_source(view, value_vars)
-    if source is None:
+    key_vars = expr_vars(emit.key) & atoms
+    cond_vars = expr_vars(emit.cond) if emit.cond is not None else set()
+    needed = (value_vars & atoms) | key_vars | (cond_vars & atoms)
+    if not (value_vars & atoms):
+        return None  # constant value: nothing to vectorize
+    if emit.cond is not None and not (cond_vars & atoms):
+        return None  # record-independent filter: leave it to the loop
+    specs = column_specs(view, needed)
+    if specs is None:
         return None
-    column, field_name = source
-    if (value_vars & atoms) != {field_name}:
-        return None
-    if emit.cond is not None:
-        cond_vars = expr_vars(emit.cond)
-        if field_name not in cond_vars or (cond_vars & atoms) != {field_name}:
-            return None
-    renderer = _VecRenderer(field_name, globals_env)
+    arguments = {
+        spec.name: (f"__c{index}", spec.kind)
+        for index, spec in enumerate(specs)
+    }
+    columns = {
+        atom: arguments[_spec_for(atom, specs, view).name]
+        for atom in needed
+    }
+    renderer = _VecRenderer(columns, globals_env)
+    signature = ", ".join(arguments[spec.name][0] for spec in specs)
     try:
-        key_value = eval_expr(emit.key, dict(globals_env))
-        value_code, value_kind = renderer.expr(emit.value)
-        if value_kind != "float":
+        value_code, value_kind, value_vec = renderer.expr(emit.value)
+        if value_kind not in ("int", "float", "bool") or not value_vec:
             return None
         cond_code = None
         if emit.cond is not None:
-            cond_code, cond_kind = renderer.expr(emit.cond)
-            if cond_kind != "bool":
+            cond_code, cond_kind, cond_vec = renderer.expr(emit.cond)
+            if cond_kind != "bool" or not cond_vec:
                 return None
+        key_code = None
+        key_const = None
+        if key_vars:
+            key_code, key_kind, key_vec = renderer.expr(emit.key)
+            if key_kind not in ("int", "float", "bool") or not key_vec:
+                return None
+        else:
+            key_const = eval_expr(emit.key, dict(globals_env))
     except (_VecUnsupported, IRError):
         return None
 
-    body = f"def __value(__arr):\n    return {value_code}\n"
+    body = f"def __value({signature}):\n    return {value_code}\n"
     if cond_code is not None:
-        body += f"def __cond(__arr):\n    return {cond_code}\n"
+        body += f"def __cond({signature}):\n    return {cond_code}\n"
+    if key_code is not None:
+        body += f"def __key({signature}):\n    return {key_code}\n"
     namespace: dict[str, Any] = {"__builtins__": {}}
     namespace.update(renderer.namespace)
     exec(compile(body, "<kernel:numpy>", "exec"), namespace)
-    value_fn = namespace["__value"]
-    cond_fn = namespace.get("__cond")
+    return VectorKernel(
+        specs=specs,
+        value_fn=namespace["__value"],
+        cond_fn=namespace.get("__cond"),
+        key_fn=namespace.get("__key"),
+        key_const=key_const,
+    )
 
-    def vector_chunk(records: Any) -> Optional[list[tuple]]:
-        data = records if column is None else [r[column] for r in records]
-        try:
-            array = _np.asarray(data, dtype=_np.float64)
-        except (TypeError, ValueError):
-            return None
-        if array.ndim != 1 or array.shape[0] != len(data):
-            return None
-        with _np.errstate(all="ignore"):
-            values = value_fn(array)
-            if cond_fn is not None:
-                values = values[cond_fn(array)]
-        if not isinstance(values, _np.ndarray):
-            return None
-        return [(key_value, value) for value in values.tolist()]
 
-    return vector_chunk
+def _spec_for(
+    atom: str, specs: tuple[ColumnSpec, ...], view: DatasetView
+) -> ColumnSpec:
+    """The spec serving an atom (``__element`` aliases the loop var)."""
+    for spec in specs:
+        if spec.name == atom:
+            return spec
+    # scalar-foreach alias: "__element" shares the element column
+    assert atom == "__element" and view.element_var is not None
+    for spec in specs:
+        if spec.name == view.element_var:
+            return spec
+    raise KeyError(atom)
+
+
+# ----------------------------------------------------------------------
+# λr shape recognition (for array-based partial aggregation)
+
+
+def recognize_fold(body: IRExpr, params: tuple[str, str]) -> Optional[str]:
+    """"sum" | "min" | "max" when λr is that fold over its two params.
+
+    Only shapes whose grouped array fold is bit-identical to the
+    ordered per-key fold are recognized (see
+    :func:`repro.engine.columnar.grouped_fold` for the runtime guards).
+    """
+    names = set(params)
+    if (
+        isinstance(body, BinOp)
+        and body.op == "+"
+        and isinstance(body.left, Var)
+        and isinstance(body.right, Var)
+        and {body.left.name, body.right.name} == names
+    ):
+        return "sum"
+    if (
+        isinstance(body, CallFn)
+        and body.name in ("min", "max")
+        and len(body.args) == 2
+        and all(isinstance(arg, Var) for arg in body.args)
+        and {arg.name for arg in body.args} == names
+    ):
+        return body.name
+    if (
+        isinstance(body, Cond)
+        and isinstance(body.cond, BinOp)
+        and body.cond.op in ("<", "<=", ">", ">=")
+        and isinstance(body.cond.left, Var)
+        and isinstance(body.cond.right, Var)
+        and isinstance(body.then, Var)
+        and isinstance(body.other, Var)
+        and {body.cond.left.name, body.cond.right.name} == names
+        and {body.then.name, body.other.name} == names
+    ):
+        # a < b ? a : b picks the smaller operand (ties are value-equal
+        # either way on validated homogeneous columns).
+        smaller_first = body.cond.op in ("<", "<=")
+        then_is_left = body.then.name == body.cond.left.name
+        return "min" if smaller_first == then_is_left else "max"
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -547,14 +845,22 @@ class CompiledRecordMapper:
     globals_env: dict[str, Any]
     view: DatasetView
     label: str = "map"
+    #: Set by ``map_chunk``/``map_block`` when the vector kernel was
+    #: attempted on the last chunk but a guard rejected it (the engine
+    #: counts these as guard fallbacks), and when it actually produced
+    #: the chunk's output.
+    last_chunk_fallback: bool = field(default=False, compare=False)
+    last_chunk_columnar: bool = field(default=False, compare=False)
     _fn: Optional[Callable] = field(default=None, repr=False, compare=False)
-    _vec: Optional[Callable] = field(default=None, repr=False, compare=False)
+    _vec: Optional[VectorKernel] = field(default=None, repr=False, compare=False)
     _rendered: Optional[KernelSource] = field(
         default=None, repr=False, compare=False
     )
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
+        state["last_chunk_fallback"] = False
+        state["last_chunk_columnar"] = False
         state["_fn"] = None
         state["_vec"] = None
         state["_rendered"] = None
@@ -578,18 +884,52 @@ class CompiledRecordMapper:
         self._ensure()
         return self._vec is not None
 
-    def map_chunk(self, records: Any) -> list[tuple]:
+    @property
+    def columns_spec(self) -> Optional[tuple[ColumnSpec, ...]]:
+        """Columns the vector kernel consumes (None → not vectorized)."""
+        self._ensure()
+        return self._vec.specs if self._vec is not None else None
+
+    def map_block(self, records: Any) -> Optional[ColumnBlock]:
+        """Emitted pairs as a column block, or None → run ``map_chunk``."""
+        self._ensure()
+        self.last_chunk_fallback = False
+        self.last_chunk_columnar = False
+        if self._vec is None:
+            return None
+        columns = resolve_columns(records, self._vec.specs)
+        if columns is None:
+            return None
+        block = self._vec.run_block(columns)
+        if block is None:
+            self.last_chunk_fallback = True
+        else:
+            self.last_chunk_columnar = True
+        return block
+
+    def map_rows(self, records: Any) -> list[tuple]:
+        """The compiled row loop, bypassing the vector attempt (what the
+        engine runs after a ``map_block`` guard trip, so the rejected
+        vector computation is not redone)."""
         fn = self._fn if self._fn is not None else self._ensure()
-        if self._vec is not None:
-            pairs = self._vec(records)
-            if pairs is not None:
-                return pairs
         out: list[tuple] = []
         try:
             fn(records, out.append)
         except TypeError as exc:
             raise IRError(f"type error in compiled kernel: {exc}") from exc
         return out
+
+    def map_chunk(self, records: Any) -> list[tuple]:
+        self._ensure()
+        self.last_chunk_fallback = False
+        self.last_chunk_columnar = False
+        if self._vec is not None:
+            pairs = self._vec(records)
+            if pairs is not None:
+                self.last_chunk_columnar = True
+                return pairs
+            self.last_chunk_fallback = True
+        return self.map_rows(records)
 
     def __call__(self, record: Any) -> list[tuple]:
         return self.map_chunk((record,))
@@ -657,6 +997,11 @@ class CompiledReduce:
         state["_fn"] = None
         state["_rendered"] = None
         return state
+
+    @property
+    def grouped_op(self) -> Optional[str]:
+        """"sum"/"min"/"max" when λr admits array-based grouped folds."""
+        return recognize_fold(self.body, self.params)
 
     def _ensure(self) -> Callable:
         if self._fn is None:

@@ -272,6 +272,7 @@ def run_translated(
     plan: Optional[str] = None,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run one translated fragment of a compilation result.
 
@@ -288,8 +289,9 @@ def run_translated(
     the compiled backend, ``"auto"`` asks the execution planner, a
     backend name forces one), ``memory_budget`` (bytes) engages
     out-of-core execution on the real local backends (a budget with
-    ``plan=None`` implies ``plan="auto"``), and ``kernel`` picks the
-    codegen target (``None`` defers to the plan).
+    ``plan=None`` implies ``plan="auto"``), ``kernel`` picks the
+    codegen target (``None`` defers to the plan), and ``layout`` the
+    chunk layout under it (``"rows"`` | ``"columns"`` | ``"auto"``).
 
     After a planned run, :func:`last_plan_report` returns the planner's
     :class:`~repro.planner.plan.PlanReport` — or use
@@ -302,6 +304,7 @@ def run_translated(
         plan=plan,
         memory_budget=memory_budget,
         kernel=kernel,
+        layout=layout,
     )
     outputs, _report = _run_fragment(result, inputs, fragment_index, options)
     return outputs
@@ -325,6 +328,7 @@ def _run_fragment(
         plan=options.plan,
         memory_budget=options.memory_budget,
         kernel=options.kernel,
+        layout=options.layout,
     )
     planned = options.plan is not None or options.memory_budget is not None
     report = fragment.program.last_plan_report if planned else None
@@ -343,6 +347,7 @@ def run_program(
     strict: Optional[bool] = None,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run a whole compiled program as one dataflow-scheduled job graph.
 
@@ -369,7 +374,9 @@ def run_program(
       input cannot fit, fused stage handoffs included; a budget with
       ``plan=None`` implies ``plan="auto"``;
     * ``kernel`` — codegen target for every unit on a real local
-      engine, fused chains included.
+      engine, fused chains included;
+    * ``layout`` — chunk layout under those kernels (``"rows"`` |
+      ``"columns"`` | ``"auto"``), fused chains included.
 
     After a run, :func:`last_graph_report` returns the
     :class:`~repro.planner.dag.GraphPlanReport` evidence trail — or use
@@ -387,6 +394,7 @@ def run_program(
         strict=strict,
         memory_budget=memory_budget,
         kernel=kernel,
+        layout=layout,
     )
     return _run_program(result, inputs, options).outputs
 
@@ -425,6 +433,7 @@ def _run_program(
         strict=options.strict,
         memory_budget=options.memory_budget,
         kernel=options.kernel,
+        layout=options.layout,
     )
     result.last_graph_run = run
     return run

@@ -1,0 +1,400 @@
+"""Columnar chunk layout: persistent typed column arrays per chunk.
+
+PR 6's compiled kernels run chunk-at-a-time, but chunks stayed
+row-shaped record lists: the numpy fast path re-extracted its input
+column from the row dicts on every call, and nothing downstream (the
+combiner, the shuffle, the shared-memory transport) could see an array.
+This module introduces the column-major representation the vectorized
+kernels operate on:
+
+* :class:`ColumnSpec` — where a live atom lives in a record (the record
+  itself, a struct field, or a parallel-array tuple position) and the
+  numpy dtype the typechecker's exactness proof licenses (``int`` →
+  int64, ``float`` → float64, ``bool`` → bool).
+* :class:`ColumnChunk` — one chunk's rows plus its extracted columns,
+  built **once** at the dataset source boundary from the projection
+  liveness set, so every kernel that touches the chunk reuses the same
+  arrays.
+* :class:`Chunk` — a plain ``list`` subclass carrying a column cache,
+  so even row-layout runs extract each live column at most once per
+  chunk.
+* :class:`ColumnBlock` — a vectorized map stage's output: a value
+  array plus either a key array or one constant key, convertible to
+  the exact pair list the row engine would have emitted.
+* :func:`grouped_fold` — array-based partial aggregation for proved
+  sum/min/max reducers (``reduceat`` over stably argsorted keys),
+  restricted to cases that are bit-identical to the ordered dict fold
+  and guarded against int64 overflow / NaN.
+
+Exactness discipline: a column is only materialized as a numpy array
+when every element is *exactly* the Python type the static type
+promised (``type(v) is int`` — bools excluded — for integral columns,
+``type(v) is float`` for floating ones, ``type(v) is bool`` for
+booleans) and, for ints, every value fits int64.  Anything else marks
+the column invalid and the caller falls back to the compiled row loop —
+never silently wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .sizes import (
+    BOOLEAN_SIZE,
+    DOUBLE_SIZE,
+    INT_SIZE,
+    LONG_SIZE,
+    OBJECT_HEADER,
+    TUPLE_HEADER,
+    sizeof,
+    sizeof_pair,
+)
+
+try:  # pragma: no cover - numpy is present in the toolchain image
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: int64 magnitude bound used by every overflow guard.
+I64_MAX = 2**63 - 1
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One live atom's location in a record and its proved element kind.
+
+    ``access`` is ``"self"`` (the record *is* the value — plain foreach
+    over scalars), ``"field"`` (an ``Instance`` struct field), or
+    ``"index"`` (a position in a parallel-array record tuple).
+    ``kind`` ∈ {"int", "float", "bool"} names the exactness class the
+    typechecker proved; it decides the numpy dtype and the runtime
+    validation predicate.
+    """
+
+    name: str
+    kind: str
+    access: str
+    field: Optional[str] = None
+    position: Optional[int] = None
+
+
+class Chunk(list):
+    """A row chunk that can cache its extracted column arrays.
+
+    Plain lists cannot carry attributes, so the engine wraps chunks in
+    this subclass when a compiled mapper may vectorize: the first
+    extraction of each live column is stored in :attr:`columns` and
+    every later kernel (the block path, the pair path, a guard-trip
+    retry) reuses the array instead of re-walking the row dicts.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, records: Any = ()) -> None:
+        super().__init__(records)
+        self.columns: dict[str, Any] = {}
+
+    def __reduce__(self):
+        # list subclass + __slots__ needs explicit pickle support; the
+        # cached arrays travel along so workers skip re-extraction.
+        return (_rebuild_chunk, (list(self), self.columns))
+
+
+def _rebuild_chunk(records: list, columns: dict) -> "Chunk":
+    chunk = Chunk(records)
+    chunk.columns = columns
+    return chunk
+
+
+class ColumnChunk:
+    """One chunk in columnar layout: the rows plus their live columns.
+
+    Built once at the dataset source boundary (`build_chunk`) from the
+    projection-pushdown liveness set.  The rows are kept: they are the
+    exact fallback surface for guard trips and for any stage that does
+    not understand columns, and object-valued atoms (strings, structs)
+    only exist row-side.  Iteration and ``len`` see the rows, so every
+    row-oriented consumer works unchanged.
+    """
+
+    __slots__ = ("rows", "columns")
+
+    def __init__(
+        self, rows: list, columns: Optional[dict[str, Any]] = None
+    ) -> None:
+        self.rows = rows
+        #: spec name → ndarray, or None when validation failed (cached
+        #: so a failed column is probed once per chunk, not per kernel).
+        self.columns: dict[str, Any] = dict(columns or {})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def __getstate__(self):
+        return (self.rows, self.columns)
+
+    def __setstate__(self, state):
+        self.rows, self.columns = state
+
+    def sizeof_model(self, seen: Any) -> int:
+        """Price for :func:`repro.engine.sizes.sizeof`: the rows (the
+        real payload) plus the array headers — numeric arrays are flat
+        buffers, not per-element boxed walks."""
+        total = OBJECT_HEADER + sum(sizeof(row) for row in self.rows)
+        for array in self.columns.values():
+            if array is not None:
+                total += OBJECT_HEADER + int(array.nbytes)
+        return total
+
+
+_KIND_CHECKS = {"int": int, "float": float, "bool": bool}
+
+
+def _extract_data(rows: list, spec: ColumnSpec) -> list:
+    """Pull one atom's raw values out of the rows (pre-validation)."""
+    if spec.access == "self":
+        return list(rows)
+    if spec.access == "field":
+        name = spec.field if spec.field is not None else spec.name
+        return [row.fields[name] for row in rows]
+    position = spec.position or 0
+    return [row[position] for row in rows]
+
+
+def build_column(rows: list, spec: ColumnSpec) -> Optional[Any]:
+    """One validated column array, or None when the data breaks the
+    type promise (mixed types, bools in int columns, out-of-int64
+    values) — the caller then runs the row loop for this chunk."""
+    if _np is None:
+        return None
+    try:
+        data = _extract_data(rows, spec)
+    except (AttributeError, KeyError, IndexError, TypeError):
+        return None
+    expected = _KIND_CHECKS[spec.kind]
+    # set(map(type, ...)) runs at C speed; an exact-type check is what
+    # keeps e.g. True out of int columns (eval emits True, int64 would
+    # emit 1 — equal under ==, not byte-identical).
+    if set(map(type, data)) - {expected}:
+        return None
+    if spec.kind == "int":
+        try:
+            return _np.asarray(data, dtype=_np.int64)
+        except (OverflowError, ValueError):
+            return None  # a value outside int64 — row loop keeps bignums
+    if spec.kind == "float":
+        return _np.asarray(data, dtype=_np.float64)
+    return _np.asarray(data, dtype=_np.bool_)
+
+
+def resolve_columns(
+    chunk: Any, specs: tuple[ColumnSpec, ...]
+) -> Optional[dict[str, Any]]:
+    """The chunk's arrays for ``specs``, building (and caching) misses.
+
+    Returns None when any required column fails validation; the failure
+    itself is cached on caching chunk types so repeated kernels skip
+    the re-probe.
+    """
+    cache = getattr(chunk, "columns", None)
+    rows = chunk.rows if isinstance(chunk, ColumnChunk) else chunk
+    out: dict[str, Any] = {}
+    invalid = False
+    for spec in specs:
+        if cache is not None and spec.name in cache:
+            array = cache[spec.name]
+        else:
+            array = build_column(rows, spec)
+            if cache is not None:
+                cache[spec.name] = array
+        if array is None:
+            invalid = True
+        else:
+            out[spec.name] = array
+    return None if invalid else out
+
+
+def build_chunk(records: Any, specs: tuple[ColumnSpec, ...]) -> ColumnChunk:
+    """Columnar form of one chunk: extract every live column eagerly."""
+    rows = records if isinstance(records, list) else list(records)
+    chunk = ColumnChunk(rows)
+    for spec in specs:
+        chunk.columns[spec.name] = build_column(rows, spec)
+    return chunk
+
+
+# ----------------------------------------------------------------------
+# Vectorized map output blocks
+
+
+@dataclass
+class ColumnBlock:
+    """A vectorized map stage's emitted pairs in column form.
+
+    ``keys`` is an array aligned with ``values``, or None when every
+    pair shares ``key_const`` (the constant-key emit shape).  Values
+    (and array keys) are validated int64/float64/bool arrays, so
+    ``tolist`` reconstruction yields exactly the Python scalars the row
+    loop would have emitted.
+    """
+
+    values: Any
+    keys: Any = None
+    key_const: Any = None
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def key_list(self) -> list:
+        if self.keys is None:
+            return [self.key_const] * len(self)
+        return self.keys.tolist()
+
+    def pairs(self) -> list[tuple]:
+        """The exact pair list the row loop would have produced."""
+        values = self.values.tolist()
+        if self.keys is None:
+            key = self.key_const
+            return [(key, value) for value in values]
+        return list(zip(self.keys.tolist(), values))
+
+    # -- sizeof-model accounting (vectorized, byte-for-byte identical
+    # -- to summing sizeof_pair over .pairs())
+
+    def pair_sizes(self) -> list[int]:
+        """Per-pair ``sizeof_pair`` without materializing the pairs."""
+        n = len(self)
+        value_sizes = _scalar_sizes(self.values)
+        if self.keys is None:
+            key_size = sizeof(self.key_const)
+            return [key_size + v for v in value_sizes]
+        key_sizes = _scalar_sizes(self.keys)
+        return [k + v for k, v in zip(key_sizes, value_sizes)]
+
+    def stage_bytes(self) -> int:
+        """What ``sum(sizeof(pair))`` charges: pair tuple headers too."""
+        return sum(self.pair_sizes()) + TUPLE_HEADER * len(self)
+
+    def shuffle_bytes(self) -> int:
+        return sum(self.pair_sizes())
+
+
+def _scalar_sizes(array: Any) -> list[int]:
+    """sizeof() of each element, computed on the array."""
+    if array.dtype == _np.bool_:
+        return [BOOLEAN_SIZE] * int(array.shape[0])
+    if array.dtype.kind == "f":
+        return [DOUBLE_SIZE] * int(array.shape[0])
+    small = (array >= -(2**31)) & (array < 2**31)
+    return _np.where(small, INT_SIZE, LONG_SIZE).tolist()
+
+
+# ----------------------------------------------------------------------
+# Array-based partial aggregation (proved-commutative λr only)
+
+
+def _int_bound(array: Any) -> int:
+    """Max |value| as a Python int (never wraps, unlike np.abs)."""
+    if array.shape[0] == 0:
+        return 0
+    return max(abs(int(array.max())), abs(int(array.min())))
+
+
+def _fold_whole(values: Any, op: str) -> Optional[Any]:
+    """Fold one key's whole value array; None when not provably exact."""
+    if values.shape[0] == 0:
+        return None
+    if op == "sum":
+        if values.dtype.kind == "f":
+            # accumulate is the strict sequential left fold — the same
+            # rounding sequence as the ordered Python fold (reduce may
+            # use pairwise summation, which reassociates).
+            return float(_np.add.accumulate(values)[-1])
+        if values.shape[0] * _int_bound(values) > I64_MAX:
+            return None  # a partial sum could wrap int64
+        return int(values.sum(dtype=_np.int64))
+    if op in ("min", "max"):
+        if values.dtype.kind == "f" and bool(_np.isnan(values).any()):
+            return None  # NaN ordering differs between min() and minimum
+        result = values.min() if op == "min" else values.max()
+        return result.item()
+    return None
+
+
+def grouped_fold(block: ColumnBlock, op: str) -> Optional[list[tuple]]:
+    """Per-key array fold of a block — or None to use the dict combine.
+
+    Output is bit-identical to the first-seen-ordered dict fold: keys
+    come back in first-occurrence order, int sums are overflow-guarded,
+    float sums use the strict sequential ``accumulate`` fold, and
+    min/max refuse NaNs.  Any unsupported shape returns None and the
+    caller combines the block's pairs the classic way.
+    """
+    if _np is None or op not in ("sum", "min", "max"):
+        return None
+    values = block.values
+    if not isinstance(values, _np.ndarray) or values.dtype == _np.bool_:
+        return None
+    if block.keys is None:
+        folded = _fold_whole(values, op)
+        if folded is None:
+            return [] if values.shape[0] == 0 else None
+        return [(block.key_const, folded)]
+    keys = block.keys
+    if keys.shape[0] == 0:
+        return []
+    if keys.dtype.kind == "f":
+        if bool(_np.isnan(keys).any()):
+            return None  # NaN keys group by object identity in dicts
+        if bool(((keys == 0.0) & _np.signbit(keys)).any()):
+            return None  # -0.0 == 0.0: unique() may pick the wrong face
+    uniq, first_index, inverse = _np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    order = _np.argsort(inverse, kind="stable")  # arrival order per group
+    bounds = _np.searchsorted(inverse[order], _np.arange(uniq.shape[0]))
+    sorted_values = values[order]
+    if op == "sum":
+        if values.dtype.kind == "f":
+            if uniq.shape[0] * 4 > keys.shape[0]:
+                return None  # mostly-distinct keys: per-group loop loses
+            starts = bounds.tolist()
+            stops = starts[1:] + [int(keys.shape[0])]
+            aggregated = [
+                float(_np.add.accumulate(sorted_values[lo:hi])[-1])
+                for lo, hi in zip(starts, stops)
+            ]
+        else:
+            if keys.shape[0] * _int_bound(values) > I64_MAX:
+                return None
+            aggregated = _np.add.reduceat(sorted_values, bounds).tolist()
+    else:
+        if values.dtype.kind == "f" and bool(_np.isnan(values).any()):
+            return None
+        ufunc = _np.minimum if op == "min" else _np.maximum
+        aggregated = ufunc.reduceat(sorted_values, bounds).tolist()
+    # Restore first-seen key order (what the dict combine produces).
+    seen_order = _np.argsort(first_index, kind="stable")
+    out_keys = uniq[seen_order].tolist()
+    return [(key, aggregated[group]) for key, group in zip(out_keys, seen_order.tolist())]
+
+
+__all__ = [
+    "Chunk",
+    "ColumnBlock",
+    "ColumnChunk",
+    "ColumnSpec",
+    "build_chunk",
+    "build_column",
+    "grouped_fold",
+    "resolve_columns",
+    "sizeof_pair",
+]

@@ -41,15 +41,16 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..cpu import available_cpu_count
 from ..errors import EngineError, SpillError
+from .columnar import Chunk, build_chunk, grouped_fold
 from .config import EngineConfig
 from .core import lambda_cpu_ns, partition_data
 from .metrics import JobMetrics
 from .shm import (
     SHM_AVAILABLE,
     ShmRef,
+    load_payload,
     release_segments,
-    resolve_payload,
-    write_segment,
+    write_payload,
 )
 from .sizes import sizeof, sizeof_pair
 from .source import Dataset, ListSource, as_dataset, chunk_records_for
@@ -138,6 +139,14 @@ class MultiprocessResult:
     shm_bytes: int = 0
     #: Payloads that fell back to the queue after a failed segment write.
     shm_fallbacks: int = 0
+    #: Chunk layout the engine ran with ("rows" or "columns").
+    layout: str = "rows"
+    #: Chunks whose first map stage executed on the vectorized column
+    #: path, and chunks where an exactness guard (int64 overflow risk,
+    #: non-finite float result, type-promise break) forced the compiled
+    #: row loop instead.
+    columnar_chunks: int = 0
+    guard_fallbacks: int = 0
 
     @property
     def executed_parallel(self) -> bool:
@@ -154,6 +163,16 @@ class MultiprocessResult:
             "fallbacks": self.shm_fallbacks,
         }
 
+    def columnar_stats(self) -> Optional[dict]:
+        """Compact columnar accounting; None when nothing vectorized."""
+        if self.columnar_chunks == 0 and self.guard_fallbacks == 0:
+            return None
+        return {
+            "layout": self.layout,
+            "columnar_chunks": self.columnar_chunks,
+            "guard_fallbacks": self.guard_fallbacks,
+        }
+
 
 @dataclass
 class _MapOut:
@@ -164,6 +183,9 @@ class _MapOut:
     stage_counts: list[list[int]]
     outgoing_records: int = 0
     shuffled_bytes: int = 0
+    #: Chunks the vectorized column path produced / guard-rejected.
+    columnar_chunks: int = 0
+    guard_fallbacks: int = 0
 
     def merge(self, other: "_MapOut") -> None:
         self.chunk_pairs.extend(other.chunk_pairs)
@@ -172,6 +194,8 @@ class _MapOut:
                 mine[i] += theirs[i]
         self.outgoing_records += other.outgoing_records
         self.shuffled_bytes += other.shuffled_bytes
+        self.columnar_chunks += other.columnar_chunks
+        self.guard_fallbacks += other.guard_fallbacks
 
 
 def _run_map_chunks(
@@ -191,33 +215,83 @@ def _run_map_chunks(
     one call per chunk instead of one per record; per-record mappers
     run the classic inner loop.  Both paths emit identical pairs in
     identical order.
+
+    When the sole map stage also exposes ``map_block`` and the combiner
+    is a recognized sum/min/max fold, the chunk stays in column form end
+    to end: the vectorized kernel emits a value/key array block and
+    :func:`~repro.engine.columnar.grouped_fold` produces the per-chunk
+    combine partials with array folds — bit-identical to the dict
+    combine (same per-chunk grouping, same first-seen key order, same
+    fold sequence), with the pair tuples never materialized.
     """
     out = _MapOut(chunk_pairs=[], stage_counts=[[0, 0, 0] for _ in map_fns])
+    fold_fn = (
+        map_fns[0]
+        if len(map_fns) == 1 and hasattr(map_fns[0], "map_block")
+        else None
+    )
+    fold_op = (
+        getattr(combiner, "grouped_op", None) if fold_fn is not None else None
+    )
     for chunk in chunks:
         current: list = chunk
-        for index, fn in enumerate(map_fns):
-            counts = out.stage_counts[index]
-            chunk_fn = getattr(fn, "map_chunk", None)
-            if chunk_fn is not None:
+        combined = False
+        if fold_op is not None:
+            counts = out.stage_counts[0]
+            block = fold_fn.map_block(current)
+            if getattr(fold_fn, "last_chunk_fallback", False):
+                out.guard_fallbacks += 1
+            if block is not None:
+                folded = grouped_fold(block, fold_op)
+                out.columnar_chunks += 1
                 counts[0] += len(current)
-                emitted = list(chunk_fn(current))
+                counts[1] += len(block)
+                if account_bytes:
+                    counts[2] += block.stage_bytes()
+                if folded is not None:
+                    current = folded
+                    combined = True
+                else:
+                    current = block.pairs()
+            else:
+                # Guard trip (or unvectorizable chunk): the compiled row
+                # loop reruns this chunk without repeating the rejected
+                # vector work.
+                counts[0] += len(current)
+                emitted = fold_fn.map_rows(current)
                 counts[1] += len(emitted)
                 if account_bytes:
                     for pair in emitted:
                         counts[2] += sizeof(pair)
                 current = emitted
-                continue
-            emitted = []
-            for record in current:
-                counts[0] += 1
-                for pair in fn(record):
-                    emitted.append(pair)
-            counts[1] += len(emitted)
-            if account_bytes:
-                for pair in emitted:
-                    counts[2] += sizeof(pair)
-            current = emitted
-        if combiner is not None:
+        else:
+            for index, fn in enumerate(map_fns):
+                counts = out.stage_counts[index]
+                chunk_fn = getattr(fn, "map_chunk", None)
+                if chunk_fn is not None:
+                    counts[0] += len(current)
+                    emitted = list(chunk_fn(current))
+                    if getattr(fn, "last_chunk_columnar", False):
+                        out.columnar_chunks += 1
+                    if getattr(fn, "last_chunk_fallback", False):
+                        out.guard_fallbacks += 1
+                    counts[1] += len(emitted)
+                    if account_bytes:
+                        for pair in emitted:
+                            counts[2] += sizeof(pair)
+                    current = emitted
+                    continue
+                emitted = []
+                for record in current:
+                    counts[0] += 1
+                    for pair in fn(record):
+                        emitted.append(pair)
+                counts[1] += len(emitted)
+                if account_bytes:
+                    for pair in emitted:
+                        counts[2] += sizeof(pair)
+                current = emitted
+        if combiner is not None and not combined:
             local: dict[Any, Any] = {}
             for key, value in current:
                 if key in local:
@@ -248,15 +322,13 @@ def _fold_groups(
 
 def _map_task(payload: Union[bytes, ShmRef]) -> _MapOut:
     """Pool entry point: unpickle one map task and run it."""
-    map_fns, combiner, chunks, shuffle_next, account_bytes = pickle.loads(
-        resolve_payload(payload)
-    )
+    map_fns, combiner, chunks, shuffle_next, account_bytes = load_payload(payload)
     return _run_map_chunks(map_fns, combiner, chunks, shuffle_next, account_bytes)
 
 
 def _reduce_task(payload: Union[bytes, ShmRef]) -> list[tuple]:
     """Pool entry point: unpickle one bucket of key groups and fold it."""
-    fn, groups = pickle.loads(resolve_payload(payload))
+    fn, groups = load_payload(payload)
     return _fold_groups(fn, groups)
 
 
@@ -276,6 +348,17 @@ def _run_spill_map(
     hash-partitioned, budget-bounded buffers instead of accumulating.
     """
     out = SpillMapOut(stage_counts=[[0, 0, 0] for _ in map_fns])
+    # With no combiner and a single vectorized map stage, emitted pairs
+    # can stay in column form all the way to disk: the block is routed
+    # into the writer's partition buffers as value/key sub-arrays
+    # (:meth:`SpillWriter.add_block`) and only expanded to pair tuples
+    # at merge time.  With a combiner, _run_map_chunks' grouped-fold
+    # path already collapses each chunk to a handful of partials.
+    block_fn = (
+        getattr(map_fns[0], "map_block", None)
+        if combiner is None and len(map_fns) == 1
+        else None
+    )
     for chunk in chunks:
         out.chunks += 1
         out.input_records += len(chunk)
@@ -283,10 +366,39 @@ def _run_spill_map(
         if account_bytes:
             chunk_bytes = sum(sizeof(r) for r in chunk)
             out.input_bytes += chunk_bytes
-        mapped = _run_map_chunks(map_fns, combiner, [chunk], False, account_bytes)
-        out.merge_counts(mapped.stage_counts)
-        for key, value in mapped.chunk_pairs[0]:
-            writer.add(key, value)
+        block = block_fn(chunk) if block_fn is not None else None
+        if block_fn is not None and getattr(
+            map_fns[0], "last_chunk_fallback", False
+        ):
+            out.guard_fallbacks += 1
+        if block is not None:
+            out.columnar_chunks += 1
+            counts = out.stage_counts[0]
+            counts[0] += len(chunk)
+            counts[1] += len(block)
+            if account_bytes:
+                counts[2] += block.stage_bytes()
+            writer.add_block(block)
+        elif block_fn is not None:
+            # Guard trip: rerun this chunk on the compiled row loop
+            # without repeating the rejected vector computation.
+            counts = out.stage_counts[0]
+            counts[0] += len(chunk)
+            emitted = map_fns[0].map_rows(chunk)
+            counts[1] += len(emitted)
+            for key, value in emitted:
+                if account_bytes:
+                    counts[2] += sizeof((key, value))
+                writer.add(key, value)
+        else:
+            mapped = _run_map_chunks(
+                map_fns, combiner, [chunk], False, account_bytes
+            )
+            out.merge_counts(mapped.stage_counts)
+            out.columnar_chunks += mapped.columnar_chunks
+            out.guard_fallbacks += mapped.guard_fallbacks
+            for key, value in mapped.chunk_pairs[0]:
+                writer.add(key, value)
         # The in-flight chunk is resident alongside the shuffle buffers.
         writer.stats.note_resident(writer.resident_bytes + chunk_bytes)
     writer.finish()
@@ -309,14 +421,14 @@ def _spill_map_task(payload: Union[bytes, ShmRef]) -> SpillMapOut:
         budget,
         task_id,
         account_bytes,
-    ) = pickle.loads(resolve_payload(payload))
+    ) = load_payload(payload)
     writer = SpillWriter(spill_dir, partitions, budget, task_id=task_id)
     return _run_spill_map(map_fns, combiner, chunks, writer, account_bytes)
 
 
 def _spill_reduce_task(payload: Union[bytes, ShmRef]) -> tuple[list[tuple], int]:
     """Pool entry point: merge-reduce one partition's spill runs."""
-    fn, run_files = pickle.loads(resolve_payload(payload))
+    fn, run_files = load_payload(payload)
     stats = SpillStats()
     pairs = merge_partition(run_files, fn, stats)
     return pairs, stats.peak_resident_bytes
@@ -362,6 +474,12 @@ class MultiprocessEngine:
     #: Below this payload size "auto" stays on the queue — the segment
     #: create/attach syscalls cost more than piping a few kilobytes.
     shm_min_bytes: int = 65536
+    #: Chunk layout: "rows" keeps record-list chunks (live columns are
+    #: still cached on the chunk after first extraction); "columns"
+    #: builds ColumnChunks eagerly at the source boundary when the first
+    #: map stage is vectorized.  The planner resolves "auto" before the
+    #: engine is constructed.
+    layout: str = "rows"
 
     def run_pipeline(
         self, records: Union[list, Dataset], steps: Sequence[PipelineStep]
@@ -382,6 +500,11 @@ class MultiprocessEngine:
             raise EngineError(
                 f"unknown transport {self.transport!r}; "
                 "expected 'auto', 'shm' or 'queue'"
+            )
+        if self.layout not in ("rows", "columns"):
+            raise EngineError(
+                f"unknown layout {self.layout!r}; expected 'rows' or "
+                "'columns' (the planner resolves 'auto' before the engine)"
             )
         if self.memory_budget is not None:
             return self._run_streaming(as_dataset(records), list(steps))
@@ -410,9 +533,13 @@ class MultiprocessEngine:
                 )
         result.processes_used = processes if pool is not None else 1
 
+        result.layout = self.layout
         started = time.perf_counter()
         try:
             chunks = partition_data(list(records), partitions)
+            prepare = self._chunk_preparer(list(steps))
+            if prepare is not None:
+                chunks = [prepare(chunk) for chunk in chunks]
             self._charge_scan(metrics, records)
             pairs = self._execute_steps(chunks, list(steps), pool, result)
         finally:
@@ -504,11 +631,16 @@ class MultiprocessEngine:
         started = time.perf_counter()
         out: Optional[_MapOut] = None
         if pool is not None:
-            payloads = self._map_payloads(
-                chunks, map_fns, combiner, shuffle_next, result
-            )
-            if payloads is not None:
-                sent, refs = self._send_payloads(payloads, result)
+            task_count = min(len(chunks), max(1, result.processes_used * 2))
+            bounds = self._task_bounds(len(chunks), task_count)
+            tasks = [
+                (map_fns, combiner, chunks[lo:hi], shuffle_next, self.account_bytes)
+                for lo, hi in bounds
+            ]
+            sent, refs, error = self._send_tasks(tasks, result)
+            if error is not None:
+                self._record_fallback(result, error)
+            else:
                 try:
                     parts = list(pool.map(_map_task, sent))
                 except BrokenProcessPool:
@@ -520,11 +652,13 @@ class MultiprocessEngine:
                     out = parts[0]
                     for part in parts[1:]:
                         out.merge(part)
-                    result.map_tasks += len(payloads)
+                    result.map_tasks += len(tasks)
         if out is None:
             out = _run_map_chunks(
                 map_fns, combiner, chunks, shuffle_next, self.account_bytes
             )
+        result.columnar_chunks += out.columnar_chunks
+        result.guard_fallbacks += out.guard_fallbacks
         elapsed = time.perf_counter() - started
         self._charge_map_stages(
             result.metrics,
@@ -536,67 +670,64 @@ class MultiprocessEngine:
         )
         return out
 
-    def _map_payloads(
-        self,
-        chunks: list[list],
-        map_fns: list[Callable],
-        combiner: Optional[Callable],
-        shuffle_next: bool,
-        result: MultiprocessResult,
-    ) -> Optional[list[bytes]]:
-        """Pre-pickle one payload per task; None when unpicklable."""
-        task_count = min(len(chunks), max(1, result.processes_used * 2))
-        bounds = self._task_bounds(len(chunks), task_count)
-        try:
-            return [
-                pickle.dumps(
-                    (
-                        map_fns,
-                        combiner,
-                        chunks[lo:hi],
-                        shuffle_next,
-                        self.account_bytes,
-                    )
-                )
-                for lo, hi in bounds
-            ]
-        except _PICKLE_ERRORS as exc:
-            # Only pickling failures fall back in-process; anything else
-            # raised while serializing (a buggy __reduce__/__getstate__
-            # in user code) is a real error and propagates.
-            self._record_fallback(result, f"payload not picklable: {exc!r}")
-            return None
+    def _send_tasks(
+        self, tasks: list, result: MultiprocessResult
+    ) -> tuple[list[Union[bytes, ShmRef]], list[ShmRef], Optional[str]]:
+        """Pickle per-task objects and stage them for the pool.
 
-    def _send_payloads(
-        self, payloads: list[bytes], result: MultiprocessResult
-    ) -> tuple[list[Union[bytes, ShmRef]], list[ShmRef]]:
-        """Stage payloads for the pool, through shared memory when on.
+        Payloads are pickled with protocol 5 and a ``buffer_callback``,
+        so ndarray columns inside a task (ColumnChunks, cached column
+        arrays, spillable blocks) become out-of-band buffers whose raw
+        bytes go straight into the shared segment — the column data is
+        copied exactly once, into shared memory, and never flattened
+        into an intermediate payload byte string.  Queue transport (or a
+        failed segment write) re-pickles the task in-band instead.
 
-        Returns the per-task payloads to submit (ShmRef where staged,
-        raw bytes where not) plus the refs the caller must release once
-        the pool round finishes.  Any segment-creation failure falls
-        back to queue bytes for that payload only.
+        Returns ``(sent, refs, error)``; a non-None ``error`` means the
+        payload is unpicklable (sent/refs are empty and any staged
+        segments were released) and the caller falls back in-process.
+        Only pickling failures report as errors — anything else raised
+        while serializing (a buggy ``__reduce__`` in user code) is a
+        real bug and propagates.
         """
-        if self.transport == "queue" or not SHM_AVAILABLE:
-            return list(payloads), []
+        use_shm = self.transport != "queue" and SHM_AVAILABLE
         threshold = 0 if self.transport == "shm" else self.shm_min_bytes
         sent: list[Union[bytes, ShmRef]] = []
         refs: list[ShmRef] = []
-        for data in payloads:
-            ref = None
-            if len(data) >= threshold:
-                ref = write_segment(data)
-                if ref is None:
-                    result.shm_fallbacks += 1
-            if ref is None:
-                sent.append(data)
-            else:
-                refs.append(ref)
-                sent.append(ref)
-                result.transport = "shm"
-                result.shm_segments += 1
-                result.shm_bytes += len(data)
-        return sent, refs
+        try:
+            for task in tasks:
+                if not use_shm:
+                    sent.append(pickle.dumps(task))
+                    continue
+                buffers: list = []
+                head = pickle.dumps(
+                    task, protocol=5, buffer_callback=buffers.append
+                )
+                try:
+                    total = len(head) + sum(
+                        buffer.raw().nbytes for buffer in buffers
+                    )
+                except BufferError:
+                    total = None  # non-contiguous buffer: in-band it goes
+                ref = None
+                if total is not None and total >= threshold:
+                    ref = write_payload(head, buffers)
+                    if ref is None:
+                        result.shm_fallbacks += 1
+                if ref is not None:
+                    refs.append(ref)
+                    sent.append(ref)
+                    result.transport = "shm"
+                    result.shm_segments += 1
+                    result.shm_bytes += total
+                elif buffers:
+                    sent.append(pickle.dumps(task))
+                else:
+                    sent.append(head)
+        except _PICKLE_ERRORS as exc:
+            release_segments(refs)
+            return [], [], f"payload not picklable: {exc!r}"
+        return sent, refs, None
 
     @staticmethod
     def _record_fallback(result: MultiprocessResult, reason: str) -> None:
@@ -605,6 +736,35 @@ class MultiprocessEngine:
         result.fallback_reason = reason
         if result.map_tasks == 0:
             result.processes_used = 1
+
+    def _chunk_preparer(
+        self, steps: Sequence[Any]
+    ) -> Optional[Callable[[list], list]]:
+        """How to wrap source chunks for the first map stage, if at all.
+
+        Only meaningful when the pipeline opens with a vectorized
+        compiled mapper (``columns_spec`` proves live columns): with
+        ``layout="columns"`` every source chunk becomes a ColumnChunk
+        with its live columns extracted eagerly, once; with
+        ``layout="rows"`` chunks get the cache-capable ``Chunk`` wrapper
+        so each column is still extracted at most once per chunk even
+        when several kernels (or a guard-trip retry) touch it.
+        """
+        fn = None
+        if steps and isinstance(steps[0], MapStep):
+            fn = steps[0].fn
+        elif steps and callable(steps[0]) and not isinstance(
+            steps[0], (ReduceStep, BridgeStep)
+        ):
+            fn = steps[0]
+        if fn is None:
+            return None
+        specs = getattr(fn, "columns_spec", None)
+        if specs is None:
+            return None
+        if self.layout == "columns":
+            return lambda chunk: build_chunk(chunk, specs)
+        return Chunk
 
     @staticmethod
     def _task_bounds(n_chunks: int, n_tasks: int) -> list[tuple[int, int]]:
@@ -673,16 +833,12 @@ class MultiprocessEngine:
         ):
             task_count = min(len(groups), max(1, result.processes_used * 2))
             bounds = self._task_bounds(len(groups), task_count)
-            payloads: Optional[list[bytes]] = None
-            try:
-                payloads = [
-                    pickle.dumps((reduce_step.fn, groups[lo:hi]))
-                    for lo, hi in bounds
-                ]
-            except _PICKLE_ERRORS:  # unpicklable reducer — fold in-process
-                payloads = None
-            if payloads is not None:
-                sent, refs = self._send_payloads(payloads, result)
+            # An unpicklable reducer folds in-process without recording a
+            # fallback — the map phase may still have pooled fine.
+            sent, refs, error = self._send_tasks(
+                [(reduce_step.fn, groups[lo:hi]) for lo, hi in bounds], result
+            )
+            if error is None:
                 try:
                     folded = list(pool.map(_reduce_task, sent))
                     pairs = [pair for bucket in folded for pair in bucket]
@@ -805,7 +961,9 @@ class MultiprocessEngine:
             self.processes if self.processes is not None else default_process_count()
         )
         partitions = self.partitions or self.config.default_partitions
-        result = MultiprocessResult(pairs=[], metrics=metrics, spilled=True)
+        result = MultiprocessResult(
+            pairs=[], metrics=metrics, spilled=True, layout=self.layout
+        )
         known = dataset.known_length
         pool: Optional[ProcessPoolExecutor] = None
         if processes <= 1:
@@ -944,6 +1102,8 @@ class MultiprocessEngine:
                 scan_records = segment.input_records
                 scan_bytes = segment.input_bytes
                 scan_done = True
+            result.columnar_chunks += segment.columnar_chunks
+            result.guard_fallbacks += segment.guard_fallbacks
             stage_counter += len(map_fns) + (1 if reduce_step is not None else 0)
             current = ListSource(pairs)
         self._charge_scan_totals(result.metrics, scan_stage, scan_records, scan_bytes)
@@ -1051,10 +1211,14 @@ class MultiprocessEngine:
             agg.chunks += out.chunks
             agg.input_records += out.input_records
             agg.input_bytes += out.input_bytes
+            agg.columnar_chunks += out.columnar_chunks
+            agg.guard_fallbacks += out.guard_fallbacks
             agg.stats.merge(out.stats)
             stats.merge(out.stats)
 
-        chunks: Iterator[list] = dataset.iter_chunks(chunk_size)
+        chunks = dataset.prepared(self._chunk_preparer(map_fns)).iter_chunks(
+            chunk_size
+        )
         task_id = 0
         if pool is not None:
             probe_reason = self._probe_picklable((map_fns, combiner))
@@ -1070,30 +1234,24 @@ class MultiprocessEngine:
                     round_chunks[i : i + chunks_per_task]
                     for i in range(0, len(round_chunks), chunks_per_task)
                 ]
-                payloads: Optional[list[bytes]] = None
-                try:
-                    payloads = [
-                        pickle.dumps(
-                            (
-                                map_fns,
-                                combiner,
-                                batch,
-                                spill_root,
-                                partitions,
-                                budget,
-                                task_id + offset,
-                                self.account_bytes,
-                            )
-                        )
-                        for offset, batch in enumerate(batches)
-                    ]
-                except _PICKLE_ERRORS as exc:
-                    self._record_fallback(
-                        result, f"payload not picklable: {exc!r}"
+                tasks = [
+                    (
+                        map_fns,
+                        combiner,
+                        batch,
+                        spill_root,
+                        partitions,
+                        budget,
+                        task_id + offset,
+                        self.account_bytes,
                     )
+                    for offset, batch in enumerate(batches)
+                ]
+                sent, refs, error = self._send_tasks(tasks, result)
                 outs: Optional[list[SpillMapOut]] = None
-                if payloads is not None:
-                    sent, refs = self._send_payloads(payloads, result)
+                if error is not None:
+                    self._record_fallback(result, error)
+                else:
                     try:
                         outs = list(pool.map(_spill_map_task, sent))
                     except BrokenProcessPool:
@@ -1145,15 +1303,11 @@ class MultiprocessEngine:
         parts = [(p, files) for p, files in enumerate(agg.run_files) if files]
         folded: Optional[list[list[tuple]]] = None
         if pool is not None and len(parts) > 1:
-            payloads: Optional[list[bytes]] = None
-            try:
-                payloads = [
-                    pickle.dumps((reduce_step.fn, files)) for _p, files in parts
-                ]
-            except _PICKLE_ERRORS:  # unpicklable reducer — merge inline
-                payloads = None
-            if payloads is not None:
-                sent, refs = self._send_payloads(payloads, result)
+            # An unpicklable reducer merges inline, no fallback recorded.
+            sent, refs, error = self._send_tasks(
+                [(reduce_step.fn, files) for _p, files in parts], result
+            )
+            if error is None:
                 try:
                     outs = list(pool.map(_spill_reduce_task, sent))
                 except BrokenProcessPool:
@@ -1197,7 +1351,10 @@ class MultiprocessEngine:
         agg = SpillMapOut(stage_counts=[[0, 0, 0] for _ in map_fns])
         pairs: list = []
         resident = 0
-        for chunk in dataset.iter_chunks(chunk_size):
+        chunks = dataset.prepared(self._chunk_preparer(map_fns)).iter_chunks(
+            chunk_size
+        )
+        for chunk in chunks:
             agg.chunks += 1
             agg.input_records += len(chunk)
             chunk_bytes = 0
@@ -1206,6 +1363,8 @@ class MultiprocessEngine:
                 agg.input_bytes += chunk_bytes
             mapped = _run_map_chunks(map_fns, None, [chunk], False, self.account_bytes)
             agg.merge_counts(mapped.stage_counts)
+            agg.columnar_chunks += mapped.columnar_chunks
+            agg.guard_fallbacks += mapped.guard_fallbacks
             out_chunk = mapped.chunk_pairs[0]
             pairs.extend(out_chunk)
             if self.account_bytes:

@@ -19,6 +19,14 @@ Lifecycle protocol (single-owner, fork-friendly):
   :func:`release_segments`, which closes and unlinks every segment it
   created.
 
+Columnar payloads additionally ship their array buffers **zero-copy**:
+the driver pickles with protocol 5 and a ``buffer_callback``, so every
+ndarray inside the payload becomes an out-of-band
+:class:`pickle.PickleBuffer` whose raw bytes are written straight into
+the segment after the pickle head (no intermediate ``bytes`` of the
+whole payload is ever built).  The ref records each buffer's span; the
+worker reconstructs with ``pickle.loads(head, buffers=...)``.
+
 Everything degrades transparently: if segment creation fails (no
 ``/dev/shm``, size limits, platform without the module) the payload
 simply travels the queue path as plain bytes.
@@ -26,6 +34,7 @@ simply travels the queue path as plain bytes.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
@@ -44,10 +53,16 @@ _OWNED: dict[str, Any] = {}
 
 @dataclass(frozen=True)
 class ShmRef:
-    """A picklable handle to one payload staged in shared memory."""
+    """A picklable handle to one payload staged in shared memory.
+
+    ``spans`` is empty for a plain pickled-bytes payload; for a
+    protocol-5 payload it holds the ``(offset, length)`` of each
+    out-of-band buffer, with the pickle head occupying ``[0, size)``.
+    """
 
     name: str
     size: int
+    spans: tuple[tuple[int, int], ...] = ()
 
 
 def write_segment(data: bytes) -> Optional[ShmRef]:
@@ -61,6 +76,61 @@ def write_segment(data: bytes) -> Optional[ShmRef]:
         return None
     _OWNED[segment.name] = segment
     return ShmRef(name=segment.name, size=len(data))
+
+
+def write_payload(head: bytes, buffers: list) -> Optional[ShmRef]:
+    """Stage a protocol-5 payload: pickle head + raw buffer bytes.
+
+    ``buffers`` are the :class:`pickle.PickleBuffer` objects collected
+    by ``buffer_callback`` — their bytes go into the segment directly
+    from the source arrays (one copy, into shared memory, no
+    intermediate concatenation).  None → caller falls back to the
+    queue path.
+    """
+    if _shared_memory is None or not head:
+        return None
+    views = []
+    total = len(head)
+    spans: list[tuple[int, int]] = []
+    try:
+        for buffer in buffers:
+            view = buffer.raw()
+            views.append(view)
+            spans.append((total, view.nbytes))
+            total += view.nbytes
+    except BufferError:
+        return None  # non-contiguous buffer: let pickle carry it in-band
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=total)
+        segment.buf[: len(head)] = head
+        for (offset, length), view in zip(spans, views):
+            segment.buf[offset : offset + length] = view.cast("B")
+    except (OSError, ValueError):
+        return None
+    _OWNED[segment.name] = segment
+    return ShmRef(name=segment.name, size=len(head), spans=tuple(spans))
+
+
+def load_payload(payload: Union[bytes, "ShmRef"]) -> Any:
+    """Unpickle a task payload, whichever transport carried it."""
+    if isinstance(payload, bytes):
+        return pickle.loads(payload)
+    if not payload.spans:
+        return pickle.loads(read_segment(payload))
+    if _shared_memory is None:
+        raise RuntimeError("shared_memory unavailable but ShmRef received")
+    segment = _shared_memory.SharedMemory(name=payload.name)
+    try:
+        head = bytes(segment.buf[: payload.size])
+        # Each span is copied out once; loads() then wraps those bytes
+        # without a further copy (the arrays are read-only inputs).
+        buffers = [
+            bytes(segment.buf[offset : offset + length])
+            for offset, length in payload.spans
+        ]
+        return pickle.loads(head, buffers=buffers)
+    finally:
+        segment.close()
 
 
 def read_segment(ref: ShmRef) -> bytes:

@@ -12,6 +12,11 @@ from typing import Any
 
 from ..lang.values import Instance
 
+try:  # pragma: no cover - numpy is present in the toolchain image
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 STRING_SIZE = 40
 BOOLEAN_SIZE = 10
 INT_SIZE = 4
@@ -69,6 +74,22 @@ def _sizeof(value: Any, seen: Any) -> int:
         return OBJECT_HEADER + sum(
             _sizeof(k, seen) + _sizeof(v, seen) for k, v in value.items()
         )
+    if _np is not None and isinstance(value, _np.ndarray):
+        # Numeric arrays are flat buffers: itemsize × length + header.
+        # Walking them per element (or worse, falling through to the
+        # bare OBJECT_HEADER) would wildly misprice columnar chunks in
+        # budget planning and serve-layer admission.
+        if value.dtype.kind in ("b", "i", "u", "f"):
+            return OBJECT_HEADER + int(value.nbytes)
+        return OBJECT_HEADER + sum(
+            _sizeof(item, seen) for item in value.tolist()
+        )
+    model = getattr(value, "sizeof_model", None)
+    if model is not None:
+        # ColumnChunk (and anything else carrying its own size model)
+        # prices itself; sizes.py cannot import engine.columnar without
+        # a cycle, so this stays duck-typed.
+        return model(seen)
     return OBJECT_HEADER
 
 

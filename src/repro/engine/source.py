@@ -74,6 +74,20 @@ class Dataset:
             for record in chunk
         ]
 
+    def prepared(self, prepare: Optional[Callable[[list], list]]) -> "Dataset":
+        """This source with a per-chunk prepare hook applied at read time.
+
+        The columnar layout enters here: the engine derives a preparer
+        from the first map stage's column specs (build a ``ColumnChunk``
+        of typed arrays, or attach an extract-once cache) and wraps the
+        source **once**, so every chunk is converted exactly where it is
+        read instead of deep inside each execution path.  ``None`` is
+        the identity — the source is returned unchanged.
+        """
+        if prepare is None:
+            return self
+        return PreparedSource(self, prepare)
+
     def estimated_bytes(self, sample_records: int = 64) -> Optional[int]:
         """Serialized-size estimate from a head sample × known length.
 
@@ -109,6 +123,28 @@ class ListSource(Dataset):
 
     def materialize(self) -> list:
         return self._records
+
+
+class PreparedSource(Dataset):
+    """A dataset whose chunks pass through a per-chunk prepare hook.
+
+    Length and chunk layout are the base source's; only the chunk
+    *representation* changes (e.g. plain lists become column-backed
+    chunks).  Preparers must preserve record order and count so the
+    partition-matched layout — and with it byte-identity — survives.
+    """
+
+    def __init__(self, base: Dataset, prepare: Callable[[list], list]):
+        self._base = base
+        self._prepare = prepare
+
+    def iter_chunks(self, chunk_records: int) -> Iterator[list]:
+        for chunk in self._base.iter_chunks(chunk_records):
+            yield self._prepare(chunk)
+
+    @property
+    def known_length(self) -> Optional[int]:
+        return self._base.known_length
 
 
 class GeneratorSource(Dataset):

@@ -35,6 +35,7 @@ from typing import Any, Callable, Optional
 
 from ..errors import SpillError
 from ..lang.values import Instance
+from .columnar import ColumnBlock
 from .sizes import sizeof_pair
 
 
@@ -176,6 +177,76 @@ class SpillWriter:
         if self._resident > self.budget_bytes:
             self.spill()
 
+    def add_block(self, block: ColumnBlock) -> None:
+        """Route a vectorized map stage's output block into the buffers.
+
+        The block's pairs stay in column form: each partition's slice is
+        buffered (and later pickled) as a :class:`ColumnBlock` holding
+        the value/key sub-arrays — one flat buffer instead of thousands
+        of pair tuples — and :func:`read_run` expands it back to the
+        exact pair list at merge time.  Oversized blocks are cut into
+        pieces bounded by a quarter of the budget so residency stays
+        budget-shaped even when one chunk emits more than the budget.
+        """
+        n = len(block)
+        if n == 0:
+            return
+        sizes = block.pair_sizes()
+        biggest = max(sizes)
+        if biggest > self.budget_bytes:
+            raise SpillError(
+                f"memory budget {self.budget_bytes} B is smaller than a "
+                f"single record ({biggest} B estimated) — cannot buffer even "
+                "one pair; raise the budget"
+            )
+        if block.keys is None:
+            key = block.key_const
+            if key not in self._seen:
+                self._seen.add(key)
+                self.key_order.append(key)
+            partition = partition_of(key, self.partitions)
+            routes = [(partition, None)]
+        else:
+            by_partition: dict[int, list[int]] = {}
+            for index, key in enumerate(block.key_list()):
+                if key not in self._seen:
+                    self._seen.add(key)
+                    self.key_order.append(key)
+                by_partition.setdefault(
+                    partition_of(key, self.partitions), []
+                ).append(index)
+            routes = [
+                (partition, indices)
+                for partition, indices in by_partition.items()
+            ]
+        step = max(1, (self.budget_bytes // 4) // max(1, biggest))
+        for partition, indices in routes:
+            if indices is None:
+                values = block.values
+                keys = None
+                picked_sizes = sizes
+            else:
+                values = block.values[indices]
+                keys = block.keys[indices]
+                picked_sizes = [sizes[i] for i in indices]
+            count = int(values.shape[0])
+            for start in range(0, count, step):
+                stop = min(start + step, count)
+                piece = ColumnBlock(
+                    values=values[start:stop],
+                    keys=None if keys is None else keys[start:stop],
+                    key_const=block.key_const,
+                )
+                piece_bytes = sum(picked_sizes[start:stop])
+                self._buffers[partition].append(piece)
+                self._buffer_bytes[partition] += piece_bytes
+                self._resident += piece_bytes
+                self.pairs_in += stop - start
+                self.bytes_in += piece_bytes
+                self.stats.note_resident(self._resident)
+                if self._resident > self.budget_bytes:
+                    self.spill()
+
     def spill(self) -> None:
         """Flush every non-empty partition buffer as one run file each."""
         wrote = False
@@ -195,7 +266,10 @@ class SpillWriter:
                 ) from exc
             self.run_files[partition].append(path)
             self.stats.spill_runs += 1
-            self.stats.spilled_pairs += len(buffer)
+            self.stats.spilled_pairs += sum(
+                len(entry) if type(entry) is ColumnBlock else 1
+                for entry in buffer
+            )
             self.stats.spilled_bytes += self._buffer_bytes[partition]
             self._buffers[partition] = []
             self._buffer_bytes[partition] = 0
@@ -210,7 +284,12 @@ class SpillWriter:
 
 
 def read_run(path: str) -> list[tuple]:
-    """Load one spill run; corruption raises the typed error."""
+    """Load one spill run; corruption raises the typed error.
+
+    Column-block entries (from :meth:`SpillWriter.add_block`) are
+    expanded back to their exact pair lists here, in arrival order, so
+    every consumer keeps seeing a flat pair stream.
+    """
     try:
         with open(path, "rb") as handle:
             pairs = pickle.load(handle)
@@ -221,7 +300,15 @@ def read_run(path: str) -> list[tuple]:
             f"corrupt spill run {path!r}: expected a pair list, "
             f"got {type(pairs).__name__}"
         )
-    return pairs
+    if not any(type(entry) is ColumnBlock for entry in pairs):
+        return pairs
+    out: list[tuple] = []
+    for entry in pairs:
+        if type(entry) is ColumnBlock:
+            out.extend(entry.pairs())
+        else:
+            out.append(entry)
+    return out
 
 
 def merge_partition(
@@ -282,6 +369,9 @@ class SpillMapOut:
     chunks: int = 0
     input_records: int = 0
     input_bytes: int = 0
+    #: Chunks the vectorized column path produced / guard-rejected.
+    columnar_chunks: int = 0
+    guard_fallbacks: int = 0
     stats: SpillStats = field(default_factory=SpillStats)
 
     def merge_counts(self, stage_counts: list[list[int]]) -> None:

@@ -35,6 +35,7 @@ from ..codegen.base import (
     bind_outputs,
     prepare_globals,
     resolve_kernel,
+    resolve_layout,
     view_records,
 )
 from ..engine.multiprocess import BridgeStep, MapStep, MultiprocessEngine
@@ -133,6 +134,7 @@ def run_graph(
     planner_config: Optional[PlannerConfig] = None,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> GraphRunResult:
     """Execute a whole-program job graph over concrete inputs.
 
@@ -158,6 +160,10 @@ def run_graph(
     engine — including every stage of a fused chain; ``None`` defers
     to each unit's plan (the planner prices the choice under
     ``plan="auto"``).
+
+    ``layout`` (``"rows"`` | ``"columns"`` | ``"auto"``) picks the chunk
+    layout under those kernels the same way — chain-wide for fused
+    chains, since one engine invocation runs the spliced pipeline.
     """
     started = time.perf_counter()
     if plan is None and memory_budget is not None:
@@ -207,6 +213,7 @@ def run_graph(
                             planner_config,
                             memory_budget,
                             kernel,
+                            layout,
                         ),
                         units,
                     )
@@ -222,6 +229,7 @@ def run_graph(
                     planner_config,
                     memory_budget,
                     kernel,
+                    layout,
                 )
                 for unit in units
             ]
@@ -347,6 +355,7 @@ def _run_unit(
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> _UnitOutcome:
     outcome = _UnitOutcome(unit=unit)
     node = graph.nodes[unit.head]
@@ -362,10 +371,11 @@ def _run_unit(
             planner_config,
             memory_budget,
             kernel,
+            layout,
         )
     elif node.translated:
         _run_single(
-            node, unit, env, plan, cache, outcome, memory_budget, kernel
+            node, unit, env, plan, cache, outcome, memory_budget, kernel, layout
         )
     else:
         _run_interpreted(node, env, outcome)
@@ -382,6 +392,7 @@ def _run_single(
     outcome: _UnitOutcome,
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> None:
     program = node.program
     records = cache.get(node.analysis.view, env)
@@ -391,6 +402,7 @@ def _run_single(
         records=records,
         memory_budget=memory_budget,
         kernel=kernel,
+        layout=layout,
     )
     if plan is not None and program.last_plan_report is not None:
         outcome.report = program.last_plan_report
@@ -416,6 +428,7 @@ def _run_chain(
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> None:
     """Execute a fused chain as one engine invocation.
 
@@ -442,13 +455,15 @@ def _run_chain(
         planner_config,
         memory_budget,
         kernel,
+        layout,
     )
     # The plan's per-stage combiner decisions index the head program's
     # stages, so only the head's steps honour them; downstream nodes
-    # keep the proof-gated default.  The kernel choice, by contrast, is
-    # chain-wide: resolve it once (explicit caller > head plan > eval)
-    # and apply it to every node's steps.
+    # keep the proof-gated default.  The kernel and layout choices, by
+    # contrast, are chain-wide: resolve them once (explicit caller >
+    # head plan > default) and apply them to every node's steps.
     chain_kernel = resolve_kernel(kernel, execution_plan)
+    chain_layout = resolve_layout(layout, execution_plan, kernel)
     steps = list(
         chosen.local_steps(
             globals_env, plan=execution_plan, kernel=chain_kernel
@@ -495,6 +510,7 @@ def _run_chain(
         spill_dir=(
             execution_plan.spill_dir if execution_plan is not None else None
         ),
+        layout=chain_layout,
     )
     result = engine.run_pipeline(records, steps)
     outputs = bind_outputs(
@@ -520,6 +536,7 @@ def _run_chain(
             report.backend_used = execution_plan.backend
         report.wall_seconds = result.metrics.wall_seconds
         report.spill_stats = result.spill_stats
+        report.columnar = result.columnar_stats()
         outcome.report = report
 
 
@@ -533,6 +550,7 @@ def _chain_plan(
     planner_config: Optional[PlannerConfig],
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ):
     """Resolve the execution plan for a fused chain.
 
@@ -566,6 +584,7 @@ def _chain_plan(
         globals_env,
         memory_budget=memory_budget,
         kernel=kernel,
+        layout=layout,
     )
     if effective == "auto":
         report.implementation = f"impl_{unit.impl_indexes[0]}"

@@ -19,6 +19,7 @@ from typing import Any, Optional
 #: Valid ``plan`` values besides ``None`` and a concrete backend name.
 _PLAN_AUTO = "auto"
 _KERNELS = ("eval", "compiled", "auto")
+_LAYOUTS = ("rows", "columns", "auto")
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,13 @@ class ExecOptions:
       with ``plan=None`` implies ``plan="auto"``.
     * ``kernel`` — ``"eval"`` | ``"compiled"`` | ``"auto"``: codegen
       target on the real local backends; ``None`` defers to the plan.
+    * ``layout`` — ``"rows"`` | ``"columns"`` | ``"auto"``: chunk layout
+      under the compiled kernels.  ``"columns"`` builds persistent
+      per-field column arrays at the source boundary and runs the
+      vectorized map/fold paths (falling back per-chunk on overflow or
+      non-finite guards); ``"auto"`` lets the planner price it;
+      ``None`` defers to the plan.  Results are byte-identical either
+      way.
     * ``fuse`` — stitch producer→consumer chains into single engine
       invocations (whole-program runs only).
     * ``strict`` — fail on untranslated fragments instead of falling
@@ -44,6 +52,7 @@ class ExecOptions:
     plan: Optional[str] = None
     memory_budget: Optional[int] = None
     kernel: Optional[str] = None
+    layout: Optional[str] = None
     fuse: bool = True
     strict: bool = True
     outputs: Optional[tuple[str, ...]] = None
@@ -64,6 +73,11 @@ class ExecOptions:
         if self.kernel is not None and self.kernel not in _KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; expected one of {_KERNELS} "
+                "or None"
+            )
+        if self.layout is not None and self.layout not in _LAYOUTS:
+            raise ValueError(
+                f"unknown layout {self.layout!r}; expected one of {_LAYOUTS} "
                 "or None"
             )
         if self.memory_budget is not None and self.memory_budget <= 0:
@@ -108,6 +122,7 @@ _LEGACY_FIELDS = (
     "plan",
     "memory_budget",
     "kernel",
+    "layout",
     "fuse",
     "strict",
     "outputs",

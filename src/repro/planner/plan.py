@@ -58,6 +58,11 @@ class ExecutionPlan:
     #: kernels (:mod:`repro.codegen.kernels`), "auto" lets codegen
     #: compile with per-stage fallback.
     kernel: str = "eval"
+    #: Chunk layout under the compiled kernels: "rows" keeps plain
+    #: record lists, "columns" builds persistent per-field column
+    #: arrays at the source boundary and runs the vectorized map/fold
+    #: paths.  The planner resolves "auto" before the engine sees it.
+    layout: str = "rows"
     #: Human-readable decision trail, in the order decisions were made.
     reasons: tuple[str, ...] = ()
 
@@ -78,6 +83,8 @@ class ExecutionPlan:
             parts.append(f"spill=on(budget={self.memory_budget})")
         if self.kernel != "eval":
             parts.append(f"kernel={self.kernel}")
+        if self.layout != "rows":
+            parts.append(f"layout={self.layout}")
         if self.join_strategies:
             parts.append("join=" + "/".join(self.join_strategies))
         for stage in self.stages:
@@ -125,6 +132,10 @@ class PlanReport:
     #: Pool payload transport accounting from the engine (shared-memory
     #: segments and bytes); None when nothing pooled.
     transport: Optional[dict] = None
+    #: Columnar-execution accounting from the engine (chunks that ran
+    #: the vectorized path, guard-fallback count); None when every chunk
+    #: ran the row loop.
+    columnar: Optional[dict] = None
     #: Admission-control decision for jobs executed through a
     #: :class:`~repro.session.Session` or the serve daemon (mode,
     #: footprint estimate, capacity, queueing); None for direct runs.
@@ -140,7 +151,9 @@ class PlanReport:
             "memory_budget": self.plan.memory_budget,
             "spill": self.plan.spill,
             "kernel": self.plan.kernel,
+            "layout": self.plan.layout,
             "transport": self.transport,
+            "columnar": self.columnar,
             "estimated_input_bytes": self.estimated_input_bytes,
             "spill_stats": self.spill_stats,
             "input_records": self.input_records,
@@ -165,13 +178,16 @@ def forced_plan(
     memory_budget: Optional[int] = None,
     spill_dir: Optional[str] = None,
     kernel: Optional[str] = None,
+    layout: Optional[str] = None,
 ) -> ExecutionPlan:
     """A plan that pins the backend because the caller asked for it.
 
     A ``memory_budget`` forces the out-of-core path on the real local
     backends: the engine streams the input and spills the shuffle once
     the budget is exceeded, regardless of the planner's size estimates.
-    ``kernel`` pins the codegen target the same way (None → eval).
+    ``kernel`` pins the codegen target the same way (None → eval), and
+    ``layout`` the chunk layout (None → rows; "auto" resolves at run
+    time, to columns exactly when a compiled kernel runs).
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -181,9 +197,15 @@ def forced_plan(
         raise ValueError(
             f"unknown kernel {kernel!r}; expected 'eval', 'compiled' or 'auto'"
         )
+    if layout is not None and layout not in ("rows", "columns", "auto"):
+        raise ValueError(
+            f"unknown layout {layout!r}; expected 'rows', 'columns' or 'auto'"
+        )
     reasons = [f"backend {backend!r} forced by caller"]
     if kernel is not None and kernel != "eval":
         reasons.append(f"kernel {kernel!r} forced by caller")
+    if layout is not None and layout != "rows":
+        reasons.append(f"layout {layout!r} forced by caller")
     # The budget only binds on the real local engines: a simulated
     # cluster backend materializes everything in-memory, so claiming
     # spill=True for it would put a spill that never happened into the
@@ -208,5 +230,6 @@ def forced_plan(
         spill=spill,
         spill_dir=spill_dir,
         kernel=(kernel or "eval") if local else "eval",
+        layout=(layout or "rows") if local else "rows",
         reasons=tuple(reasons),
     )

@@ -107,6 +107,10 @@ class PlannerConfig:
     #: nodes) before "auto" picks the compiled kernel — below this the
     #: render+compile cost dominates the per-record savings.
     kernel_min_work: int = 10_000
+    #: Chunk layout: "rows", "columns", or "auto" (columns exactly when
+    #: a compiled kernel runs — column arrays only pay off where the
+    #: vectorized fast path can consume them).
+    layout: str = "auto"
 
 
 @dataclass
@@ -158,6 +162,7 @@ class ExecutionPlanner:
         memory_budget: Optional[int] = None,
         inputs: Optional[dict[str, Any]] = None,
         kernel: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> tuple["ExecutionPlan", "PlanReport"]:
         """Decide how to execute ``program`` over ``records``.
 
@@ -178,7 +183,10 @@ class ExecutionPlanner:
         ``kernel`` overrides the configured kernel knob for this run:
         ``"eval"``/``"compiled"`` pin the codegen target, ``"auto"``
         (the default) prices the compiled batch kernels from the map
-        stages' expression complexity and the record count.
+        stages' expression complexity and the record count.  ``layout``
+        does the same for the chunk layout: ``"rows"``/``"columns"``
+        pin it, ``"auto"`` picks columns exactly when a compiled kernel
+        runs.
         """
         from ..engine.source import Dataset
         from .plan import ExecutionPlan, PlanReport
@@ -274,6 +282,11 @@ class ExecutionPlanner:
             n,
             reasons,
         )
+        layout_choice = self._layout_decision(
+            layout if layout is not None else self.config.layout,
+            kernel_choice,
+            reasons,
+        )
         plan = ExecutionPlan(
             backend=backend,
             processes=0 if backend == "sequential" else processes,
@@ -284,6 +297,7 @@ class ExecutionPlanner:
             spill_dir=self.config.spill_dir,
             join_strategies=join_strategies,
             kernel=kernel_choice,
+            layout=layout_choice,
             reasons=tuple(reasons),
         )
         cluster = self._cluster_ranking(
@@ -373,6 +387,39 @@ class ExecutionPlanner:
             "per-record dispatch)"
         )
         return "compiled"
+
+    @staticmethod
+    def _layout_decision(
+        requested: str, kernel_choice: str, reasons: list[str]
+    ) -> str:
+        """Pick the chunk layout, resolving "auto" from the kernel.
+
+        Column arrays only pay off where the vectorized fast path can
+        consume them — the compiled kernels.  Under the evaluator every
+        chunk would be built columnar and then iterated row-wise anyway,
+        so "auto" follows the kernel decision.  A forced "columns" on a
+        non-vectorizable program is harmless: the engine finds no column
+        specs and leaves the chunks as plain lists.
+        """
+        if requested not in ("rows", "columns", "auto"):
+            raise ValueError(
+                f"unknown layout {requested!r}; expected 'rows', "
+                "'columns' or 'auto'"
+            )
+        if requested != "auto":
+            reasons.append(f"layout={requested} forced by caller")
+            return requested
+        if kernel_choice == "eval":
+            reasons.append(
+                "layout=rows (eval kernel: row records feed the "
+                "interpreter directly)"
+            )
+            return "rows"
+        reasons.append(
+            "layout=columns (compiled kernels active: column arrays feed "
+            "the vectorized fast path; guard trips fall back per-chunk)"
+        )
+        return "columns"
 
     @staticmethod
     def _join_decision(

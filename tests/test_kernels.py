@@ -343,7 +343,7 @@ def test_shm_creation_failure_counts_fallbacks(monkeypatch):
     import repro.engine.multiprocess as mp_mod
 
     program, records, steps, _globals = _pooled_steps("stats_variance_sums")
-    monkeypatch.setattr(mp_mod, "write_segment", lambda data: None)
+    monkeypatch.setattr(mp_mod, "write_payload", lambda head, buffers: None)
     result = MultiprocessEngine(
         config=program.engine_config.with_framework("multiprocess"),
         processes=2,
