@@ -30,6 +30,11 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
   engine wall clock, row-vs-column shuffle byte accounting, and the
   guard-fallback counters (a poisoned chunk must trip the guard, fall
   back to rows, and stay identical);
+* **adaptive** — feedback-driven re-planning: cold plan vs warm
+  re-plan wall clock and decisions on the join suite at the BENCH_pr5
+  misprice budget (the stored observation flips the forced reduce-side
+  join back to broadcast), estimate provenance, and the mid-job
+  broadcast-overflow switch with result identity;
 * **serve** — the compile-and-serve daemon: cold vs warm registration
   (same process, and a restarted daemon over the disk cache tier),
   p50/p95 submit→result round-trip latency over the socket, concurrent
@@ -403,6 +408,138 @@ def measure_join() -> dict:
     return out
 
 
+def measure_adaptive() -> dict:
+    """Feedback-driven re-planning: cold plan vs warm re-plan (PR 9).
+
+    Each join benchmark runs twice with ``feedback=True`` at the
+    BENCH_pr5 misprice budget (pinned below the small side, where the
+    static rule chooses the slow reduce-side strategy): the cold run
+    plans from static estimates and records its observation, the warm
+    run re-plans from it — flipping the mispriced join to broadcast.
+    Wall clocks, the decisions, and the estimate provenance are
+    recorded; results must agree across the re-plan.  A final scenario
+    measures the *mid-job* broadcast-overflow switch (the build size is
+    patched so the guard trips deterministically).
+    """
+    from repro.cost.observe import ObservationStore
+    from repro.lang.values import values_equal
+
+    out: dict[str, dict] = {}
+    for name in JOIN_BENCHMARKS:
+        benchmark = get_benchmark(name)
+        try:
+            compilation = compile_benchmark(benchmark)
+            fragment = compilation.fragments[0]
+            if not fragment.translated:
+                out[name] = {"error": fragment.failure_reason}
+                continue
+            program = fragment.program
+            inputs = benchmark.make_inputs(JOIN_SIZE, 7)
+            out_var = list(fragment.analysis.output_vars)[0]
+            program.observations = ObservationStore()
+            program.feedback_default = False
+            try:
+                cold = program.run(
+                    dict(inputs),
+                    plan="auto",
+                    memory_budget=JOIN_REDUCE_BUDGET,
+                    feedback=True,
+                )
+                cold_report = program.last_plan_report
+                warm = program.run(
+                    dict(inputs),
+                    plan="auto",
+                    memory_budget=JOIN_REDUCE_BUDGET,
+                    feedback=True,
+                )
+                warm_report = program.last_plan_report
+            finally:
+                program.observations = None
+            cold_wall = cold_report.wall_seconds
+            warm_wall = warm_report.wall_seconds
+            out[name] = {
+                "records": JOIN_SIZE,
+                "memory_budget": JOIN_REDUCE_BUDGET,
+                "results_agree": values_equal(cold[out_var], warm[out_var]),
+                "replanned": (
+                    list(cold_report.plan.join_strategies)
+                    != list(warm_report.plan.join_strategies)
+                ),
+                "cold": {
+                    "strategies": list(cold_report.plan.join_strategies),
+                    "wall_seconds": round(cold_wall, 4),
+                },
+                "warm": {
+                    "strategies": list(warm_report.plan.join_strategies),
+                    "wall_seconds": round(warm_wall, 4),
+                    "broadcast_limit": warm_report.plan.broadcast_limit,
+                },
+                "warm_speedup": (
+                    round(cold_wall / warm_wall, 2) if warm_wall else None
+                ),
+                "join_strategy_estimate": warm_report.estimates.get(
+                    "join_strategy"
+                ),
+            }
+        except Exception as exc:
+            out[name] = {"error": str(exc)}
+
+    # The mid-job switch, measured: a broadcast build that overflows its
+    # limit during the driver-side index build rebuilds reduce-side.
+    import repro.codegen.joins as joins_mod
+
+    benchmark = get_benchmark(JOIN_BENCHMARKS[0])
+    try:
+        compilation = compile_benchmark(benchmark)
+        fragment = compilation.fragments[0]
+        program = fragment.program
+        inputs = benchmark.make_inputs(JOIN_SIZE, 7)
+        out_var = list(fragment.analysis.output_vars)[0]
+        reference = program.run(
+            dict(inputs), plan="auto", memory_budget=JOIN_REDUCE_BUDGET
+        )
+        reference_report = program.last_plan_report
+        original_sizeof_pair = joins_mod.sizeof_pair
+        joins_mod.sizeof_pair = lambda key, value: 1 << 40
+        try:
+            switched = program.run(dict(inputs), plan="auto")
+        finally:
+            joins_mod.sizeof_pair = original_sizeof_pair
+        switched_report = program.last_plan_report
+        out["overflow_switch"] = {
+            "benchmark": JOIN_BENCHMARKS[0],
+            "records": JOIN_SIZE,
+            "planned_strategies": list(
+                switched_report.plan.join_strategies
+            ),
+            "adaptation": (
+                switched_report.adaptations[0]
+                if switched_report.adaptations
+                else None
+            ),
+            "ran_strategy": (switched_report.join or {})
+            .get("levels", [{}])[0]
+            .get("strategy"),
+            # Strict equality vs the *spilled* reduce-side reference: the
+            # switched run folds in memory, so float sums may drift in
+            # the last ulp (tests/test_observe.py pins byte-identity on
+            # an integer join, where fold order cannot matter).
+            "results_identical": switched[out_var] == reference[out_var],
+            "results_agree": values_equal(
+                switched[out_var], reference[out_var]
+            ),
+            "switched_wall_seconds": round(
+                switched_report.wall_seconds, 4
+            ),
+            "reduce_side_wall_seconds": round(
+                reference_report.wall_seconds, 4
+            ),
+        }
+    except Exception as exc:
+        out["overflow_switch"] = {"error": str(exc)}
+    return out
+
+
 def measure_kernel() -> dict:
     """Compiled batch kernels vs the evaluator, measured for real.
 
@@ -747,6 +884,7 @@ def main(argv: list[str]) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": default_process_count(),
+            "bench_strict": bool(os.environ.get("BENCH_STRICT")),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "compile": None if args.skip_compile else measure_compile(),
@@ -755,6 +893,7 @@ def main(argv: list[str]) -> int:
         "dag": measure_dag(),
         "spill": measure_spill(),
         "join": measure_join(),
+        "adaptive": measure_adaptive(),
         "kernel": measure_kernel(),
         "columnar": measure_columnar(),
         "serve": measure_serve(),
@@ -779,6 +918,28 @@ def main(argv: list[str]) -> int:
             f"reduce-side {row['reduce_side']['wall_seconds']}s, "
             f"orderings={row['orderings_verified']}, "
             f"order={row['ordering'] and row['ordering']['order']}"
+        )
+    for name, row in payload["adaptive"].items():
+        if "error" in row:
+            print(f"adaptive {name}: ERROR {row['error']}")
+            continue
+        if name == "overflow_switch":
+            adaptation = row["adaptation"] or {}
+            print(
+                f"adaptive overflow_switch ({row['benchmark']}): "
+                f"{row['planned_strategies']} → {row['ran_strategy']} "
+                f"mid-job ({adaptation.get('kind')}), "
+                f"identical={row['results_identical']}, "
+                f"agree={row['results_agree']}"
+            )
+            continue
+        print(
+            f"adaptive {name}: cold {row['cold']['strategies']} "
+            f"{row['cold']['wall_seconds']}s → warm "
+            f"{row['warm']['strategies']} {row['warm']['wall_seconds']}s "
+            f"(replanned={row['replanned']}, "
+            f"speedup {row['warm_speedup']}×, "
+            f"agree={row['results_agree']})"
         )
     spill = payload["spill"]
     print(

@@ -66,6 +66,14 @@ class ExecutionOutcome:
     #: Columnar-execution accounting (vectorized chunk count,
     #: guard-fallback count); None when every chunk ran the row loop.
     columnar_stats: Optional[dict] = None
+    #: Join evidence resolved at build time (per-level decisions), for
+    #: runs where the codegen default rule decided; empty when a plan
+    #: pinned the strategies.
+    join_decisions: list = field(default_factory=list)
+    #: Mid-job adaptations, in order: broadcast builds that overflowed
+    #: and switched to reduce-side, unknown-length streams whose
+    #: first-chunk measurement re-sized the partition count.
+    adaptations: list = field(default_factory=list)
 
 
 def prepare_globals(
@@ -746,10 +754,12 @@ class GeneratedProgram:
             else self.engine_config.with_framework("multiprocess")
         )
         globals_env, output_sizes = prepare_globals(self.analysis, inputs)
+        join_decisions: list = []
+        adaptations: list = []
         if self.has_join:
             from .joins import build_join_steps
 
-            records, steps, _decisions = build_join_steps(
+            records, steps, join_decisions, adaptations = build_join_steps(
                 self,
                 globals_env,
                 inputs,
@@ -788,6 +798,8 @@ class GeneratedProgram:
             peak_resident_bytes=result.peak_resident_bytes,
             transport_stats=result.transport_stats(),
             columnar_stats=result.columnar_stats(),
+            join_decisions=join_decisions,
+            adaptations=list(adaptations) + list(result.adaptations),
         )
 
 

@@ -14,6 +14,12 @@ from typing import Any, Optional
 
 from ..cost.model import CostModel
 from ..cost.monitor import Implementation, RuntimeMonitor
+from ..cost.observe import (
+    ObservationStore,
+    dataset_fingerprint,
+    fragment_observation_key,
+    harvest_observation,
+)
 from ..engine.config import EngineConfig
 from ..engine.metrics import JobMetrics
 from ..lang.analysis.fragments import FragmentAnalysis
@@ -54,6 +60,18 @@ class AdaptiveProgram:
     #: §7.4 ordering choice of the last run, when the implementations
     #: were join pipelines with different orderings (None otherwise).
     last_join_decision: Optional[object] = None
+    #: Observation store feeding measured statistics from prior runs
+    #: back into planning.  A serving :class:`~repro.serve.session.Session`
+    #: attaches its shared, disk-backed store; direct ``feedback=True``
+    #: callers get a private in-memory store created lazily.
+    observations: Optional[ObservationStore] = None
+    #: Whether planned runs use feedback when the call does not say.
+    #: Off by default — a direct ``run()`` must stay reproducible and
+    #: side-effect free (benchmarks re-run the same program under
+    #: different plans and must not contaminate one another); sessions
+    #: built with ``observe=True`` flip this on per program.
+    feedback_default: bool = False
+    _fragment_key: Optional[str] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         implementations = []
@@ -91,6 +109,7 @@ class AdaptiveProgram:
         memory_budget: Optional[int] = None,
         kernel: Optional[str] = None,
         layout: Optional[str] = None,
+        feedback: Optional[bool] = None,
     ) -> dict[str, Any]:
         """Sample, select, execute; returns the fragment outputs.
 
@@ -124,11 +143,33 @@ class AdaptiveProgram:
         chunk layout under those kernels: persistent column arrays and
         the vectorized fast path, plain row lists, or the planner's
         choice.  Results are byte-identical either way.
+
+        ``feedback`` closes the adaptive loop: planned runs resolve
+        their estimates against the observation recorded by the last
+        run over the same ``(fragment, dataset)`` and record a fresh
+        observation afterwards.  ``None`` defers to
+        :attr:`feedback_default` (off unless a Session with
+        ``observe=True`` owns this program); an explicit ``True`` with
+        no plan implies ``plan="auto"``.  Feedback never changes
+        results — only which plan produces them.
         """
+        if feedback and plan is None and memory_budget is None:
+            plan = "auto"
         if plan is None and memory_budget is not None:
             plan = "auto"
+        use_feedback = self.feedback_default if feedback is None else feedback
+        use_feedback = bool(use_feedback) and plan is not None
         if records is None:
             records = view_records(self.analysis.view, inputs)
+        observation = None
+        observation_note = None
+        fragment_key = dataset_key = None
+        if use_feedback:
+            store = self._store()
+            fragment_key = self._observation_key()
+            dataset_key = dataset_fingerprint(inputs)
+            observation = store.lookup(fragment_key, dataset_key)
+            observation_note = store.last_note
         sample = self.sample_elements(records)
         globals_env = self._globals(inputs)
         chosen = self.monitor.choose(sample, globals_env)
@@ -141,8 +182,16 @@ class AdaptiveProgram:
         if len(self.programs) > 1:
             from ..planner.joins import choose_join_ordering
 
+            ordering_kwargs: dict[str, Any] = {}
+            if observation is not None and observation.join_selectivity:
+                # A measured selectivity replaces Eqn 4's default in the
+                # ordering costs; the decision records its source.
+                ordering_kwargs = {
+                    "selectivity": observation.join_selectivity,
+                    "selectivity_source": "observed",
+                }
             decision = choose_join_ordering(
-                [p.summary for p in self.programs], inputs
+                [p.summary for p in self.programs], inputs, **ordering_kwargs
             )
             if decision is not None:
                 index = decision.index
@@ -162,6 +211,8 @@ class AdaptiveProgram:
             inputs=inputs,
             kernel=kernel,
             layout=layout,
+            observation=observation,
+            observation_note=observation_note,
         )
         report.implementation = f"impl_{index}"
         if self.last_join_decision is not None:
@@ -193,8 +244,38 @@ class AdaptiveProgram:
         report.spill_stats = outcome.spill_stats
         report.transport = outcome.transport_stats
         report.columnar = outcome.columnar_stats
+        report.adaptations = list(getattr(outcome, "adaptations", []) or [])
+        overflows = {
+            a.get("relation"): a
+            for a in report.adaptations
+            if a.get("kind") == "broadcast_overflow"
+        }
+        if overflows and (report.join or {}).get("levels"):
+            # A join level was revised mid-job; the report's join
+            # evidence must describe what actually ran, not the plan.
+            report.join = {
+                **report.join,
+                "levels": [
+                    (
+                        {
+                            **level,
+                            "strategy": switch["switched_to"],
+                            "reason": switch["note"],
+                        }
+                        if (switch := overflows.get(level.get("relation")))
+                        else level
+                    )
+                    for level in report.join["levels"]
+                ],
+            }
         self.last_outcome = outcome
         self.last_plan_report = report
+        if use_feedback:
+            self._store().record(
+                harvest_observation(
+                    fragment_key, dataset_key, report, outcome, records=records
+                )
+            )
         return outcome.outputs
 
     def plan_execution(
@@ -208,6 +289,8 @@ class AdaptiveProgram:
         inputs: Optional[dict[str, Any]] = None,
         kernel: Optional[str] = None,
         layout: Optional[str] = None,
+        observation: Optional[Any] = None,
+        observation_note: Optional[str] = None,
     ) -> tuple[ExecutionPlan, PlanReport]:
         if plan != "auto":
             forced = forced_plan(
@@ -250,7 +333,22 @@ class AdaptiveProgram:
             inputs=inputs,
             kernel=kernel,
             layout=layout,
+            observation=observation,
+            observation_note=observation_note,
         )
+
+    def _store(self) -> ObservationStore:
+        if self.observations is None:
+            self.observations = ObservationStore()
+        return self.observations
+
+    def _observation_key(self) -> str:
+        if self._fragment_key is None:
+            summary = self.programs[0].summary if self.programs else None
+            self._fragment_key = fragment_observation_key(
+                self.analysis, summary
+            )
+        return self._fragment_key
 
     @property
     def chosen_implementation(self) -> Optional[str]:

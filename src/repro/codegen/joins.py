@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..engine.multiprocess import MapStep, PipelineStep, ReduceStep
-from ..engine.sizes import sizeof
+from ..engine.sizes import sizeof, sizeof_pair
 from ..errors import CodegenError
 from ..ir.nodes import JoinStage, MapStage, ReduceStage, is_join_summary
 
@@ -255,8 +255,8 @@ def build_join_steps(
     inputs: dict[str, Any],
     plan: Optional["ExecutionPlan"] = None,
     left_records: Optional[list] = None,
-) -> tuple[list, list[PipelineStep], list[JoinLevelDecision]]:
-    """(records, steps, decisions) realizing a join summary locally.
+) -> tuple[list, list[PipelineStep], list[JoinLevelDecision], list[dict]]:
+    """(records, steps, decisions, adaptations) realizing a join summary.
 
     ``records`` is what the engine scans: the left relation's records
     for an all-broadcast plan, or the tagged union of left + first right
@@ -264,6 +264,16 @@ def build_join_steps(
     inputs are rejected — joins need a second pass over the small side
     to build the index (or a second tagged scan), so both relations must
     be materialized lists.
+
+    ``adaptations`` records mid-job strategy switches: a level-0
+    broadcast build whose index outgrows the plan's broadcast limit (or
+    the memory budget) is discarded and the level re-built reduce-side —
+    the "small" side turned out not to be small, and spilling the whole
+    index through memory it was promised not to use would be worse than
+    the shuffle.  The switch is taken *before* the engine starts (the
+    index is built driver-side), so results are byte-identical to a
+    reduce-side plan; it is surfaced in ``PlanReport.adaptations``,
+    never silently.
     """
     from .base import (
         RecordMapper,
@@ -298,8 +308,26 @@ def build_join_steps(
         emits=first.lam.emits, globals_env=globals_env, view=left_view
     )
 
+    # The level-0 broadcast build is guarded: the index grows under a
+    # byte limit (the plan's observed-justified broadcast limit, else
+    # the memory budget, else the default threshold), and overflowing it
+    # triggers the mid-job switch to reduce-side.
+    if plan is not None:
+        guard_limit = (
+            plan.broadcast_limit
+            if plan.broadcast_limit is not None
+            else (
+                plan.memory_budget
+                if plan.memory_budget is not None
+                else DEFAULT_BROADCAST_BYTES
+            )
+        )
+    else:
+        guard_limit = DEFAULT_BROADCAST_BYTES
+
     records: list = left_records
     steps: list[PipelineStep] = []
+    adaptations: list[dict] = []
     level_index = 0
     pending_left = MapStep(left_mapper, _stage_complexity(first))
     for stage_index, stage in enumerate(stages[1:], start=1):
@@ -317,29 +345,94 @@ def build_join_steps(
                 if level_index < len(strategies)
                 else "broadcast"
             )
-            if strategy == "reduce_side" and level_index == 0:
+
+            def reduce_side_level0() -> list:
                 right_records = view_records(side.view, inputs)
-                records = [(0, r) for r in left_records] + [
-                    (1, r) for r in right_records
-                ]
                 steps.append(
                     MapStep(
                         TaggedJoinMapper(left=left_mapper, right=right_mapper),
                         _stage_complexity(first),
                     )
                 )
-                pending_left = None
                 steps.append(ReduceStep(JoinFold(), combine=True))
                 steps.append(MapStep(JoinExpand(), complexity=1))
+                return [(0, r) for r in left_records] + [
+                    (1, r) for r in right_records
+                ]
+
+            if strategy == "reduce_side" and level_index == 0:
+                records = reduce_side_level0()
+                pending_left = None
             else:
-                if pending_left is not None:
-                    steps.append(pending_left)
-                    pending_left = None
+                # Build the broadcast index under the guard.  The switch
+                # is only possible at level 0 while the left map is still
+                # pending — later levels probe the in-flight pair stream,
+                # which cannot re-enter a tagged shuffle.
+                switchable = level_index == 0 and pending_left is not None
                 index: dict[Any, list] = {}
+                index_bytes = 0
+                overflowed = False
                 for record in view_records(side.view, inputs):
                     for key, value in right_mapper(record):
                         index.setdefault(key, []).append(value)
-                steps.append(MapStep(BroadcastLookup(index), complexity=2))
+                        if switchable:
+                            index_bytes += sizeof_pair(key, value)
+                            if index_bytes > guard_limit:
+                                overflowed = True
+                                break
+                    if overflowed:
+                        break
+                if overflowed:
+                    del index
+                    adaptations.append(
+                        {
+                            "kind": "broadcast_overflow",
+                            "relation": side.source,
+                            "observed_bytes": index_bytes,
+                            "limit": guard_limit,
+                            "switched_to": "reduce_side",
+                            "note": (
+                                f"broadcast build of {side.source!r} "
+                                f"overflowed {guard_limit} B at "
+                                f"{index_bytes} B — switched to the "
+                                "reduce-side tagged shuffle mid-job"
+                            ),
+                        }
+                    )
+                    records = reduce_side_level0()
+                    pending_left = None
+                    if level_index < len(decisions):
+                        first_decision = decisions[level_index]
+                        decisions[level_index] = JoinLevelDecision(
+                            relation=first_decision.relation,
+                            strategy="reduce_side",
+                            right_records=first_decision.right_records,
+                            right_bytes=max(
+                                first_decision.right_bytes, index_bytes
+                            ),
+                            limit=guard_limit,
+                            reason=adaptations[-1]["note"],
+                        )
+                    else:
+                        # Pinned-plan path: the plan carried strategies
+                        # without decisions, so record the switch fresh.
+                        decisions.append(
+                            JoinLevelDecision(
+                                relation=side.source,
+                                strategy="reduce_side",
+                                # The build stopped at the overflow, so
+                                # only the byte high-water mark is known.
+                                right_records=0,
+                                right_bytes=index_bytes,
+                                limit=guard_limit,
+                                reason=adaptations[-1]["note"],
+                            )
+                        )
+                else:
+                    if pending_left is not None:
+                        steps.append(pending_left)
+                        pending_left = None
+                    steps.append(MapStep(BroadcastLookup(index), complexity=2))
             level_index += 1
         elif isinstance(stage, MapStage):
             if pending_left is not None:
@@ -360,4 +453,4 @@ def build_join_steps(
             )
     if pending_left is not None:
         steps.append(pending_left)
-    return records, steps, decisions
+    return records, steps, decisions, adaptations

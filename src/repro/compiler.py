@@ -329,8 +329,13 @@ def _run_fragment(
         memory_budget=options.memory_budget,
         kernel=options.kernel,
         layout=options.layout,
+        feedback=options.feedback,
     )
-    planned = options.plan is not None or options.memory_budget is not None
+    planned = (
+        options.plan is not None
+        or options.memory_budget is not None
+        or options.feedback is True
+    )
     report = fragment.program.last_plan_report if planned else None
     return outputs, report
 
@@ -434,6 +439,7 @@ def _run_program(
         memory_budget=options.memory_budget,
         kernel=options.kernel,
         layout=options.layout,
+        feedback=options.feedback,
     )
     result.last_graph_run = run
     return run

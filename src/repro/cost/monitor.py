@@ -54,17 +54,29 @@ def estimate_from_sample(
     sample: list[dict[str, Any]],
     globals_env: dict[str, Any],
     prefix: str = "s",
+    right_samples: Optional[dict[str, list[dict[str, Any]]]] = None,
 ) -> SampleEstimates:
     """Estimate pᵢ and distinct-key ratios by evaluating λm on a sample.
 
     Mirrors the paper's monitor: count the sample elements for which each
     emit's conditional evaluates to true, and the number of unique emitted
     keys.
+
+    ``right_samples`` maps a join level's right-relation name to a
+    bounded sample of *pre-bound record environments* of that relation
+    (the caller holds the views; the estimator only evaluates emits).
+    With them the estimator carries the sample *through* join stages —
+    probing the sampled right side to form joined pairs — so post-join
+    map/reduce stages are priced from data instead of keeping their
+    upper-bound defaults.
     """
     estimates = SampleEstimates(sample_size=len(sample))
     if not sample:
         return estimates
-    _estimate_pipeline(summary.pipeline, sample, globals_env, prefix, estimates)
+    _estimate_pipeline(
+        summary.pipeline, sample, globals_env, prefix, estimates,
+        right_samples=right_samples,
+    )
     return estimates
 
 
@@ -74,6 +86,7 @@ def _estimate_pipeline(
     globals_env: dict[str, Any],
     prefix: str,
     estimates: SampleEstimates,
+    right_samples: Optional[dict[str, list[dict[str, Any]]]] = None,
 ) -> None:
     current: list[dict[str, Any]] = sample
     pairs: list[tuple[Any, Any]] = []
@@ -117,12 +130,41 @@ def _estimate_pipeline(
                 seen.setdefault(k, v)
             pairs = list(seen.items())
         elif isinstance(stage, JoinStage):
-            # The sample covers the left relation only, so the joined
-            # (v₁, v₂) values cannot be formed here: record the join
-            # selectivity's conservative default and stop — downstream
-            # stages' unknowns keep their upper-bound default of 1.
-            estimates.probabilities[f"p_{prefix}{index}_j"] = 1.0
-            return
+            right_envs = (right_samples or {}).get(stage.right.source)
+            if not right_envs:
+                # The sample covers the left relation only, so the joined
+                # (v₁, v₂) values cannot be formed here: record the join
+                # selectivity's conservative default and stop — downstream
+                # stages' unknowns keep their upper-bound default of 1.
+                estimates.probabilities[f"p_{prefix}{index}_j"] = 1.0
+                return
+            # With a right-side sample the join can be carried through:
+            # evaluate the right map's keyed emits over the sample, probe
+            # the left pairs against the resulting index, and keep
+            # pricing the post-join stages on the joined pairs.
+            right_stage = stage.right.stages[0]
+            assert isinstance(right_stage, MapStage)
+            index_map: dict[Any, list[Any]] = {}
+            right_pairs = 0
+            for right_env in right_envs:
+                env = {**globals_env, **right_env}
+                for emit in right_stage.lam.emits:
+                    if emit.cond is None or eval_expr(emit.cond, env):
+                        right_pairs += 1
+                        index_map.setdefault(
+                            eval_expr(emit.key, env), []
+                        ).append(eval_expr(emit.value, env))
+            joined = [
+                (k, (lv, rv))
+                for k, lv in pairs
+                for rv in index_map.get(k, ())
+            ]
+            possible = len(pairs) * max(1, right_pairs)
+            estimates.probabilities[f"p_{prefix}{index}_j"] = (
+                len(joined) / possible if possible else 1.0
+            )
+            pairs = joined
+            is_pairs = True
 
 
 @dataclass

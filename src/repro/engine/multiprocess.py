@@ -29,6 +29,7 @@ to the in-memory path.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import shutil
@@ -53,7 +54,13 @@ from .shm import (
     write_payload,
 )
 from .sizes import sizeof, sizeof_pair
-from .source import Dataset, ListSource, as_dataset, chunk_records_for
+from .source import (
+    DEFAULT_CHUNK_RECORDS,
+    Dataset,
+    ListSource,
+    as_dataset,
+    chunk_records_for,
+)
 from .spill import (
     SpillMapOut,
     SpillStats,
@@ -147,6 +154,13 @@ class MultiprocessResult:
     #: row loop instead.
     columnar_chunks: int = 0
     guard_fallbacks: int = 0
+    #: Mid-job plan revisions the engine made (streaming runs only):
+    #: each entry is a dict with a ``kind`` and a human-readable
+    #: ``note`` — e.g. ``stream_partitions`` when a first-chunk probe
+    #: of an unknown-length source let the engine shrink the partition
+    #: count to match the measured size.  Never silent: callers
+    #: surface these through ``PlanReport.adaptations``.
+    adaptations: list = field(default_factory=list)
 
     @property
     def executed_parallel(self) -> bool:
@@ -965,6 +979,10 @@ class MultiprocessEngine:
             pairs=[], metrics=metrics, spilled=True, layout=self.layout
         )
         known = dataset.known_length
+        if known is None:
+            known, partitions = self._probe_unknown_stream(
+                dataset, steps, partitions, result
+            )
         pool: Optional[ProcessPoolExecutor] = None
         if processes <= 1:
             result.fallback_reason = "single process requested"
@@ -1009,6 +1027,81 @@ class MultiprocessEngine:
         result.peak_resident_bytes = stats.peak_resident_bytes
         result.spill_stats = stats.as_dict()
         return result
+
+    def _probe_unknown_stream(
+        self,
+        dataset: Dataset,
+        steps: list[PipelineStep],
+        partitions: int,
+        result: MultiprocessResult,
+    ) -> tuple[Optional[int], int]:
+        """Measure an unknown-length source's first chunk mid-job.
+
+        A bounded probe (one chunk's worth of records) either exhausts
+        the stream — the exact length is now known, and when no
+        map-side combine depends on the chunk layout the partition
+        count is shrunk to match the measured size — or establishes
+        that the stream really is large and the pessimistic defaults
+        stand.  Either way the measurement is recorded in
+        ``result.adaptations`` so the planner's report surfaces what
+        the engine learned; the plan is never revised silently.
+
+        Partitions are only adapted when the pipeline has no combining
+        reduce: per-chunk combining folds each chunk's records in
+        chunk-layout order, so revising the layout mid-job could drift
+        float folds away from the plan-time result.  Without combining,
+        ``_spill_reduce_phase`` restores global first-seen key order and
+        the result is partition-count invariant.
+        """
+        probe = dataset.probe()
+        if not probe.exhausted:
+            result.adaptations.append(
+                {
+                    "kind": "stream_probe",
+                    "records": probe.records,
+                    "bytes": probe.bytes,
+                    "exhausted": False,
+                    "note": (
+                        f"stream probe: source exceeds {probe.records} "
+                        "records — keeping the plan's pessimistic "
+                        "large-stream settings"
+                    ),
+                }
+            )
+            return None, partitions
+        combining = any(
+            isinstance(step, ReduceStep) and step.combine for step in steps
+        )
+        ideal = max(1, math.ceil(probe.records / DEFAULT_CHUNK_RECORDS))
+        adaptation = {
+            "kind": "stream_partitions",
+            "records": probe.records,
+            "bytes": probe.bytes,
+            "exhausted": True,
+            "partitions_before": partitions,
+            "partitions_after": partitions,
+        }
+        if not combining and ideal < partitions:
+            adaptation["partitions_after"] = ideal
+            adaptation["note"] = (
+                f"stream probe: source ended at {probe.records} records "
+                f"(~{probe.bytes} B) — shrank the shuffle from "
+                f"{partitions} to {ideal} partition(s) mid-job"
+            )
+            partitions = ideal
+        else:
+            adaptation["note"] = (
+                f"stream probe: source ended at {probe.records} records "
+                f"(~{probe.bytes} B); partition count kept at "
+                f"{partitions}"
+                + (
+                    " (map-side combine pins the chunk layout)"
+                    if combining and ideal < partitions
+                    else ""
+                )
+            )
+        result.adaptations.append(adaptation)
+        return probe.records, partitions
 
     def _ensure_spill_dir(self) -> str:
         """A private per-job run directory, removed when the job ends.

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import math
 import os
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from ..errors import EngineError
@@ -39,8 +40,32 @@ from .sizes import sizeof
 DEFAULT_CHUNK_RECORDS = 4096
 
 
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a bounded first-chunk probe of a dataset.
+
+    ``exhausted`` means the probe reached the end of the stream within
+    its record bound — the source's *exact* length is ``records``, and
+    the probing dataset caches it (``known_length`` reports it from then
+    on).  Otherwise the stream is longer than the bound and only the
+    sampled per-record size is meaningful.
+    """
+
+    records: int
+    bytes: int
+    exhausted: bool
+
+    @property
+    def per_record_bytes(self) -> Optional[float]:
+        return self.bytes / self.records if self.records else None
+
+
 class Dataset:
     """A replayable source of records, consumed in bounded chunks."""
+
+    #: Exact length learned by an exhausting :meth:`probe`; sources with
+    #: a declared length never consult it.
+    _probed_length: Optional[int] = None
 
     def iter_chunks(self, chunk_records: int) -> Iterator[list]:
         """Yield lists of at most ``chunk_records`` records, in order."""
@@ -49,7 +74,35 @@ class Dataset:
     @property
     def known_length(self) -> Optional[int]:
         """Record count when knowable without a full pass, else None."""
-        return None
+        return self._probed_length
+
+    def probe(self, max_records: int = DEFAULT_CHUNK_RECORDS) -> ProbeResult:
+        """Measure a bounded prefix: record count, sampled bytes, EOF.
+
+        Reads at most ``max_records`` records (one bounded pass — the
+        source is re-iterable, so nothing is consumed).  When the stream
+        ends within the bound the exact length is now known and cached:
+        the planner prices the source from the measured sample instead
+        of pessimistically assuming a large stream, and the engine gets
+        the partition-matched chunk layout.
+        """
+        sampled: list = []
+        exhausted = True
+        bound = max(1, max_records)
+        for chunk in self.iter_chunks(min(bound, DEFAULT_CHUNK_RECORDS)):
+            sampled.extend(chunk)
+            if len(sampled) > bound:
+                exhausted = False
+                sampled = sampled[:bound]
+                break
+        result = ProbeResult(
+            records=len(sampled),
+            bytes=sum(sizeof(r) for r in sampled),
+            exhausted=exhausted,
+        )
+        if exhausted and self.known_length is None:
+            self._probed_length = result.records
+        return result
 
     def __iter__(self) -> Iterator[Any]:
         for chunk in self.iter_chunks(DEFAULT_CHUNK_RECORDS):
@@ -146,6 +199,12 @@ class PreparedSource(Dataset):
     def known_length(self) -> Optional[int]:
         return self._base.known_length
 
+    def probe(self, max_records: int = DEFAULT_CHUNK_RECORDS) -> ProbeResult:
+        # Probe the *base* records (the prepare hook may change chunk
+        # representation); an exhausting probe caches the length there,
+        # where both this wrapper and the base report it.
+        return self._base.probe(max_records)
+
 
 class GeneratorSource(Dataset):
     """Records produced lazily by a replayable iterator factory.
@@ -176,7 +235,7 @@ class GeneratorSource(Dataset):
 
     @property
     def known_length(self) -> Optional[int]:
-        return self._length
+        return self._length if self._length is not None else self._probed_length
 
 
 class _FileSource(Dataset):

@@ -135,6 +135,7 @@ def run_graph(
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
     layout: Optional[str] = None,
+    feedback: Optional[bool] = None,
 ) -> GraphRunResult:
     """Execute a whole-program job graph over concrete inputs.
 
@@ -164,9 +165,14 @@ def run_graph(
     ``layout`` (``"rows"`` | ``"columns"`` | ``"auto"``) picks the chunk
     layout under those kernels the same way — chain-wide for fused
     chains, since one engine invocation runs the spliced pipeline.
+
+    ``feedback`` engages observation-resolved planning per single-
+    fragment unit (see :meth:`AdaptiveProgram.run`); fused chains plan
+    from their own spliced estimates and ignore it.  ``True`` with no
+    plan implies ``plan="auto"``.
     """
     started = time.perf_counter()
-    if plan is None and memory_budget is not None:
+    if plan is None and (memory_budget is not None or feedback):
         plan = "auto"
     if plan is not None and plan != "auto" and plan not in BACKENDS:
         # Same contract as forced_plan: a typo must fail loudly, not
@@ -214,6 +220,7 @@ def run_graph(
                             memory_budget,
                             kernel,
                             layout,
+                            feedback,
                         ),
                         units,
                     )
@@ -230,6 +237,7 @@ def run_graph(
                     memory_budget,
                     kernel,
                     layout,
+                    feedback,
                 )
                 for unit in units
             ]
@@ -356,6 +364,7 @@ def _run_unit(
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
     layout: Optional[str] = None,
+    feedback: Optional[bool] = None,
 ) -> _UnitOutcome:
     outcome = _UnitOutcome(unit=unit)
     node = graph.nodes[unit.head]
@@ -375,7 +384,16 @@ def _run_unit(
         )
     elif node.translated:
         _run_single(
-            node, unit, env, plan, cache, outcome, memory_budget, kernel, layout
+            node,
+            unit,
+            env,
+            plan,
+            cache,
+            outcome,
+            memory_budget,
+            kernel,
+            layout,
+            feedback,
         )
     else:
         _run_interpreted(node, env, outcome)
@@ -393,6 +411,7 @@ def _run_single(
     memory_budget: Optional[int] = None,
     kernel: Optional[str] = None,
     layout: Optional[str] = None,
+    feedback: Optional[bool] = None,
 ) -> None:
     program = node.program
     records = cache.get(node.analysis.view, env)
@@ -403,6 +422,7 @@ def _run_single(
         memory_budget=memory_budget,
         kernel=kernel,
         layout=layout,
+        feedback=feedback,
     )
     if plan is not None and program.last_plan_report is not None:
         outcome.report = program.last_plan_report

@@ -47,6 +47,13 @@ class ExecOptions:
     * ``outputs`` — variables the caller needs; enables dead-stage
       elimination (whole-program runs only).
     * ``max_workers`` — branch-concurrency cap for the DAG executor.
+    * ``feedback`` — planned runs resolve estimates against the
+      observation recorded by the last run over the same (fragment,
+      dataset) and record a fresh one afterwards.  ``None`` defers to
+      the owner (a ``Session(observe=True)`` turns it on; direct runs
+      stay off so repeated measurements never contaminate one another);
+      ``True`` with no plan implies ``plan="auto"``.  Results are
+      byte-identical either way — feedback changes plans, not answers.
     """
 
     plan: Optional[str] = None
@@ -57,6 +64,7 @@ class ExecOptions:
     strict: bool = True
     outputs: Optional[tuple[str, ...]] = None
     max_workers: Optional[int] = None
+    feedback: Optional[bool] = None
 
     def __post_init__(self) -> None:
         from .planner.plan import BACKENDS
@@ -83,6 +91,10 @@ class ExecOptions:
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ValueError(
                 f"memory_budget must be positive, got {self.memory_budget!r}"
+            )
+        if self.feedback is not None and not isinstance(self.feedback, bool):
+            raise ValueError(
+                f"feedback must be True, False or None, got {self.feedback!r}"
             )
         # Normalize list-ish outputs to a tuple so the dataclass stays
         # hashable-by-value and safe to share across threads.

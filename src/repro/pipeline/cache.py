@@ -22,7 +22,6 @@ decline to cache — correctness never depends on the cache.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import threading
 from collections import OrderedDict
@@ -34,24 +33,19 @@ from ..ir.nodes import rename_summary, summary_from_data, summary_to_data
 from ..lang.analysis.fragments import FragmentFingerprint
 from ..synthesis.search import SearchConfig, VerifiedSummary
 from ..verification.prover import proof_from_data, proof_to_data
+from .diskio import (
+    atomic_write_json,
+    load_json_entry,
+    pid_alive,
+    safe_filename,
+    sweep_stale_tmp,
+)
 
 #: Disk-format version; mismatching files are ignored.
 _DISK_FORMAT = 1
 
-
-def _pid_alive(pid: int) -> bool:
-    """Whether ``pid`` is a running process we must not race with."""
-    if pid == os.getpid():
-        return True
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # exists, owned by someone else
-    except (OverflowError, OSError):
-        return False
-    return True
+#: Kept for importers of the old private name.
+_pid_alive = pid_alive
 
 
 def search_config_key(config: SearchConfig) -> str:
@@ -134,20 +128,7 @@ class SummaryCache:
             self._sweep_stale_tmp()
 
     def _sweep_stale_tmp(self) -> None:
-        try:
-            names = os.listdir(self.cache_dir)
-        except OSError:
-            return  # directory not created yet — nothing to sweep
-        for name in names:
-            if ".tmp." not in name:
-                continue
-            pid_text = name.rsplit(".", 1)[-1]
-            if pid_text.isdigit() and _pid_alive(int(pid_text)):
-                continue  # a live writer may still be mid-write
-            try:
-                os.remove(os.path.join(self.cache_dir, name))
-            except OSError:
-                pass  # the disk tier stays best-effort
+        sweep_stale_tmp(self.cache_dir)
 
     # ------------------------------------------------------------------
 
@@ -280,34 +261,19 @@ class SummaryCache:
     def _disk_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
-        safe = key.replace(":", "_").replace("=", "-").replace(",", "+")
-        return os.path.join(self.cache_dir, f"{safe}.json")
+        return os.path.join(self.cache_dir, f"{safe_filename(key)}.json")
 
     def _load_disk(self, key: str) -> Optional[dict[str, Any]]:
         path = self._disk_path(key)
         if path is None:
             return None
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(entry, dict) or entry.get("format") != _DISK_FORMAT:
-            return None
+        entry, _error = load_json_entry(path, _DISK_FORMAT)
         return entry
 
     def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
         path = self._disk_path(key)
-        if path is None:
-            return
-        try:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
-            pass  # disk tier is best-effort
+        if path is not None:
+            atomic_write_json(path, entry)
 
     def _remove_disk(self, key: str) -> None:
         path = self._disk_path(key)

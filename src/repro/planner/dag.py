@@ -76,6 +76,22 @@ class GraphPlanReport:
     admission: Optional[dict] = None
 
     @property
+    def adaptations(self) -> list:
+        """Every mid-job adaptation across units, tagged by unit head.
+
+        Rolls up the per-unit ``PlanReport.adaptations`` (broadcast
+        builds that overflowed and switched strategy, unknown-length
+        streams re-priced from a first-chunk probe) so graph-level
+        callers see every plan revision in one place — a unit never
+        adapts silently.
+        """
+        out = []
+        for head, report in sorted(self.unit_reports.items()):
+            for adaptation in getattr(report, "adaptations", []) or []:
+                out.append({"unit": head, **adaptation})
+        return out
+
+    @property
     def peak_resident_bytes(self) -> Optional[int]:
         """Largest per-unit peak-resident proxy of the run (spill
         accounting), the number a per-job ``memory_budget`` bounds;
@@ -106,6 +122,7 @@ class GraphPlanReport:
                 for head, report in sorted(self.unit_reports.items())
             },
             "admission": self.admission,
+            "adaptations": self.adaptations,
             "reasons": list(self.plan.reasons),
         }
 

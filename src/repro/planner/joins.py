@@ -70,6 +70,9 @@ class JoinOrderDecision:
     cardinalities: dict[str, int] = field(default_factory=dict)
     costs: dict[str, float] = field(default_factory=dict)  # "⋈"-joined order → cost
     selectivity: float = DEFAULT_SELECTIVITY
+    #: Where the selectivity came from: the §7.4 default ("static") or a
+    #: stored observation of this fragment over this data ("observed").
+    selectivity_source: str = "static"
 
     @property
     def order_label(self) -> str:
@@ -81,6 +84,7 @@ class JoinOrderDecision:
             "cardinalities": dict(self.cardinalities),
             "costs": {k: round(v, 6) for k, v in self.costs.items()},
             "selectivity": self.selectivity,
+            "selectivity_source": self.selectivity_source,
         }
 
 
@@ -88,13 +92,16 @@ def choose_join_ordering(
     summaries: Sequence[Summary],
     inputs: dict[str, Any],
     selectivity: float = DEFAULT_SELECTIVITY,
+    selectivity_source: str = "static",
 ) -> Optional[JoinOrderDecision]:
     """Pick the cheapest join ordering among candidate implementations.
 
     Returns None when the candidates are not join pipelines, offer only
     one distinct ordering, or a relation's cardinality cannot be
     observed from ``inputs`` — the caller then keeps the runtime
-    monitor's default choice.
+    monitor's default choice.  ``selectivity`` defaults to the §7.4
+    constant; a caller holding a stored observation re-prices the chains
+    with the measured selectivity (``selectivity_source="observed"``).
     """
     orders: list[tuple[int, list[str]]] = []
     for index, summary in enumerate(summaries):
@@ -129,4 +136,5 @@ def choose_join_ordering(
         cardinalities=cardinalities,
         costs=costs,
         selectivity=selectivity,
+        selectivity_source=selectivity_source,
     )

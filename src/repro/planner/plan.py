@@ -53,6 +53,12 @@ class ExecutionPlan:
     #: order ("broadcast" | "reduce_side"); empty for non-join jobs or
     #: when the codegen default rule should decide at run time.
     join_strategies: tuple[str, ...] = ()
+    #: Bytes the level-0 broadcast index may grow to before the build
+    #: switches to reduce-side mid-job.  None → the codegen guard uses
+    #: the memory budget (or the default broadcast threshold).  Plans
+    #: re-priced from observations raise it above the budget when the
+    #: observed small-side size justifies broadcasting anyway.
+    broadcast_limit: Optional[int] = None
     #: Codegen target for the real local backends: "eval" interprets
     #: the IR per record, "compiled" runs the generated-source batch
     #: kernels (:mod:`repro.codegen.kernels`), "auto" lets codegen
@@ -140,6 +146,17 @@ class PlanReport:
     #: :class:`~repro.session.Session` or the serve daemon (mode,
     #: footprint estimate, capacity, queueing); None for direct runs.
     admission: Optional[dict] = None
+    #: Estimate provenance: per quantity the planner priced, where the
+    #: number came from (``"static"`` | ``"observed"``), the value used,
+    #: and — when an observation was available — the static estimate's
+    #: relative error against the last measured run.  Feedback-enabled
+    #: runs with no usable observation record why (the loud fallback).
+    estimates: dict = field(default_factory=dict)
+    #: Mid-job adaptations the engine took, in order: a broadcast build
+    #: that overflowed its limit and switched to reduce-side, an
+    #: unknown-length stream whose first-chunk measurement re-sized the
+    #: partition count.  Empty when the plan ran as priced.
+    adaptations: list = field(default_factory=list)
 
     def summary(self) -> dict:
         """Compact dict form, convenient for logs and benchmark JSON."""
@@ -168,6 +185,8 @@ class PlanReport:
             "calibration_skipped": self.calibration_skipped,
             "join": self.join,
             "admission": self.admission,
+            "estimates": self.estimates,
+            "adaptations": list(self.adaptations),
             "reasons": list(self.plan.reasons),
         }
 

@@ -43,6 +43,15 @@ if TYPE_CHECKING:
     from .plan import ExecutionPlan, PlanReport
 
 
+def _relative_error(
+    static: Optional[float], observed: Optional[float]
+) -> Optional[float]:
+    """|static − observed| / |observed|, when both sides exist."""
+    if static is None or observed is None or not observed:
+        return None
+    return round(abs(static - observed) / abs(observed), 4)
+
+
 def _record_prefix(records: Any, k: int) -> list:
     """The first ``k`` records of a list or Dataset, as a list."""
     from ..engine.source import Dataset
@@ -111,6 +120,11 @@ class PlannerConfig:
     #: a compiled kernel runs — column arrays only pay off where the
     #: vectorized fast path can consume them).
     layout: str = "auto"
+    #: Records read by the bounded first-chunk probe of an unknown-length
+    #: stream.  A stream that ends within the bound is priced from its
+    #: measured exact length instead of "assume large"; 0 disables the
+    #: probe.
+    probe_records: int = 4096
 
 
 @dataclass
@@ -163,6 +177,8 @@ class ExecutionPlanner:
         inputs: Optional[dict[str, Any]] = None,
         kernel: Optional[str] = None,
         layout: Optional[str] = None,
+        observation: Optional[Any] = None,
+        observation_note: Optional[str] = None,
     ) -> tuple["ExecutionPlan", "PlanReport"]:
         """Decide how to execute ``program`` over ``records``.
 
@@ -187,23 +203,104 @@ class ExecutionPlanner:
         does the same for the chunk layout: ``"rows"``/``"columns"``
         pin it, ``"auto"`` picks columns exactly when a compiled kernel
         runs.
+
+        ``observation`` is a stored
+        :class:`~repro.cost.observe.Observation` of this exact
+        (fragment, dataset) pair from an earlier run; when given it
+        resolves estimates the sample cannot see — exact input length
+        and bytes, measured distinct-key ratios, observed join
+        selectivity and small-side sizes — and the report's
+        ``estimates`` trail records the provenance of each quantity
+        (static vs observed, with the static estimate's error against
+        the measurement).  ``observation_note`` is the loud-fallback
+        reason when a stored observation *exists but could not load*
+        (corruption, schema mismatch): it goes into the trail so the
+        fallback to static estimates is never silent.
         """
         from ..engine.source import Dataset
         from .plan import ExecutionPlan, PlanReport
 
         reasons: list[str] = []
+        provenance: dict[str, dict] = {}
+        if observation_note:
+            provenance["fallback"] = {
+                "source": "static",
+                "note": observation_note,
+            }
+            reasons.append(f"{observation_note} — static estimates in effect")
         n: Optional[int] = (
             records.known_length
             if isinstance(records, Dataset)
             else len(records)
         )
+        if (
+            n is None
+            and isinstance(records, Dataset)
+            and self.config.probe_records > 0
+        ):
+            # Bounded first-chunk probe: a stream that ends within the
+            # bound has a *measured* exact length — price it instead of
+            # pessimistically assuming a large input (which would force
+            # the spill shuffle and the pool on tiny generators).
+            probe = records.probe(self.config.probe_records)
+            if probe.exhausted:
+                n = probe.records
+                provenance["input_records"] = {
+                    "used": n,
+                    "source": "observed",
+                    "note": (
+                        f"stream probe exhausted the source at {n} records "
+                        f"(~{probe.bytes} B measured)"
+                    ),
+                }
+                reasons.append(
+                    f"stream probe: source ended at {n} records "
+                    f"(~{probe.bytes} B) — planning from the measured "
+                    "sample, not 'assume large'"
+                )
+        static_n = n
+        if n is None and observation is not None:
+            obs_n = getattr(observation, "input_records", None)
+            if obs_n is not None:
+                n = obs_n
+                provenance["input_records"] = {
+                    "used": n,
+                    "source": "observed",
+                    "note": f"length {n} resolved from last run's observation",
+                }
+                reasons.append(
+                    f"input length {n} resolved from the stored observation "
+                    "of the last run"
+                )
+        elif observation is not None and getattr(
+            observation, "input_records", None
+        ) is not None:
+            provenance.setdefault(
+                "input_records",
+                {
+                    "used": n,
+                    "source": "static",
+                    "observed": observation.input_records,
+                    "static_error": _relative_error(
+                        static_n, observation.input_records
+                    ),
+                },
+            )
         processes = (
             self.config.processes
             if self.config.processes is not None
             else default_process_count()
         )
-        estimates = estimate_from_sample(program.summary, sample, globals_env)
-        stages = self._stage_plans(program, estimates, reasons)
+        estimates = estimate_from_sample(
+            program.summary,
+            sample,
+            globals_env,
+            right_samples=self._right_samples(program, inputs),
+        )
+        stages = self._stage_plans(
+            program, estimates, reasons, observation=observation,
+            provenance=provenance,
+        )
 
         calibration_skipped: Optional[str] = None
         seq_s = mp_s = 0.0
@@ -271,9 +368,13 @@ class ExecutionPlanner:
             if memory_budget is not None
             else self.config.memory_budget
         )
-        spill, est_bytes = self._spill_decision(records, n, budget, reasons)
-        join_strategies, join_report = self._join_decision(
-            program, inputs, budget, reasons
+        spill, est_bytes = self._spill_decision(
+            records, n, budget, reasons,
+            observation=observation, provenance=provenance,
+        )
+        join_strategies, join_report, broadcast_limit = self._join_decision(
+            program, inputs, budget, reasons,
+            observation=observation, provenance=provenance,
         )
         partitions = self._partitions(program, stages, processes, reasons)
         kernel_choice = self._kernel_decision(
@@ -296,6 +397,7 @@ class ExecutionPlanner:
             spill=spill,
             spill_dir=self.config.spill_dir,
             join_strategies=join_strategies,
+            broadcast_limit=broadcast_limit,
             kernel=kernel_choice,
             layout=layout_choice,
             reasons=tuple(reasons),
@@ -303,6 +405,19 @@ class ExecutionPlanner:
         cluster = self._cluster_ranking(
             program, estimates.as_dict(), n or 0, program.engine_config
         )
+        if observation is not None and getattr(
+            observation, "wall_seconds", None
+        ):
+            # Error vs last run: how far the cost model's prediction for
+            # the backend we are about to use was from reality.
+            predicted = estimated.get(backend)
+            provenance["wall_seconds"] = {
+                "observed_last": observation.wall_seconds,
+                "predicted": predicted,
+                "prediction_error": _relative_error(
+                    predicted, observation.wall_seconds
+                ),
+            }
         report = PlanReport(
             plan=plan,
             input_records=n or 0,
@@ -314,8 +429,37 @@ class ExecutionPlanner:
             calibration_skipped=calibration_skipped,
             estimated_input_bytes=est_bytes,
             join=join_report,
+            estimates=provenance,
         )
         return plan, report
+
+    @staticmethod
+    def _right_samples(
+        program: "GeneratedProgram",
+        inputs: Optional[dict[str, Any]],
+        sample_records: int = 256,
+    ) -> Optional[dict[str, list[dict[str, Any]]]]:
+        """Bounded right-relation samples so join stages price through.
+
+        The estimator (:func:`repro.cost.monitor.estimate_from_sample`)
+        only sees pre-bound environments; the views live here.  Returns
+        None for non-join fragments.
+        """
+        from ..codegen.base import record_env, view_records
+
+        join = getattr(program.analysis, "join", None)
+        if join is None or inputs is None:
+            return None
+        samples: dict[str, list[dict[str, Any]]] = {}
+        for side in join.sides:
+            try:
+                records = view_records(side.view, inputs)
+            except Exception:
+                continue
+            samples[side.source] = [
+                record_env(side.view, r) for r in records[:sample_records]
+            ]
+        return samples or None
 
     def _kernel_decision(
         self,
@@ -427,18 +571,72 @@ class ExecutionPlanner:
         inputs: Optional[dict[str, Any]],
         budget: Optional[int],
         reasons: list[str],
-    ) -> tuple[tuple[str, ...], Optional[dict]]:
-        """Broadcast vs reduce-side per join level (size-estimate rule)."""
+        observation: Optional[Any] = None,
+        provenance: Optional[dict] = None,
+    ) -> tuple[tuple[str, ...], Optional[dict], Optional[int]]:
+        """Broadcast vs reduce-side per join level.
+
+        The static rule is the size-estimate-vs-budget threshold of
+        :func:`repro.codegen.joins.resolve_join_strategies`.  With a
+        fresh observation the first level is *re-priced from measured
+        reality*: when the last run of this exact (fragment, dataset)
+        ran reduce-side and shuffled far more bytes than the small side
+        occupies, holding the index resident is strictly cheaper than
+        the shuffle it eliminates — the level is flipped to broadcast
+        and the plan's ``broadcast_limit`` raised (with the observed
+        size on record) so the engine's mid-job overflow guard prices
+        against the justified limit, not the stale budget.
+        """
         from ..codegen.joins import is_join_summary, resolve_join_strategies
 
         if inputs is None or not is_join_summary(program.summary):
-            return (), None
+            return (), None, None
         decisions = resolve_join_strategies(program, inputs, memory_budget=budget)
+        broadcast_limit: Optional[int] = None
+        obs_levels = list(getattr(observation, "join_levels", None) or [])
+        if (
+            decisions
+            and decisions[0].strategy == "reduce_side"
+            and obs_levels
+            and obs_levels[0].get("right_bytes")
+        ):
+            observed_bytes = obs_levels[0]["right_bytes"]
+            shuffled = sum(
+                row.get("bytes_shuffled") or 0
+                for row in getattr(observation, "stages", None) or []
+            )
+            if shuffled > observed_bytes:
+                first = decisions[0]
+                broadcast_limit = max(budget or 0, 2 * observed_bytes)
+                decisions[0] = type(first)(
+                    relation=first.relation,
+                    strategy="broadcast",
+                    right_records=first.right_records,
+                    right_bytes=first.right_bytes,
+                    limit=broadcast_limit,
+                    reason=(
+                        f"re-priced from observation: last run shuffled "
+                        f"{shuffled} B reduce-side to join against a "
+                        f"{observed_bytes} B side — holding the index "
+                        f"resident is cheaper (broadcast limit raised to "
+                        f"{broadcast_limit} B)"
+                    ),
+                )
+                if provenance is not None:
+                    provenance["join_strategy"] = {
+                        "used": "broadcast",
+                        "source": "observed",
+                        "static": "reduce_side",
+                        "observed_shuffled_bytes": shuffled,
+                        "observed_right_bytes": observed_bytes,
+                        "broadcast_limit": broadcast_limit,
+                    }
         for decision in decisions:
             reasons.append(f"join {decision.relation}: {decision.reason}")
         return (
             tuple(d.strategy for d in decisions),
             {"levels": [d.as_dict() for d in decisions]},
+            broadcast_limit,
         )
 
     def _spill_decision(
@@ -447,11 +645,38 @@ class ExecutionPlanner:
         n: Optional[int],
         budget: Optional[int],
         reasons: list[str],
+        observation: Optional[Any] = None,
+        provenance: Optional[dict] = None,
     ) -> tuple[bool, Optional[int]]:
-        """Spill vs in-memory, from the size estimates (§5 byte counts)."""
+        """Spill vs in-memory, from the size estimates (§5 byte counts).
+
+        Observed input bytes override the sizeof-sample estimate when an
+        observation is fresh — the byte count then comes from the last
+        measured run instead of a 64-record head sample.
+        """
         if budget is None:
             return False, None
-        est_bytes = self._estimate_input_bytes(records, n)
+        static_bytes = self._estimate_input_bytes(records, n)
+        est_bytes = static_bytes
+        obs_bytes = getattr(observation, "input_bytes", None)
+        if obs_bytes is not None:
+            if provenance is not None:
+                provenance["input_bytes"] = {
+                    "used": obs_bytes,
+                    "source": "observed",
+                    "static": static_bytes,
+                    "static_error": _relative_error(static_bytes, obs_bytes),
+                }
+            if static_bytes is None:
+                reasons.append(
+                    f"input bytes {obs_bytes} resolved from the stored "
+                    "observation (sample had no length to extrapolate over)"
+                )
+            est_bytes = obs_bytes
+        elif provenance is not None and static_bytes is not None:
+            provenance.setdefault(
+                "input_bytes", {"used": static_bytes, "source": "static"}
+            )
         if est_bytes is None:
             reasons.append(
                 f"unknown-length source with memory budget {budget} B — "
@@ -481,12 +706,24 @@ class ExecutionPlanner:
 
     # ------------------------------------------------------------------
 
-    def _stage_plans(self, program, estimates, reasons: list[str]):
+    def _stage_plans(
+        self,
+        program,
+        estimates,
+        reasons: list[str],
+        observation: Optional[Any] = None,
+        provenance: Optional[dict] = None,
+    ):
         from .plan import StagePlan
 
         plans = []
         prefix = "s"
         proof_ok = program.proof.is_commutative and program.proof.is_associative
+        reduce_indexes = [
+            index
+            for index, stage in enumerate(program.summary.pipeline.stages)
+            if isinstance(stage, ReduceStage)
+        ]
         for index, stage in enumerate(program.summary.pipeline.stages):
             if isinstance(stage, MapStage):
                 plans.append(StagePlan(index=index, kind="map"))
@@ -499,18 +736,53 @@ class ExecutionPlanner:
                     )
                 else:
                     ratio = estimates.key_ratios.get(f"k_{prefix}{index}")
+                    source = "static"
+                    observed = self._observed_key_ratio(
+                        observation, index, len(reduce_indexes)
+                    )
+                    if observed is not None:
+                        if provenance is not None:
+                            provenance[f"key_ratio_stage{index}"] = {
+                                "used": observed,
+                                "source": "observed",
+                                "static": ratio,
+                                "static_error": _relative_error(ratio, observed),
+                            }
+                        ratio = observed
+                        source = "observed"
                     if (
                         ratio is not None
                         and ratio >= self.config.combiner_key_ratio_cutoff
                     ):
                         combiner = False
                         reasons.append(
-                            f"stage {index}: combiner off (distinct-key "
-                            f"ratio {ratio:.2f} — combining cannot shrink "
-                            "the shuffle)"
+                            f"stage {index}: combiner off ({source} "
+                            f"distinct-key ratio {ratio:.2f} — combining "
+                            "cannot shrink the shuffle)"
                         )
                 plans.append(StagePlan(index=index, kind="reduce", combiner=combiner))
         return plans
+
+    @staticmethod
+    def _observed_key_ratio(
+        observation: Optional[Any], stage_index: int, reduce_stages: int
+    ) -> Optional[float]:
+        """The measured distinct-key ratio for a reduce stage, if stored.
+
+        Shuffle stages are named by *step* index in the metrics; for the
+        single-reduce pipelines that dominate the workloads the sole
+        observed shuffle ratio is unambiguous, otherwise an exact
+        step-name match is required.
+        """
+        ratios = getattr(observation, "key_ratios", None)
+        if not ratios:
+            return None
+        exact = ratios.get(f"shuffle.reduce.{stage_index}")
+        if exact is not None:
+            return exact
+        if reduce_stages == 1 and len(ratios) == 1:
+            return next(iter(ratios.values()))
+        return None
 
     def _partitions(
         self, program, stages, processes: int, reasons: list[str]

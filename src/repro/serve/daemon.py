@@ -169,8 +169,11 @@ class ServeDaemon:
         cache_dir: Optional[str] = None,
         max_workers: int = 4,
         verbose: bool = False,
+        observe: bool = True,
     ) -> None:
-        self.session = session or Session(cache_dir=cache_dir, max_workers=max_workers)
+        self.session = session or Session(
+            cache_dir=cache_dir, max_workers=max_workers, observe=observe
+        )
         self.verbose = verbose
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.repro_daemon = self  # type: ignore[attr-defined]

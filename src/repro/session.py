@@ -34,6 +34,7 @@ socket (see :mod:`repro.serve`).
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
 from .compiler import CompilationResult, _run_fragment, _run_program
+from .cost.observe import ObservationStore
 from .errors import ServeError
 from .options import ExecOptions, normalize_exec_options
 from .serve.admission import AdmissionController
@@ -138,6 +140,16 @@ class Session:
     defaults:
         Session-wide :class:`ExecOptions` applied to submissions that
         pass none.
+    observe:
+        Accumulate observations (measured cardinalities, key ratios,
+        join selectivities) across jobs, so *planned* submissions of a
+        program the session has run before re-resolve their estimates
+        against what actually happened — a resident service self-tunes
+        run-over-run.  With a ``cache_dir`` the observation store gets a
+        disk tier next to the summary cache, so tuning survives a
+        restart.  ``observe=False`` keeps every run's planning
+        independent.  Submissions can override per job via
+        ``ExecOptions(feedback=...)``.
     """
 
     def __init__(
@@ -150,9 +162,22 @@ class Session:
         exclusive_fraction: float = 0.5,
         compile_workers: Optional[int] = None,
         defaults: Optional[ExecOptions] = None,
+        observe: bool = True,
     ) -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0")
+        self.observe = observe
+        self.observations: Optional[ObservationStore] = (
+            ObservationStore(
+                cache_dir=(
+                    os.path.join(cache_dir, "observations")
+                    if cache_dir is not None
+                    else None
+                )
+            )
+            if observe
+            else None
+        )
         self.registry = ProgramRegistry(
             cache_dir=cache_dir,
             search_config=search_config,
@@ -307,6 +332,24 @@ class Session:
             f"program-id string, got {type(program).__name__}"
         )
 
+    def _attach_observations(self, entry: RegisteredProgram) -> None:
+        """Point the entry's adaptive programs at the shared store.
+
+        Caller holds the entry lock.  The store is shared session-wide
+        (observations are keyed by fragment/dataset fingerprints, so
+        programs cannot read each other's entries) and
+        ``feedback_default`` makes every *planned* run of this program
+        consult and refresh it — unless the submission's options say
+        ``feedback=False``.
+        """
+        for fragment in entry.compilation.fragments:
+            program = getattr(fragment, "program", None)
+            if program is None:
+                continue
+            if getattr(program, "observations", None) is not self.observations:
+                program.observations = self.observations
+                program.feedback_default = True
+
     def _execute(
         self,
         job_id: str,
@@ -323,6 +366,8 @@ class Session:
             # state, so two jobs of the *same* program serialize on the
             # entry lock; jobs of different programs run concurrently.
             with entry.lock:
+                if self.observations is not None:
+                    self._attach_observations(entry)
                 if fragment_index is not None:
                     outputs, report = _run_fragment(
                         entry.compilation, inputs, fragment_index, options

@@ -488,7 +488,9 @@ class TestJoinSeams:
         inputs = benchmark.make_inputs(60, 7)
         globals_env, _ = prepare_globals(program.analysis, inputs)
         plan = ExecutionPlan(backend="sequential", join_strategies=("reduce_side",))
-        records, steps, _ = build_join_steps(program, globals_env, inputs, plan=plan)
+        records, steps, _, _ = build_join_steps(
+            program, globals_env, inputs, plan=plan
+        )
         # Tagged union: left + right relations in one scanned stream.
         assert len(records) == len(inputs["partsupp"]) + len(inputs["part"])
         assert {tag for tag, _r in records} == {0, 1}
