@@ -39,7 +39,14 @@ benchmarks/collect_bench.py --output BENCH_local.json``), this measures:
   (same process, and a restarted daemon over the disk cache tier),
   p50/p95 submit→result round-trip latency over the socket, concurrent
   mixed-budget throughput, and result identity vs direct
-  ``run_program``.
+  ``run_program``;
+* **diagnostics** — the static soundness gate: an analysis-only sweep
+  of every registry fragment (diagnostic counts per code; pre-CEGIS
+  rejections must stay 0 on the suites), crafted provably-unsound
+  fragments compiled with the gate on vs off (the wall-clock delta is
+  the CEGIS time the gate saves, and the ungated run shows the
+  mistranslation hazard the gate exists to prevent), and the
+  counterexample cache's warm-search delta.
 
 The output is uploaded as a ``BENCH_pr<N>.json`` artifact per CI run,
 recording the perf trajectory PR over PR.
@@ -853,6 +860,139 @@ def measure_serve() -> dict:
     return out
 
 
+#: Crafted provably-unsound fragments for the gate measurement: the
+#: static soundness pass rejects both pre-CEGIS; with the gate disabled
+#: the search runs to completion and *accepts a deterministic summary*
+#: for them — the mistranslation hazard the gate exists to prevent.
+UNSOUND_SOURCES = {
+    "rng_in_loop": (
+        "double noisySum(double[] data, int n) {\n"
+        "  double total = 0;\n"
+        "  for (int i = 0; i < n; i++) total += data[i] * Math.random();\n"
+        "  return total;\n"
+        "}\n"
+    ),
+    "unmodelled_call": (
+        "int bits(int[] data, int n) {\n"
+        "  int total = 0;\n"
+        "  for (int i = 0; i < n; i++) total += Integer.bitCount(data[i]);\n"
+        "  return total;\n"
+        "}\n"
+    ),
+}
+
+#: Fragment used for the counterexample-cache delta: a float fold whose
+#: search refutes wrong candidates before converging, so a timed-out
+#: first run leaves counterexamples (and no summary) in the cache.
+CEX_SOURCE = (
+    "double fsum(double[] data, int n) {\n"
+    "  double total = 0;\n"
+    "  for (int i = 0; i < n; i++) total += data[i];\n"
+    "  return total;\n"
+    "}\n"
+)
+
+
+def measure_diagnostics() -> dict:
+    """The static soundness gate and diagnostics layer, measured for real."""
+    import tempfile
+
+    from repro.compiler import CasperCompiler, translate as translate_one
+    from repro.diagnostics import analyze_soundness
+    from repro.errors import AnalysisError
+    from repro.lang.analysis.fragments import analyze_fragment, identify_fragments
+    from repro.lang.parser import parse_program
+    from repro.synthesis.search import SearchConfig
+    from repro.workloads import all_benchmarks
+
+    # Analysis-only sweep of the whole registry: what the gate observes
+    # on real workloads (tests/test_diagnostics.py gates rejections at 0).
+    per_code: dict[str, int] = {}
+    fragments_seen = 0
+    rejected = 0
+    started = time.perf_counter()
+    for benchmark in all_benchmarks():
+        program = parse_program(benchmark.source)
+        func = program.function(benchmark.function)
+        for fragment in identify_fragments(func):
+            try:
+                analysis = analyze_fragment(fragment, program)
+            except AnalysisError:
+                continue
+            fragments_seen += 1
+            diags = analyze_soundness(analysis)
+            for diag in diags:
+                per_code[diag.code] = per_code.get(diag.code, 0) + 1
+            if any(d.severity == "error" for d in diags):
+                rejected += 1
+    sweep = {
+        "fragments_analyzed": fragments_seen,
+        "rejected_pre_cegis": rejected,
+        "diagnostics_per_code": dict(sorted(per_code.items())),
+        "sweep_seconds": round(time.perf_counter() - started, 3),
+    }
+
+    # Gate on vs off over the crafted unsound fragments.
+    gate: dict[str, dict] = {}
+    for name, source in UNSOUND_SOURCES.items():
+        try:
+            started = time.perf_counter()
+            gated = CasperCompiler().translate_source(source)
+            gated_s = time.perf_counter() - started
+            started = time.perf_counter()
+            ungated = CasperCompiler(soundness=False).translate_source(source)
+            ungated_s = time.perf_counter() - started
+            gate[name] = {
+                "rejected_pre_cegis": not gated.fragments[0].translated,
+                "codes": sorted(
+                    {
+                        d.code
+                        for d in gated.diagnostics
+                        if d.severity == "error"
+                    }
+                ),
+                "gate_seconds": round(gated_s, 4),
+                "no_gate_seconds": round(ungated_s, 4),
+                "cegis_seconds_saved": round(ungated_s - gated_s, 4),
+                "mistranslated_without_gate": ungated.fragments[0].translated,
+            }
+        except Exception as exc:
+            gate[name] = {"error": str(exc)}
+
+    # Counterexample cache: a timed-out first search persists its
+    # bounded refutations; the repeat search re-checks them first.
+    cex: dict = {}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cex-") as tmp:
+            cache = SummaryCache(cache_dir=tmp)
+            translate_one(
+                CEX_SOURCE,
+                search_config=SearchConfig(timeout_seconds=0.02),
+                cache=cache,
+            )
+            started = time.perf_counter()
+            warm = translate_one(CEX_SOURCE, cache=cache)
+            warm_s = time.perf_counter() - started
+            started = time.perf_counter()
+            cold = translate_one(CEX_SOURCE)
+            cold_s = time.perf_counter() - started
+            cex = {
+                "translated": warm.fragments[0].translated,
+                "cached_counterexamples_used": (
+                    warm.fragments[0].search.cached_counterexamples_used
+                ),
+                "counterexamples_recorded": len(
+                    cold.fragments[0].search.counterexample_states
+                ),
+                "cold_search_seconds": round(cold_s, 4),
+                "seeded_search_seconds": round(warm_s, 4),
+            }
+    except Exception as exc:
+        cex = {"error": str(exc)}
+
+    return {"sweep": sweep, "gate": gate, "cex_cache": cex}
+
+
 def git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
@@ -897,6 +1037,7 @@ def main(argv: list[str]) -> int:
         "kernel": measure_kernel(),
         "columnar": measure_columnar(),
         "serve": measure_serve(),
+        "diagnostics": measure_diagnostics(),
     }
     payload["meta"]["total_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -989,6 +1130,33 @@ def main(argv: list[str]) -> int:
         f"{serve_row['concurrent']['jobs_per_second']} jobs/s concurrent, "
         f"identical={serve_row['concurrent']['results_identical']}"
     )
+    diag_row = payload["diagnostics"]
+    print(
+        "diagnostics sweep: "
+        f"{diag_row['sweep']['fragments_analyzed']} fragments, "
+        f"{diag_row['sweep']['rejected_pre_cegis']} rejected pre-CEGIS, "
+        f"codes={diag_row['sweep']['diagnostics_per_code']}"
+    )
+    for name, row in diag_row["gate"].items():
+        if "error" in row:
+            print(f"diagnostics gate {name}: ERROR {row['error']}")
+            continue
+        print(
+            f"diagnostics gate {name}: rejected={row['rejected_pre_cegis']} "
+            f"({'/'.join(row['codes'])}), saved "
+            f"{row['cegis_seconds_saved']}s CEGIS, mistranslated without "
+            f"gate={row['mistranslated_without_gate']}"
+        )
+    cex_row = diag_row["cex_cache"]
+    if "error" in cex_row:
+        print(f"diagnostics cex cache: ERROR {cex_row['error']}")
+    else:
+        print(
+            "diagnostics cex cache: "
+            f"{cex_row['cached_counterexamples_used']} cached refutations "
+            f"re-checked first, cold {cex_row['cold_search_seconds']}s → "
+            f"seeded {cex_row['seeded_search_seconds']}s"
+        )
     return 0
 
 

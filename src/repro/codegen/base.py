@@ -56,6 +56,10 @@ class ExecutionOutcome:
     metrics: JobMetrics
     wall_seconds: float = 0.0
     fallback_reason: Optional[str] = None
+    #: Stable diagnostic code matching ``fallback_reason`` (REP3xx).
+    fallback_code: Optional[str] = None
+    #: Pickle probes where static analysis and the runtime dump disagreed.
+    probe_disagreements: int = 0
     processes_used: int = 1
     #: Spill accounting from an out-of-core run; None when in-memory.
     spill_stats: Optional[dict] = None
@@ -793,6 +797,8 @@ class GeneratedProgram:
             metrics=result.metrics,
             wall_seconds=result.metrics.wall_seconds,
             fallback_reason=result.fallback_reason,
+            fallback_code=result.fallback_code,
+            probe_disagreements=result.probe_disagreements,
             processes_used=result.processes_used,
             spill_stats=result.spill_stats,
             peak_resident_bytes=result.peak_resident_bytes,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..cost.model import CostModel
+from ..diagnostics import make as make_diagnostic
 from ..cost.monitor import Implementation, RuntimeMonitor
 from ..cost.observe import (
     ObservationStore,
@@ -239,8 +240,24 @@ class AdaptiveProgram:
         if execution_plan.backend == "multiprocess" and outcome.fallback_reason:
             report.fallback_reason = outcome.fallback_reason
             report.backend_used = "sequential"
+            report.diagnostics.append(
+                make_diagnostic(
+                    getattr(outcome, "fallback_code", None) or "REP305",
+                    outcome.fallback_reason,
+                )
+            )
         else:
             report.backend_used = execution_plan.backend
+        disagreements = getattr(outcome, "probe_disagreements", 0)
+        if disagreements:
+            report.probe_disagreements += disagreements
+            report.diagnostics.append(
+                make_diagnostic(
+                    "REP307",
+                    f"static pickle analysis cleared {disagreements} payload(s) "
+                    "the runtime probe rejected",
+                )
+            )
         report.spill_stats = outcome.spill_stats
         report.transport = outcome.transport_stats
         report.columnar = outcome.columnar_stats

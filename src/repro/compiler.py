@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
+from .diagnostics import Diagnostic, explain as explain_diagnostics
 from .errors import AnalysisError
 from .options import ExecOptions, normalize_exec_options
 from .lang import ast_nodes as ast
@@ -57,6 +58,9 @@ class FragmentTranslation:
     search: Optional[SearchResult]
     program: Optional[AdaptiveProgram]
     failure_reason: Optional[str] = None
+    #: Structured diagnostics (:mod:`repro.diagnostics`) accumulated by
+    #: the passes that processed this fragment, in emission order.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def translated(self) -> bool:
@@ -66,6 +70,10 @@ class FragmentTranslation:
     def cache_hit(self) -> bool:
         """True when the summaries came from the summary cache."""
         return self.search is not None and self.search.cache_hit
+
+    def explain(self) -> str:
+        """Human-readable rendering of this fragment's diagnostics."""
+        return explain_diagnostics(self.diagnostics)
 
     def rendered_code(self, backend: str = "spark") -> str:
         """Java-like source of the chosen translation (Appendix C rules)."""
@@ -117,6 +125,15 @@ class CompilationResult:
     def cache_hits(self) -> int:
         return sum(1 for f in self.fragments if f.cache_hit)
 
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        """All fragments' diagnostics, in fragment order."""
+        return [d for f in self.fragments for d in f.diagnostics]
+
+    def explain(self) -> str:
+        """Human-readable rendering of every fragment's diagnostics."""
+        return explain_diagnostics(self.diagnostics)
+
 
 @dataclass
 class CasperCompiler:
@@ -132,6 +149,13 @@ class CasperCompiler:
     max_workers: Optional[int] = None
     #: Execution-planner knobs attached by the plan pass; None → defaults.
     planner_config: Optional["PlannerConfig"] = None
+    #: Run the pre-synthesis soundness analyzer (REP1xx codes); off
+    #: skips the gate and lets CEGIS discover the failure the slow way.
+    soundness: bool = True
+    #: Escalate warning-level diagnostics to a typed
+    #: :class:`~repro.errors.DiagnosticError` instead of compiling with
+    #: a degraded (Tier-2 / bounded-only) result.
+    strict: bool = False
 
     # ------------------------------------------------------------------
 
@@ -205,6 +229,8 @@ class CasperCompiler:
             backend=self.backend,
             cache=self.cache,
             planner_config=self.planner_config,
+            soundness=self.soundness,
+            strict=self.strict,
         )
 
     @staticmethod
@@ -218,6 +244,7 @@ class CasperCompiler:
                     search=state.search,
                     program=state.program,
                     failure_reason=state.failure_reason,
+                    diagnostics=list(state.diagnostics),
                 )
             )
         result.elapsed_seconds = elapsed

@@ -1,0 +1,49 @@
+"""Static soundness analysis and structured diagnostics.
+
+This package is the pipeline's account of *why*: why a fragment was
+rejected before CEGIS (:mod:`~repro.diagnostics.soundness`), why a proof
+was demoted to Tier-2, why the engine fell back in-process — all as
+structured :class:`Diagnostic` objects with stable codes
+(:mod:`~repro.diagnostics.codes`) instead of free-text strings.  It also
+hosts the unified picklability probes
+(:mod:`~repro.diagnostics.pickling`) and the repo-invariant lint
+(``python -m repro.diagnostics.lint``).
+"""
+
+from repro.diagnostics.codes import REGISTRY, SEVERITIES, CodeInfo, info_for
+from repro.diagnostics.diagnostic import (
+    Diagnostic,
+    DiagnosticSink,
+    diagnostic_from_data,
+    escalate_strict,
+    explain,
+    make,
+    worst_severity,
+)
+from repro.diagnostics.pickling import (
+    PickleVerdict,
+    probe_payload,
+    runtime_pickle_probe,
+    static_unpicklable_reason,
+)
+from repro.diagnostics.soundness import analyze_soundness, has_rejections
+
+__all__ = [
+    "REGISTRY",
+    "SEVERITIES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticSink",
+    "PickleVerdict",
+    "analyze_soundness",
+    "diagnostic_from_data",
+    "escalate_strict",
+    "explain",
+    "has_rejections",
+    "info_for",
+    "make",
+    "probe_payload",
+    "runtime_pickle_probe",
+    "static_unpicklable_reason",
+    "worst_severity",
+]

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..cpu import available_cpu_count
+from ..diagnostics.pickling import probe_payload, static_unpicklable_reason
 from ..errors import EngineError, SpillError
 from .columnar import Chunk, build_chunk, grouped_fold
 from .config import EngineConfig
@@ -130,6 +131,12 @@ class MultiprocessResult:
     #: Why the engine executed in-process instead of across workers
     #: (``None`` when the pool actually ran).
     fallback_reason: Optional[str] = None
+    #: Stable diagnostic code for the fallback (``REP301``–``REP305``);
+    #: set whenever ``fallback_reason`` is.
+    fallback_code: Optional[str] = None
+    #: Pickle probes where static analysis said OK but the runtime dump
+    #: failed — the analyzer's measured imprecision (see ``PlanReport``).
+    probe_disagreements: int = 0
     #: Whether the out-of-core streaming path executed this job.
     spilled: bool = False
     #: High-water mark of estimated resident bytes (streaming runs only).
@@ -534,16 +541,20 @@ class MultiprocessEngine:
         pool: Optional[ProcessPoolExecutor] = None
         if processes <= 1:
             result.fallback_reason = "single process requested"
+            result.fallback_code = "REP302"
         elif len(records) < self.min_parallel_records:
             result.fallback_reason = (
                 f"tiny input ({len(records)} records < "
                 f"{self.min_parallel_records}): pool startup would dominate"
             )
+            result.fallback_code = "REP303"
         else:
             pool = self._open_pool(processes)
             if pool is None:
                 self._record_fallback(
-                    result, "worker pool could not start (process/semaphore limits)"
+                    result,
+                    "worker pool could not start (process/semaphore limits)",
+                    "REP304",
                 )
         result.processes_used = processes if pool is not None else 1
 
@@ -653,7 +664,7 @@ class MultiprocessEngine:
             ]
             sent, refs, error = self._send_tasks(tasks, result)
             if error is not None:
-                self._record_fallback(result, error)
+                self._record_fallback(result, error, "REP301")
             else:
                 try:
                     parts = list(pool.map(_map_task, sent))
@@ -740,14 +751,21 @@ class MultiprocessEngine:
                     sent.append(head)
         except _PICKLE_ERRORS as exc:
             release_segments(refs)
+            # Disagreement accounting: the static walker green-lit a
+            # payload the runtime dump rejected — measured imprecision.
+            if static_unpicklable_reason(tasks) is None:
+                result.probe_disagreements += 1
             return [], [], f"payload not picklable: {exc!r}"
         return sent, refs, None
 
     @staticmethod
-    def _record_fallback(result: MultiprocessResult, reason: str) -> None:
+    def _record_fallback(
+        result: MultiprocessResult, reason: str, code: str = "REP305"
+    ) -> None:
         """Report a fallback; when no pool work has run yet, the job was
         effectively single-process, so keep ``processes_used`` honest."""
         result.fallback_reason = reason
+        result.fallback_code = code
         if result.map_tasks == 0:
             result.processes_used = 1
 
@@ -986,16 +1004,20 @@ class MultiprocessEngine:
         pool: Optional[ProcessPoolExecutor] = None
         if processes <= 1:
             result.fallback_reason = "single process requested"
+            result.fallback_code = "REP302"
         elif known is not None and known < self.min_parallel_records:
             result.fallback_reason = (
                 f"tiny input ({known} records < "
                 f"{self.min_parallel_records}): pool startup would dominate"
             )
+            result.fallback_code = "REP303"
         else:
             pool = self._open_pool(processes)
             if pool is None:
                 self._record_fallback(
-                    result, "worker pool could not start (process/semaphore limits)"
+                    result,
+                    "worker pool could not start (process/semaphore limits)",
+                    "REP304",
                 )
         result.processes_used = processes if pool is not None else 1
 
@@ -1314,9 +1336,11 @@ class MultiprocessEngine:
         )
         task_id = 0
         if pool is not None:
-            probe_reason = self._probe_picklable((map_fns, combiner))
-            if probe_reason is not None:
-                self._record_fallback(result, probe_reason)
+            verdict = probe_payload((map_fns, combiner))
+            if verdict.disagreement:
+                result.probe_disagreements += 1
+            if verdict.unpicklable:
+                self._record_fallback(result, verdict.reason or "", "REP301")
                 pool = None
         if pool is not None:
             tasks_per_round = max(1, result.processes_used) * 2
@@ -1343,7 +1367,7 @@ class MultiprocessEngine:
                 sent, refs, error = self._send_tasks(tasks, result)
                 outs: Optional[list[SpillMapOut]] = None
                 if error is not None:
-                    self._record_fallback(result, error)
+                    self._record_fallback(result, error, "REP301")
                 else:
                     try:
                         outs = list(pool.map(_spill_map_task, sent))
@@ -1498,12 +1522,13 @@ class MultiprocessEngine:
 
     @staticmethod
     def _probe_picklable(payload: Any) -> Optional[str]:
-        """None when ``payload`` pickles; else the fallback reason."""
-        try:
-            pickle.dumps(payload)
-        except _PICKLE_ERRORS as exc:
-            return f"payload not picklable: {exc!r}"
-        return None
+        """None when ``payload`` can ship to workers; else the reason.
+
+        Routed through the unified static-first probe: when the static
+        walker already proves the payload unpicklable the ``pickle.dumps``
+        is skipped entirely; otherwise the dump remains the backstop.
+        """
+        return probe_payload(payload).reason
 
     def _charge_scan_totals(
         self, metrics: JobMetrics, stage, records: int, total_bytes: int

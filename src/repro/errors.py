@@ -55,6 +55,31 @@ class VerificationError(ReproError):
     """Raised when verification infrastructure (not a candidate) fails."""
 
 
+class SymbolicUnsupported(VerificationError):
+    """Raised by the symbolic executor for source constructs outside its
+    model (side-effecting calls, nested loops, path explosion).  Carries
+    the matching structured :class:`~repro.diagnostics.Diagnostic` so the
+    prover can demote the fragment to Tier-2 with a machine-readable
+    reason instead of a free-text string."""
+
+    def __init__(self, message: str, diagnostic: object = None):
+        super().__init__(message)
+        #: A :class:`repro.diagnostics.Diagnostic` (typed as object to
+        #: keep this module import-free at the bottom of the hierarchy).
+        self.diagnostic = diagnostic
+
+
+class DiagnosticError(ReproError):
+    """A diagnostic escalated to a typed error under ``strict=True``.
+
+    Carries the full list of :class:`~repro.diagnostics.Diagnostic`
+    objects that triggered the escalation in :attr:`diagnostics`."""
+
+    def __init__(self, message: str, diagnostics: list | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics: list = list(diagnostics) if diagnostics else []
+
+
 class CostModelError(ReproError):
     """Raised for invalid cost-model inputs."""
 

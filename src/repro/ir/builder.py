@@ -24,6 +24,7 @@ from .nodes import (
     Proj,
     ReduceLambda,
     ReduceStage,
+    Stage,
     Summary,
     TupleExpr,
     Var,
@@ -123,7 +124,7 @@ def join_stage(right: Pipeline) -> JoinStage:
     return JoinStage(right)
 
 
-def pipeline(source: str, *stages) -> Pipeline:
+def pipeline(source: str, *stages: Stage) -> Pipeline:
     return Pipeline(source, tuple(stages))
 
 

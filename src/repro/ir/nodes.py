@@ -10,7 +10,7 @@ search algorithm, paper section 4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Iterator, Optional, Union
 
 
 # ----------------------------------------------------------------------
@@ -284,7 +284,7 @@ class Summary:
 # Traversal helpers
 
 
-def walk_expr(expr: IRExpr):
+def walk_expr(expr: IRExpr) -> Iterator[IRExpr]:
     """Yield ``expr`` and all sub-expressions (pre-order)."""
     yield expr
     if isinstance(expr, BinOp):
@@ -320,10 +320,10 @@ def expr_size(expr: IRExpr) -> int:
     return size
 
 
-def summary_expr_nodes(summary: Summary):
+def summary_expr_nodes(summary: Summary) -> Iterator[IRExpr]:
     """Yield every IR expression appearing anywhere in a summary."""
 
-    def from_pipeline(pipeline: Pipeline):
+    def from_pipeline(pipeline: Pipeline) -> Iterator[IRExpr]:
         for stage in pipeline.stages:
             if isinstance(stage, MapStage):
                 for emit in stage.lam.emits:

@@ -26,7 +26,7 @@ def format_pipeline(pipeline: Pipeline) -> str:
 
 def format_summary(summary: Summary, detailed: bool = True) -> str:
     """Render a summary roughly in the style of the paper's Fig. 1."""
-    lines = []
+    lines: list[str] = []
     pipe_text = format_pipeline(summary.pipeline)
     for binding in summary.outputs:
         if binding.kind == "whole":

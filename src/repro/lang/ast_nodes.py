@@ -8,7 +8,7 @@ interpreter consume them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from .types import JType
 
@@ -344,7 +344,7 @@ class Program(Node):
 LValue = Union[Name, Index, FieldAccess]
 
 
-def walk(node: Node):
+def walk(node: Node) -> Iterator[Node]:
     """Yield ``node`` and every AST node reachable from it (pre-order)."""
     yield node
     for value in vars(node).values():

@@ -31,7 +31,9 @@ from typing import Any, Optional
 from ..errors import ReproError
 from ..ir.nodes import rename_summary, summary_from_data, summary_to_data
 from ..lang.analysis.fragments import FragmentFingerprint
+from ..lang.values import Instance
 from ..synthesis.search import SearchConfig, VerifiedSummary
+from ..verification.bounded import ProgramState
 from ..verification.prover import proof_from_data, proof_to_data
 from .diskio import (
     atomic_write_json,
@@ -46,6 +48,71 @@ _DISK_FORMAT = 1
 
 #: Kept for importers of the old private name.
 _pid_alive = pid_alive
+
+#: Most counterexample states persisted per fragment fingerprint.
+_MAX_COUNTEREXAMPLES = 16
+
+
+def _state_value_to_data(value: Any) -> Any:
+    """JSON-encode one program-state value (tagged where JSON is lossy)."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return {"__t__": "float", "v": repr(value)}
+    if isinstance(value, Instance):
+        return {
+            "__t__": "instance",
+            "class": value.class_name,
+            "fields": {
+                name: _state_value_to_data(field_value)
+                for name, field_value in value.fields.items()
+            },
+        }
+    if isinstance(value, list):
+        return [_state_value_to_data(item) for item in value]
+    if isinstance(value, tuple):
+        return {"__t__": "tuple", "v": [_state_value_to_data(i) for i in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__t__": "set", "v": [_state_value_to_data(i) for i in value]}
+    if isinstance(value, dict):
+        return {
+            "__t__": "dict",
+            "v": [
+                [_state_value_to_data(k), _state_value_to_data(v)]
+                for k, v in value.items()
+            ],
+        }
+    raise ReproError(f"unserializable program-state value: {type(value).__name__}")
+
+
+def _state_value_from_data(data: Any) -> Any:
+    if isinstance(data, list):
+        return [_state_value_from_data(item) for item in data]
+    if isinstance(data, dict):
+        tag = data.get("__t__")
+        if tag == "float":
+            return float(data["v"])
+        if tag == "instance":
+            return Instance(
+                data["class"],
+                {
+                    name: _state_value_from_data(field_value)
+                    for name, field_value in data["fields"].items()
+                },
+            )
+        if tag == "tuple":
+            return tuple(_state_value_from_data(i) for i in data["v"])
+        if tag == "set":
+            return set(_state_value_from_data(i) for i in data["v"])
+        if tag == "dict":
+            return {
+                _state_value_from_data(k): _state_value_from_data(v)
+                for k, v in data["v"]
+            }
+        raise ReproError(f"unknown state-value tag {tag!r}")
+    return data
 
 
 def search_config_key(config: SearchConfig) -> str:
@@ -188,6 +255,95 @@ class SummaryCache:
         with self._lock:
             self._insert(key, entry)
             self.stats.stores += 1
+        self._write_disk(key, entry)
+        return True
+
+    # -- bounded-refutation counterexamples -----------------------------
+    #
+    # Keyed by fragment *fingerprint only* (no config): a counterexample
+    # is just a concrete input binding, valid evidence under any search
+    # configuration.  Repeat CEGIS runs on near-miss fragments seed their
+    # Φ example set from these, so candidates already refuted once are
+    # filtered before the bounded checker ever runs.
+
+    @staticmethod
+    def _cex_key(fingerprint: FragmentFingerprint) -> str:
+        return f"cex:{fingerprint.digest}"
+
+    def lookup_counterexamples(
+        self, fingerprint: FragmentFingerprint
+    ) -> list[ProgramState]:
+        """Cached refutation states, renamed to the fragment's variables."""
+        if not fingerprint.cacheable:
+            return []
+        key = self._cex_key(fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            entry = self._load_disk(key)
+            if entry is not None:
+                with self._lock:
+                    self._insert(key, entry)
+        if entry is None:
+            return []
+        from_canonical = fingerprint.inverse_renaming
+        states: list[ProgramState] = []
+        try:
+            for inputs in entry["states"]:
+                states.append(
+                    ProgramState(
+                        {
+                            from_canonical.get(name, name): _state_value_from_data(
+                                value
+                            )
+                            for name, value in inputs.items()
+                        }
+                    )
+                )
+        except (ReproError, KeyError, TypeError, ValueError):
+            with self._lock:
+                self._entries.pop(key, None)
+            self._remove_disk(key)
+            return []
+        return states
+
+    def store_counterexamples(
+        self, fingerprint: FragmentFingerprint, states: list[ProgramState]
+    ) -> bool:
+        """Persist refutation states (canonical names), merging and capping."""
+        if not fingerprint.cacheable or not states:
+            return False
+        to_canonical = fingerprint.renaming
+        encoded: list[dict[str, Any]] = []
+        for state in states:
+            try:
+                encoded.append(
+                    {
+                        to_canonical.get(name, name): _state_value_to_data(value)
+                        for name, value in state.inputs.items()
+                    }
+                )
+            except ReproError:
+                continue  # best-effort: skip unserializable states
+        if not encoded:
+            return False
+        key = self._cex_key(fingerprint)
+        with self._lock:
+            existing = self._entries.get(key)
+        if existing is None:
+            existing = self._load_disk(key)
+        merged: list[dict[str, Any]] = list(
+            existing.get("states", []) if existing else []
+        )
+        for item in encoded:
+            if item not in merged:
+                merged.append(item)
+        merged = merged[-_MAX_COUNTEREXAMPLES:]
+        entry = {"format": _DISK_FORMAT, "states": merged}
+        with self._lock:
+            self._insert(key, entry)
         self._write_disk(key, entry)
         return True
 

@@ -16,6 +16,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from ..diagnostics.diagnostic import Diagnostic
 from ..engine.config import EngineConfig
 from ..lang import ast_nodes as ast
 from ..lang.analysis.fragments import (
@@ -47,6 +48,9 @@ class FragmentState:
     search: Optional[SearchResult] = None
     program: Optional["AdaptiveProgram"] = None
     failure_reason: Optional[str] = None
+    #: Structured diagnostics accumulated across passes (stable REPxxx
+    #: codes); a rejection always has an error-level entry here too.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def failed(self) -> bool:
@@ -69,6 +73,11 @@ class CompilationContext:
     cache: Optional["SummaryCache"] = None
     #: Execution-planner knobs used by the ``plan`` pass; None → defaults.
     planner_config: Optional["PlannerConfig"] = None
+    #: Run the static soundness gate before synthesis (default on; the
+    #: bench harness turns it off to measure CEGIS seconds saved).
+    soundness: bool = True
+    #: Escalate warning-level diagnostics to :class:`DiagnosticError`.
+    strict: bool = False
     fragments: list[FragmentState] = field(default_factory=list)
     #: Whole-program job graph, attached by the ``graph`` pass after
     #: every fragment's chain completes (it needs all of them).

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from ..diagnostics import analyze_soundness, escalate_strict, explain, has_rejections, make
 from ..errors import AnalysisError, CodegenError
 from ..lang.analysis.fragments import analyze_fragment, fingerprint_fragment
 from .context import CompilationContext, FragmentState
@@ -42,7 +43,10 @@ class AnalyzePass(CompilerPass):
         try:
             state.analysis = analyze_fragment(state.fragment, ctx.program)
         except AnalysisError as exc:
-            state.failure_reason = f"analysis failed: {exc}"
+            state.diagnostics.append(
+                make("REP101", str(exc), fragment=state.fragment.id)
+            )
+            state.failure_reason = f"analysis failed: {exc} [REP101]"
             return
         # The fingerprint only exists to key the summary cache; skip the
         # canonical serialization + hash when no cache is attached.
@@ -50,10 +54,53 @@ class AnalyzePass(CompilerPass):
             state.fingerprint = fingerprint_fragment(state.analysis)
 
 
+class SoundnessPass(CompilerPass):
+    """Static soundness gate: reject provably-uncheckable fragments early.
+
+    Fragments whose loop calls unmodelled or nondeterministic library
+    methods cannot be interpreted by the bounded checker, so CEGIS could
+    only ever validate candidates vacuously (and has mistranslated such
+    fragments before).  They are rejected *here*, before any search time
+    is spent, with an error-level diagnostic.  Warning/info findings
+    (scratch mutation, order dependence, float folds, unpicklable
+    captures) ride along on the fragment state; under ``ctx.strict``
+    they escalate to a typed :class:`~repro.errors.DiagnosticError`.
+    """
+
+    name = "soundness"
+
+    def run(self, ctx: CompilationContext, state: FragmentState) -> None:
+        if not ctx.soundness:
+            return
+        assert state.analysis is not None
+        diags = analyze_soundness(
+            state.analysis,
+            accept_bounded_only=ctx.search_config.accept_bounded_only,
+        )
+        state.diagnostics.extend(diags)
+        if has_rejections(diags):
+            codes = sorted({d.code for d in diags if d.severity == "error"})
+            state.failure_reason = (
+                f"soundness: fragment rejected before synthesis "
+                f"[{', '.join(codes)}]\n{explain(diags)}"
+            )
+            return
+        if ctx.strict:
+            escalate_strict(diags, f"fragment {state.fragment.id}")
+
+
 class SynthesizePass(CompilerPass):
     """Summary search: cache lookup, else grammar → CEGIS → verification."""
 
     name = "synthesize"
+
+    #: Free-text search failure reasons → stable diagnostic codes.
+    _FAILURE_CODES = (
+        ("synthesis timed out", "REP206"),
+        ("bounded checker construction failed", "REP208"),
+        ("could not build bounded program states", "REP208"),
+        ("no valid summary found", "REP205"),
+    )
 
     def run(self, ctx: CompilationContext, state: FragmentState) -> None:
         from ..synthesis.search import find_summaries_cached
@@ -65,8 +112,28 @@ class SynthesizePass(CompilerPass):
             cache=ctx.cache,
             fingerprint=state.fingerprint,
         )
+        state.diagnostics.extend(state.search.diagnostics)
+        if state.search.counterexample_states:
+            state.diagnostics.append(
+                make(
+                    "REP204",
+                    f"bounded checker refuted candidates with "
+                    f"{len(state.search.counterexample_states)} "
+                    "counterexample state(s); cached for future searches",
+                    fragment=state.fragment.id,
+                )
+            )
         if not state.search.translated:
-            state.failure_reason = state.search.failure_reason
+            reason = state.search.failure_reason or "synthesis failed"
+            code = "REP205"
+            for text, mapped in self._FAILURE_CODES:
+                if text in reason:
+                    code = mapped
+                    break
+            state.diagnostics.append(
+                make(code, reason, fragment=state.fragment.id)
+            )
+            state.failure_reason = f"{reason} [{code}]"
 
 
 class VerifyAttachPass(CompilerPass):
@@ -85,18 +152,46 @@ class VerifyAttachPass(CompilerPass):
     def run(self, ctx: CompilationContext, state: FragmentState) -> None:
         assert state.search is not None
         accepted = []
+        bounded_only = 0
         for vs in state.search.summaries:
             if vs.proof.status == "proved":
                 accepted.append(vs)
             elif vs.proof.status == "unknown" and ctx.search_config.accept_bounded_only:
                 accepted.append(vs)
+                bounded_only += 1
         if len(accepted) != len(state.search.summaries):
             state.search.summaries = accepted
+        if bounded_only:
+            reasons = sorted(
+                {
+                    vs.proof.reason
+                    for vs in accepted
+                    if vs.proof.status == "unknown" and vs.proof.reason
+                }
+            )
+            state.diagnostics.append(
+                make(
+                    "REP203",
+                    f"{bounded_only} of {len(accepted)} summaries accepted on "
+                    "bounded (Tier-2) evidence only"
+                    + (f": {'; '.join(reasons)}" if reasons else ""),
+                    fragment=state.fragment.id,
+                )
+            )
+            if ctx.strict:
+                escalate_strict(
+                    [d for d in state.diagnostics if d.code == "REP203"],
+                    f"fragment {state.fragment.id}",
+                )
         if not accepted:
-            state.failure_reason = (
+            reason = (
                 state.search.failure_reason
                 or "no summary carries an acceptable proof"
             )
+            state.diagnostics.append(
+                make("REP207", reason, fragment=state.fragment.id)
+            )
+            state.failure_reason = f"{reason} [REP207]"
 
 
 class CodegenPass(CompilerPass):
@@ -181,6 +276,7 @@ def default_passes() -> Sequence[CompilerPass]:
     """The standard per-fragment pipeline, in execution order."""
     return (
         AnalyzePass(),
+        SoundnessPass(),
         SynthesizePass(),
         VerifyAttachPass(),
         CodegenPass(),

@@ -121,6 +121,12 @@ class PlanReport:
     backend_used: str = ""
     wall_seconds: float = 0.0
     fallback_reason: Optional[str] = None
+    #: Structured diagnostics for planner decisions and engine fallbacks
+    #: (:mod:`repro.diagnostics` REP3xx codes), in emission order.
+    diagnostics: list = field(default_factory=list)
+    #: Pickle-probe disagreements: payloads the static analyzer cleared
+    #: but the runtime ``pickle.dumps`` probe rejected.
+    probe_disagreements: int = 0
     #: Why the measured λm/pickling probe did not run (single-CPU hosts
     #: skip it — the pool cannot win, so there is nothing to calibrate).
     calibration_skipped: Optional[str] = None
@@ -182,6 +188,11 @@ class PlanReport:
             "implementation": self.implementation,
             "wall_seconds": round(self.wall_seconds, 6),
             "fallback_reason": self.fallback_reason,
+            "diagnostics": [
+                diag.as_dict() if hasattr(diag, "as_dict") else diag
+                for diag in self.diagnostics
+            ],
+            "probe_disagreements": self.probe_disagreements,
             "calibration_skipped": self.calibration_skipped,
             "join": self.join,
             "admission": self.admission,

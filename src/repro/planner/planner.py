@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from ..cost.model import CostModel
 from ..cost.monitor import estimate_from_sample
+from ..diagnostics import make as make_diagnostic
+from ..diagnostics.pickling import probe_payload
 from ..engine.config import PROFILES, EngineConfig
 from ..engine.multiprocess import default_process_count
 from ..ir.nodes import MapStage, ReduceStage, Summary
@@ -144,6 +146,9 @@ class ExecutionPlanner:
     static_unpicklable: Optional[str] = None
     #: Per-implementation (lower, upper) per-record cost bounds.
     static_cost_bounds: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: The static pickle walker cleared the payload but the runtime
+    #: ``pickle.dumps`` backstop rejected it (a REP307 disagreement).
+    probe_disagreement: bool = False
 
     # ------------------------------------------------------------------
     # Compile-time half
@@ -159,10 +164,12 @@ class ExecutionPlanner:
             )
             self.static_cost_bounds[f"impl_{index}"] = cost.bounds()
         if programs:
-            try:
-                pickle.dumps((programs[0].summary, programs[0].analysis.view))
-            except Exception as exc:
-                self.static_unpicklable = f"summary payload not picklable: {exc!r}"
+            verdict = probe_payload(
+                (programs[0].summary, programs[0].analysis.view)
+            )
+            if verdict.unpicklable:
+                self.static_unpicklable = verdict.reason
+            self.probe_disagreement = verdict.disagreement
 
     # ------------------------------------------------------------------
     # Run-time half
@@ -431,6 +438,19 @@ class ExecutionPlanner:
             join=join_report,
             estimates=provenance,
         )
+        if self.static_unpicklable is not None:
+            report.diagnostics.append(
+                make_diagnostic("REP306", self.static_unpicklable)
+            )
+        if self.probe_disagreement:
+            report.probe_disagreements += 1
+            report.diagnostics.append(
+                make_diagnostic(
+                    "REP307",
+                    "static pickle analysis cleared the summary payload "
+                    "but the runtime probe rejected it",
+                )
+            )
         return plan, report
 
     @staticmethod
@@ -812,22 +832,22 @@ class ExecutionPlanner:
         if not isinstance(first, MapStage) or not prefix:
             return 0.0
         fn = _emit_fn(first.lam.emits, globals_env, program.analysis.view)
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: allow-wall-clock (calibration)
         for record in prefix:
             fn(record)
-        return (time.perf_counter() - started) / len(prefix)
+        return (time.perf_counter() - started) / len(prefix)  # lint: allow-wall-clock
 
     def _pickle_seconds(self, records: Any, n: int) -> float:
         """Estimate driver-side serialization cost for the whole input."""
         prefix = _record_prefix(records, self.config.calibration_records)
         if not prefix:
             return 0.0
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: allow-wall-clock (calibration)
         try:
             pickle.dumps(prefix)
         except Exception:
             return float("inf")  # unpicklable records → pool impossible
-        return (time.perf_counter() - started) * (n / len(prefix))
+        return (time.perf_counter() - started) * (n / len(prefix))  # lint: allow-wall-clock
 
     def _cluster_ranking(
         self,

@@ -51,6 +51,10 @@ def result_to_wire(result: JobResult) -> dict:
         "error": result.error,
         "wall_seconds": result.wall_seconds,
         "queued_seconds": result.queued_seconds,
+        "diagnostics": [
+            diag.as_dict() if hasattr(diag, "as_dict") else diag
+            for diag in result.diagnostics
+        ],
     }
 
 
@@ -66,6 +70,7 @@ def result_from_wire(payload: dict) -> JobResult:
         error=payload.get("error"),
         wall_seconds=payload.get("wall_seconds", 0.0),
         queued_seconds=payload.get("queued_seconds", 0.0),
+        diagnostics=list(payload.get("diagnostics", [])),
     )
 
 

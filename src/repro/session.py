@@ -78,6 +78,10 @@ class JobResult:
     error: Optional[str] = None
     wall_seconds: float = 0.0
     queued_seconds: float = 0.0
+    #: Structured diagnostics for this job (:mod:`repro.diagnostics`):
+    #: the compilation's REP1xx/REP2xx trail plus the execution report's
+    #: REP3xx engine/planner codes.  Dicts when fetched from a daemon.
+    diagnostics: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -391,6 +395,8 @@ class Session:
         if report is not None:
             # The admission decision is part of the job's evidence trail.
             report.admission = decision.as_dict()
+        diagnostics = list(getattr(entry.compilation, "diagnostics", []))
+        diagnostics.extend(getattr(report, "diagnostics", None) or [])
         return JobResult(
             job_id=job_id,
             program_id=entry.program_id,
@@ -400,6 +406,7 @@ class Session:
             admission=decision.as_dict(),
             wall_seconds=time.perf_counter() - started,
             queued_seconds=started - submitted,
+            diagnostics=diagnostics,
         )
 
 __all__ = ["ExecOptions", "JobHandle", "JobResult", "Session"]

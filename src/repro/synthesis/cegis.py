@@ -171,11 +171,23 @@ class Synthesizer:
     checker: BoundedChecker
     max_restarts: int = 8
     stats: SynthesisStats = field(default_factory=SynthesisStats)
+    #: Counterexample states recovered from a previous search on an
+    #: alpha-equivalent fragment (summary-cache ``cex:`` entries).  They
+    #: join Φ up front, so candidates a past run already refuted are
+    #: filtered by :class:`PartEvaluator` before any bounded check runs.
+    seed_states: list[ProgramState] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         # Φ starts with a few random program states (Fig. 5, line 2);
-        # we seed it with the canonical empty/singleton/small states.
-        self.phi: list[ProgramState] = list(self.checker.states[:4])
+        # we seed it with the canonical empty/singleton/small states,
+        # plus any cached counterexamples from earlier near-miss runs.
+        self.phi: list[ProgramState] = [
+            *self.seed_states,
+            *self.checker.states[:4],
+        ]
+        #: Counterexamples *this* run discovered (excludes seeds) — the
+        #: search layer persists them back to the cache.
+        self.new_counterexamples: list[ProgramState] = []
         #: Candidates refuted by the bounded checker (its state set is
         #: fixed, so a refuted candidate can never pass later) — blocked
         #: locally so re-enumeration always makes progress.
@@ -204,6 +216,7 @@ class Synthesizer:
                 if counterexample is None:
                     return candidate
                 self.phi.append(counterexample)
+                self.new_counterexamples.append(counterexample)
                 self.stats.counterexamples += 1
                 self.stats.restarts += 1
                 restart = True
@@ -236,5 +249,6 @@ class Synthesizer:
                 return candidate
             self._bounded_failed.add(marker)
             self.phi.append(counterexample)
+            self.new_counterexamples.append(counterexample)
             self.stats.counterexamples += 1
         return None

@@ -23,8 +23,9 @@ from ..lang.analysis.fragments import (
 )
 
 if TYPE_CHECKING:
+    from ..diagnostics.diagnostic import Diagnostic
     from ..pipeline.cache import SummaryCache
-from ..verification.bounded import BoundedCheckConfig, BoundedChecker
+from ..verification.bounded import BoundedCheckConfig, BoundedChecker, ProgramState
 from ..verification.prover import FullVerifier, ProofResult
 from .cegis import Synthesizer
 from .classes import generate_classes, monolithic_class
@@ -59,6 +60,13 @@ class SearchResult:
     #: True when the summaries came from the content-addressed cache —
     #: no candidates were generated or sent to the theorem prover.
     cache_hit: bool = False
+    #: Structured diagnostics produced during the search (REP2xx codes).
+    diagnostics: list["Diagnostic"] = field(default_factory=list)
+    #: Bounded-refutation states discovered by this run (persisted to the
+    #: summary cache so repeat searches re-check them first).
+    counterexample_states: list[ProgramState] = field(default_factory=list)
+    #: How many cached counterexamples seeded Φ for this run.
+    cached_counterexamples_used: int = 0
 
     @property
     def translated(self) -> bool:
@@ -111,7 +119,14 @@ def find_summaries_cached(
             elapsed_seconds=time.monotonic() - started,
         )
 
-    result = find_summaries(analysis, config)
+    # Near-miss warm start: counterexamples cached from earlier runs on
+    # an alpha-equivalent fragment seed Φ, so already-refuted candidate
+    # shapes are filtered before the bounded checker prices them.
+    seed_states = cache.lookup_counterexamples(fingerprint)
+    result = find_summaries(analysis, config, seed_states=seed_states)
+    result.cached_counterexamples_used = len(seed_states)
+    if result.counterexample_states:
+        cache.store_counterexamples(fingerprint, result.counterexample_states)
     if result.translated and result.failure_reason is None:
         cache.store(
             fingerprint,
@@ -124,9 +139,17 @@ def find_summaries_cached(
 
 
 def find_summaries(
-    analysis: FragmentAnalysis, config: Optional[SearchConfig] = None
+    analysis: FragmentAnalysis,
+    config: Optional[SearchConfig] = None,
+    seed_states: Optional[list[ProgramState]] = None,
 ) -> SearchResult:
-    """Search for verified program summaries of a fragment (Fig. 5)."""
+    """Search for verified program summaries of a fragment (Fig. 5).
+
+    ``seed_states`` are cached counterexamples from previous searches on
+    an equivalent fragment; they pre-populate the CEGIS example set Φ
+    (behavior-preserving: Φ only ever *filters* candidates the bounded
+    checker would refute anyway, it never admits one).
+    """
     config = config or SearchConfig()
     started = time.monotonic()
     result = SearchResult(fragment_id=analysis.fragment.id)
@@ -162,7 +185,13 @@ def find_summaries(
         result.classes_searched += 1
         result.final_class = grammar_class.name
         pools = GrammarBuilder(analysis, grammar_class, sym_paths).build()
-        synthesizer = Synthesizer(analysis, grammar_class, pools, checker)
+        synthesizer = Synthesizer(
+            analysis,
+            grammar_class,
+            pools,
+            checker,
+            seed_states=list(seed_states or []),
+        )
 
         while True:
             if time.monotonic() - started > config.timeout_seconds:
@@ -170,6 +199,7 @@ def find_summaries(
                 result.summaries = delta
                 result.candidates_checked += synthesizer.stats.candidates_checked
                 result.counterexamples += synthesizer.stats.counterexamples
+                result.counterexample_states.extend(synthesizer.new_counterexamples)
                 result.elapsed_seconds = time.monotonic() - started
                 return result
 
@@ -194,6 +224,7 @@ def find_summaries(
 
         result.candidates_checked += synthesizer.stats.candidates_checked
         result.counterexamples += synthesizer.stats.counterexamples
+        result.counterexample_states.extend(synthesizer.new_counterexamples)
         if delta and not config.exhaustive:
             break  # search complete (Fig. 5 line 21)
 

@@ -41,7 +41,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..errors import VerificationError
+from ..diagnostics.diagnostic import Diagnostic, diagnostic_from_data, make
+from ..errors import SymbolicUnsupported, VerificationError
 from ..lang import ast_nodes as ast
 from ..lang.analysis.fragments import FragmentAnalysis
 from ..ir.nodes import (
@@ -85,6 +86,9 @@ class ProofResult:
     is_commutative: bool = False
     is_associative: bool = False
     obligations: list[str] = field(default_factory=list)
+    #: Structured account of why Tier 1 did not apply (REP201/REP202);
+    #: empty for proved results.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def verified(self) -> bool:
@@ -98,13 +102,16 @@ def proof_to_data(proof: ProofResult) -> dict:
     only *accepted* proofs enter the summary cache, and refuted results
     never do, so a serialized proof has no counterexample by construction.
     """
-    return {
+    data = {
         "status": proof.status,
         "reason": proof.reason,
         "is_commutative": proof.is_commutative,
         "is_associative": proof.is_associative,
         "obligations": list(proof.obligations),
     }
+    if proof.diagnostics:
+        data["diagnostics"] = [d.as_dict() for d in proof.diagnostics]
+    return data
 
 
 def proof_from_data(data: dict) -> ProofResult:
@@ -115,6 +122,10 @@ def proof_from_data(data: dict) -> ProofResult:
         is_commutative=data["is_commutative"],
         is_associative=data["is_associative"],
         obligations=list(data["obligations"]),
+        # Pre-diagnostics cache entries have no "diagnostics" key.
+        diagnostics=[
+            diagnostic_from_data(item) for item in data.get("diagnostics", [])
+        ],
     )
 
 
@@ -201,10 +212,18 @@ class FullVerifier:
         if reduce_lam is not None:
             commutative, associative = check_reduce_properties(reduce_lam)
 
+        diagnostics: list[Diagnostic] = []
         try:
             proved, reason, obligations = self._try_inductive(summary)
+        except SymbolicUnsupported as exc:
+            # Typed demotion: the symbolic executor already built the
+            # structured REP201/REP202 diagnostic — carry it through.
+            proved, reason, obligations = False, str(exc), []
+            if isinstance(exc.diagnostic, Diagnostic):
+                diagnostics.append(exc.diagnostic)
         except VerificationError as exc:
             proved, reason, obligations = False, str(exc), []
+            diagnostics.append(make("REP202", str(exc)))
 
         if proved:
             return ProofResult(
@@ -223,12 +242,20 @@ class FullVerifier:
                 counterexample=counterexample,
                 is_commutative=commutative,
                 is_associative=associative,
+                diagnostics=diagnostics,
+            )
+        if not diagnostics:
+            # Tier 1 declined without an exception (shape not inductive):
+            # still a structured demotion, not just free text.
+            diagnostics.append(
+                make("REP202", f"inductive proof not applicable: {reason}")
             )
         return ProofResult(
             status="unknown",
             reason=f"inductive proof not applicable: {reason}",
             is_commutative=commutative,
             is_associative=associative,
+            diagnostics=diagnostics,
         )
 
     def accepts(self, result: ProofResult) -> bool:

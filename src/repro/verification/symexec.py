@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import VerificationError
+from ..diagnostics.diagnostic import make as make_diagnostic
+from ..errors import SymbolicUnsupported, VerificationError
 from ..lang import ast_nodes as ast
 from ..lang.analysis.normalize import desugar_stmt
 from ..ir.nodes import (
@@ -27,6 +28,17 @@ from ..ir.nodes import (
     Var,
 )
 from .algebra import normalize, term_key
+
+
+def _unsupported(code: str, message: str, line: int = 0) -> SymbolicUnsupported:
+    """A typed demote-to-Tier-2 error carrying its structured diagnostic.
+
+    ``REP201`` marks side effects (mutating calls the executor cannot
+    model), ``REP202`` every other construct outside the symbolic model;
+    the prover forwards the diagnostic onto the :class:`ProofResult` so
+    the demotion is machine-readable end to end.
+    """
+    return SymbolicUnsupported(message, diagnostic=make_diagnostic(code, message, line=line))
 
 
 @dataclass(frozen=True)
@@ -127,7 +139,9 @@ class SymbolicExecutor:
             desugared = desugar_stmt(stmt)
             states = self._exec_stmt(desugared, states)
             if len(states) > self.max_paths:
-                raise VerificationError("path explosion in symbolic execution")
+                raise _unsupported(
+                    "REP202", "path explosion in symbolic execution", stmt.line
+                )
         return states
 
     def _exec_stmt(self, stmt: ast.Stmt, states: list[SymState]) -> list[SymState]:
@@ -173,12 +187,18 @@ class SymbolicExecutor:
                     result.append(else_state)
             return result
         if isinstance(stmt, (ast.For, ast.ForEach, ast.While, ast.DoWhile)):
-            raise VerificationError("nested loop reached symbolic executor")
-        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
-            raise VerificationError(
-                f"{type(stmt).__name__} not supported in symbolic execution"
+            raise _unsupported(
+                "REP202", "nested loop reached symbolic executor", stmt.line
             )
-        raise VerificationError(f"unsupported statement {type(stmt).__name__}")
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+            raise _unsupported(
+                "REP202",
+                f"{type(stmt).__name__} not supported in symbolic execution",
+                stmt.line,
+            )
+        raise _unsupported(
+            "REP202", f"unsupported statement {type(stmt).__name__}", stmt.line
+        )
 
     # ------------------------------------------------------------------
 
@@ -193,11 +213,15 @@ class SymbolicExecutor:
             if isinstance(receiver, ast.Name) and receiver.ident in self.containers:
                 self._container_mutation(receiver.ident, expr, state)
                 return
-            raise VerificationError(
-                f"side-effecting call {expr.method!r} not supported symbolically"
+            raise _unsupported(
+                "REP201",
+                f"side-effecting call {expr.method!r} not supported symbolically",
+                expr.line,
             )
-        raise VerificationError(
-            f"expression statement {type(expr).__name__} has no modelled effect"
+        raise _unsupported(
+            "REP202",
+            f"expression statement {type(expr).__name__} has no modelled effect",
+            expr.line,
         )
 
     def _container_mutation(
@@ -212,7 +236,9 @@ class SymbolicExecutor:
             value = self._eval(call.args[0], state)
             state.appends.setdefault(container, []).append(value)
             return
-        raise VerificationError(f"container mutation {call.method!r} unsupported")
+        raise _unsupported(
+            "REP201", f"container mutation {call.method!r} unsupported", call.line
+        )
 
     def _store(self, target: ast.Expr, value: IRExpr, state: SymState) -> None:
         if isinstance(target, ast.Name):

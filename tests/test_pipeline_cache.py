@@ -312,6 +312,7 @@ class TestPassPipeline:
         names = [p.name for p in default_passes()]
         assert names == [
             "analyze",
+            "soundness",
             "synthesize",
             "verify-attach",
             "codegen",
@@ -322,6 +323,7 @@ class TestPassPipeline:
         result = translate(SUM_SOURCE)
         assert set(result.pass_seconds) == {
             "analyze",
+            "soundness",
             "synthesize",
             "verify-attach",
             "codegen",
